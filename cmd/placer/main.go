@@ -1,0 +1,176 @@
+// Command placer runs the full placement flow (global placement with a
+// chosen wirelength model, Abacus legalization, detailed placement) on a
+// Bookshelf design or a generated synthetic benchmark.
+//
+// Usage:
+//
+//	placer -aux design.aux -model ME [-iters 800] [-out outdir]
+//	placer -suite ispd2006 -design newblue1 -scale 0.01 -model ME
+//	placer -cells 2000 -model WA
+//
+// The flow prints GPWL/LGWL/DPWL and per-stage runtimes; -out writes the
+// placed design back as a Bookshelf file set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bookshelf"
+	"repro/internal/congestion"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/placer"
+	"repro/internal/plot"
+	"repro/internal/synth"
+)
+
+func main() {
+	var (
+		aux     = flag.String("aux", "", "Bookshelf .aux file to place")
+		suite   = flag.String("suite", "", "synthetic suite: ispd2006 or ispd2019")
+		design  = flag.String("design", "", "design name within -suite (e.g. newblue1)")
+		scale   = flag.Float64("scale", 0.01, "suite scale factor")
+		cells   = flag.Int("cells", 0, "generate an ad-hoc synthetic design with this many cells")
+		model   = flag.String("model", "ME", "wirelength model: LSE, WA, BiG_CHKS, ME, HPWL")
+		iters   = flag.Int("iters", 800, "max global placement iterations")
+		overfl  = flag.Float64("overflow", 0.07, "global placement stop overflow")
+		seed    = flag.Int64("seed", 1, "random seed")
+		tetris  = flag.Bool("tetris", false, "use the greedy Tetris legalizer instead of Abacus")
+		skipDP  = flag.Bool("skip-dp", false, "stop after legalization")
+		outDir  = flag.String("out", "", "write the placed design as Bookshelf files to this directory")
+		verbose = flag.Bool("v", false, "print the GP trajectory")
+		useISM  = flag.Bool("ism", false, "enable independent-set matching in detailed placement")
+		congest = flag.Bool("congestion", false, "report RUDY congestion statistics of the final placement")
+		plotDir = flag.String("plot", "", "write placement.svg and congestion.svg into this directory")
+		routab  = flag.Int("routability", 0, "congestion-driven inflation rounds (0 = off)")
+	)
+	flag.Parse()
+
+	d, err := loadDesign(*aux, *suite, *design, *scale, *cells, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "placer: %v\n", err)
+		os.Exit(1)
+	}
+	stats := d.ComputeStats()
+	fmt.Printf("design %s: %d movable (%d macros), %d fixed, %d nets, %d pins, util %.2f\n",
+		stats.Name, stats.NumMovable, stats.NumMacros, stats.NumFixed,
+		stats.NumNets, stats.NumPins, stats.Utilization)
+
+	cfg := core.DefaultFlowConfig(*model)
+	cfg.GP = placer.Config{MaxIters: *iters, StopOverflow: *overfl, Seed: *seed}
+	if *verbose {
+		cfg.GP.RecordEvery = 25
+	}
+	cfg.UseTetris = *tetris
+	cfg.SkipDetailed = *skipDP
+	cfg.DP.UseISM = *useISM
+	cfg.RoutabilityRounds = *routab
+
+	res, err := core.RunFlow(d, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "placer: %v\n", err)
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Println("iter  overflow  hpwl        param      lambda")
+		for _, p := range res.Trajectory {
+			fmt.Printf("%-5d %-9.3f %-11.4g %-10.4g %-10.4g\n", p.Iter, p.Overflow, p.HPWL, p.Param, p.Lambda)
+		}
+	}
+	fmt.Printf("model=%s GPWL=%.6g LGWL=%.6g DPWL=%.6g overflow=%.3f iters=%d\n",
+		res.Model, res.GPWL, res.LGWL, res.DPWL, res.Overflow, res.GPIters)
+	fmt.Printf("runtime: GP=%.2fs LG=%.2fs DP=%.2fs total=%.2fs legal=%v\n",
+		res.GPSeconds, res.LGSeconds, res.DPSeconds, res.TotalSeconds, res.LegalizationOK)
+
+	if *congest {
+		cmap, err := congestion.RUDY(d, 64, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "placer: congestion: %v\n", err)
+			os.Exit(1)
+		}
+		cs := cmap.ComputeStats()
+		fmt.Printf("congestion (RUDY 64x64): peak=%.4f p99=%.4f p95=%.4f avg=%.4f hotspots=%.1f%%\n",
+			cs.Peak, cs.P99, cs.P95, cs.Avg, 100*cs.HotspotFrac)
+	}
+
+	if *plotDir != "" {
+		if err := writePlots(d, *plotDir); err != nil {
+			fmt.Fprintf(os.Stderr, "placer: plots: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s/placement.svg and congestion.svg\n", *plotDir)
+	}
+
+	if *outDir != "" {
+		auxOut, err := bookshelf.WriteDesign(d, *outDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "placer: writing output: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", auxOut)
+	}
+}
+
+// writePlots renders the placement and its RUDY congestion heatmap as SVGs.
+func writePlots(d *netlist.Design, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	pf, err := os.Create(filepath.Join(dir, "placement.svg"))
+	if err != nil {
+		return err
+	}
+	if err := plot.PlacementSVG(pf, d, 900); err != nil {
+		pf.Close()
+		return err
+	}
+	if err := pf.Close(); err != nil {
+		return err
+	}
+	cmap, err := congestion.RUDY(d, 64, 64)
+	if err != nil {
+		return err
+	}
+	cf, err := os.Create(filepath.Join(dir, "congestion.svg"))
+	if err != nil {
+		return err
+	}
+	if err := plot.HeatmapSVG(cf, cmap.Demand, cmap.Nx, cmap.Ny, "RUDY congestion "+d.Name); err != nil {
+		cf.Close()
+		return err
+	}
+	return cf.Close()
+}
+
+func loadDesign(aux, suiteName, designName string, scale float64, cells int, seed int64) (*netlist.Design, error) {
+	switch {
+	case aux != "":
+		return bookshelf.ReadDesign(aux)
+	case suiteName != "":
+		specs, err := synth.SuiteScaled(suiteName, scale)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range specs {
+			if s.Name == designName {
+				return synth.Generate(s)
+			}
+		}
+		return nil, fmt.Errorf("design %q not in suite %s", designName, suiteName)
+	case cells > 0:
+		return synth.Generate(synth.Spec{
+			Name:          fmt.Sprintf("adhoc%d", cells),
+			NumMovable:    cells,
+			NumPads:       8,
+			NumNets:       cells + cells/10,
+			AvgDegree:     3.9,
+			Utilization:   0.7,
+			TargetDensity: 1.0,
+			Seed:          seed,
+		})
+	}
+	return nil, fmt.Errorf("give one of -aux, -suite/-design, or -cells (see -h)")
+}

@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of "On a Moreau Envelope
+// Wirelength Model for Analytical Global Placement" (DAC 2023): an
+// ePlace-style analytical global placer whose differentiable wirelength
+// model is the Moreau envelope of the half-perimeter wirelength, computed
+// exactly per net by a linear-time water-filling algorithm.
+//
+// The paper's contribution lives in internal/moreau; internal/wirelength
+// holds the comparison models (LSE, WA, BiG-CHKS); internal/placer,
+// internal/density, internal/fft, internal/optimizer form the electrostatic
+// placement engine; internal/legalize and internal/detailed complete the
+// flow; internal/synth generates ISPD-contest-like benchmarks; and
+// internal/experiments regenerates every table and figure of the paper's
+// evaluation. See README.md and DESIGN.md.
+//
+// The benchmarks in bench_test.go exercise each experiment's code path at
+// reduced scale; the full-scale tables are produced by cmd/experiments.
+package repro

@@ -1,0 +1,55 @@
+// Modelcompare runs all four wirelength models (BiG_CHKS, LSE, WA, and the
+// paper's Moreau envelope) through the identical flow on one design and
+// prints a miniature version of the paper's comparison tables, plus the
+// Section II-D numerical-stability study.
+//
+//	go run ./examples/modelcompare
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+	"repro/internal/wirelength"
+)
+
+func main() {
+	design, err := synth.Generate(synth.Spec{
+		Name:          "compare",
+		NumMovable:    3000,
+		NumMacros:     4, // macros are where the paper's model shines
+		NumPads:       16,
+		NumNets:       3200,
+		AvgDegree:     3.9,
+		Utilization:   0.7,
+		TargetDensity: 1.0,
+		Seed:          7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tbl := metrics.NewTable("Model comparison (one 3k-cell design with movable macros)",
+		wirelength.AllModelNames(), "ME")
+	for _, model := range wirelength.AllModelNames() {
+		res, err := core.RunFlow(design.Clone(), core.DefaultFlowConfig(model))
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbl.Set(design.Name, model, metrics.Cell{
+			LGWL: res.LGWL, DPWL: res.DPWL, RT: res.TotalSeconds,
+		})
+		fmt.Printf("%-9s GPWL=%-10.4g LGWL=%-10.4g DPWL=%-10.4g RT=%.2fs\n",
+			model, res.GPWL, res.LGWL, res.DPWL, res.TotalSeconds)
+	}
+	fmt.Println()
+	fmt.Print(tbl.Render())
+
+	fmt.Println()
+	experiments.StabilityStudy(os.Stdout)
+}

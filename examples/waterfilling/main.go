@@ -1,0 +1,55 @@
+// Waterfilling demonstrates the paper's core algorithm in isolation: the
+// proximal mapping of the per-net HPWL solved by the water-filling sweep,
+// the Moreau envelope value, and its gradient (Algorithms 1-2, Theorem 1,
+// Corollary 1), compared against the WA model on the same net.
+//
+//	go run ./examples/waterfilling
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/moreau"
+	"repro/internal/wirelength"
+)
+
+func main() {
+	// A 5-pin net; true HPWL span = 9.
+	x := []float64{1, 3, 3.5, 8, 10}
+	fmt.Printf("pin coordinates: %v (HPWL span %g)\n\n", x, moreau.HPWL1D(x))
+
+	for _, t := range []float64{0.5, 2, 8, 40} {
+		grad := make([]float64, len(x))
+		prox := make([]float64, len(x))
+		r := moreau.EnvelopeGrad(x, t, grad)
+		moreau.Prox(x, t, prox)
+		fmt.Printf("t = %-4g  envelope = %-8.4f  model(W^t+t) = %-8.4f\n",
+			t, r.Value, r.Value+t)
+		if r.Degenerate {
+			fmt.Printf("          degenerate: prox collapsed to the mean %.4f\n", r.Tau1)
+		} else {
+			fmt.Printf("          water levels tau1 = %.4f, tau2 = %.4f\n", r.Tau1, r.Tau2)
+		}
+		fmt.Printf("          prox = %.4v\n", prox)
+		fmt.Printf("          grad = %.4v  (sums to %g)\n\n", grad, sum(grad))
+	}
+
+	// Gradient comparison with WA at matched smoothing.
+	fmt.Println("gradient comparison at smoothing parameter 2:")
+	gME := make([]float64, len(x))
+	gWA := make([]float64, len(x))
+	wirelength.NetMoreau(x, 2, gME)
+	wirelength.NetWA(x, 2, gWA)
+	fmt.Printf("  ME: %.4v\n  WA: %.4v\n", gME, gWA)
+	fmt.Println("\nBoth sum to zero (Corollaries 2-3); ME gradients are exactly")
+	fmt.Println("zero for pins strictly between the water levels, so interior")
+	fmt.Println("pins feel no spurious pull.")
+}
+
+func sum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,222 @@
+package bookshelf
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// writeTestFiles creates a tiny hand-written Bookshelf design on disk.
+func writeTestFiles(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("toy.aux", "RowBasedPlacement : toy.nodes toy.nets toy.wts toy.pl toy.scl\n")
+	write("toy.nodes", `UCLA nodes 1.0
+NumNodes : 4
+NumTerminals : 2
+  a 2 1
+  b 3 1
+  blk 5 5 terminal
+  pad 0 0 terminal
+`)
+	write("toy.nets", `UCLA nets 1.0
+NumNets : 2
+NumPins : 5
+NetDegree : 3 n0
+  a I : 0.5 0.25
+  b O : -1 0
+  blk B : 0 0
+NetDegree : 2 n1
+  b I : 1.5 0.5
+  pad O : 0 0
+`)
+	write("toy.wts", `UCLA wts 1.0
+  n0 1
+  n1 2.5
+`)
+	write("toy.pl", `UCLA pl 1.0
+  a 1 2 : N
+  b 5 3 : N
+  blk 10 10 : N /FIXED
+  pad 0 20 : N /FIXED
+`)
+	write("toy.scl", `UCLA scl 1.0
+NumRows : 2
+CoreRow Horizontal
+  Coordinate : 0
+  Height : 1
+  Sitewidth : 1
+  Sitespacing : 1
+  NumSites : 20
+  SubrowOrigin : 0
+End
+CoreRow Horizontal
+  Coordinate : 1
+  Height : 1
+  Sitewidth : 1
+  Sitespacing : 1
+  NumSites : 20
+  SubrowOrigin : 0
+End
+`)
+	return filepath.Join(dir, "toy.aux")
+}
+
+func TestReadDesign(t *testing.T) {
+	aux := writeTestFiles(t)
+	d, err := ReadDesign(aux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("invalid design: %v", err)
+	}
+	if d.NumCells() != 4 || d.NumNets() != 2 || d.NumPins() != 5 {
+		t.Fatalf("counts: %d cells %d nets %d pins", d.NumCells(), d.NumNets(), d.NumPins())
+	}
+	// Kinds: a,b movable; blk is a sized terminal -> Fixed; pad zero-size -> Terminal.
+	if d.Cells[0].Kind != netlist.Movable || d.Cells[1].Kind != netlist.Movable {
+		t.Error("a/b should be movable")
+	}
+	if d.Cells[2].Kind != netlist.Fixed {
+		t.Errorf("blk kind = %v, want Fixed", d.Cells[2].Kind)
+	}
+	if d.Cells[3].Kind != netlist.Terminal {
+		t.Errorf("pad kind = %v, want Terminal", d.Cells[3].Kind)
+	}
+	// Net weight from .wts.
+	if d.Nets[1].Weight != 2.5 {
+		t.Errorf("n1 weight = %g", d.Nets[1].Weight)
+	}
+	// Pin offsets converted center->lower-left: a is 2x1, pin (0.5,0.25)
+	// center-relative => (1.5, 0.75) from lower-left.
+	p := d.NetPins(0)[0]
+	if math.Abs(p.Dx-1.5) > 1e-12 || math.Abs(p.Dy-0.75) > 1e-12 {
+		t.Errorf("pin offset = (%g,%g), want (1.5,0.75)", p.Dx, p.Dy)
+	}
+	// Rows from .scl.
+	if len(d.Rows) != 2 {
+		t.Fatalf("rows = %d", len(d.Rows))
+	}
+	if d.Rows[0].XH != 20 {
+		t.Errorf("row XH = %g, want 20 (NumSites*SiteW)", d.Rows[0].XH)
+	}
+	// Region covers the rows.
+	if d.Region.W() != 20 || d.Region.H() != 2 {
+		t.Errorf("region = %v", d.Region)
+	}
+	// Positions from .pl.
+	if d.X[1] != 5 || d.Y[1] != 3 {
+		t.Errorf("b at (%g,%g)", d.X[1], d.Y[1])
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	spec := synth.Spec{
+		Name: "rt", NumMovable: 120, NumMacros: 1, NumPads: 6, NumFixedBlocks: 1,
+		NumNets: 130, AvgDegree: 3.5, Utilization: 0.7, TargetDensity: 1, Seed: 2,
+	}
+	orig, err := synth.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	aux, err := WriteDesign(orig, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDesign(aux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumCells() != orig.NumCells() || back.NumNets() != orig.NumNets() || back.NumPins() != orig.NumPins() {
+		t.Fatalf("counts changed: %d/%d/%d vs %d/%d/%d",
+			back.NumCells(), back.NumNets(), back.NumPins(),
+			orig.NumCells(), orig.NumNets(), orig.NumPins())
+	}
+	for i := range orig.Cells {
+		if math.Abs(back.X[i]-orig.X[i]) > 1e-9 || math.Abs(back.Y[i]-orig.Y[i]) > 1e-9 {
+			t.Fatalf("cell %d moved in roundtrip", i)
+		}
+		if back.Cells[i].W != orig.Cells[i].W || back.Cells[i].H != orig.Cells[i].H {
+			t.Fatalf("cell %d resized in roundtrip", i)
+		}
+	}
+	for i := range orig.Pins {
+		if math.Abs(back.Pins[i].Dx-orig.Pins[i].Dx) > 1e-9 ||
+			math.Abs(back.Pins[i].Dy-orig.Pins[i].Dy) > 1e-9 {
+			t.Fatalf("pin %d offset changed", i)
+		}
+	}
+	if len(back.Rows) != len(orig.Rows) {
+		t.Fatalf("rows changed: %d vs %d", len(back.Rows), len(orig.Rows))
+	}
+	for i := range orig.Nets {
+		if back.Nets[i].Weight != orig.Nets[i].Weight {
+			t.Fatalf("net %d weight changed", i)
+		}
+	}
+	// Movable macros survive as movable (kind Movable after roundtrip is
+	// acceptable: Bookshelf has no macro marker; they stay movable).
+	if !back.Cells[120].Kind.Moves() {
+		t.Error("macro lost movability in roundtrip")
+	}
+}
+
+func TestReadAuxErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.aux")
+	os.WriteFile(bad, []byte("no colon here"), 0o644)
+	if _, err := ReadAux(bad); err == nil {
+		t.Error("malformed aux accepted")
+	}
+	if _, err := ReadAux(filepath.Join(dir, "missing.aux")); err == nil {
+		t.Error("missing aux accepted")
+	}
+	incomplete := filepath.Join(dir, "inc.aux")
+	os.WriteFile(incomplete, []byte("RowBasedPlacement : a.nodes\n"), 0o644)
+	if _, err := ReadAux(incomplete); err == nil {
+		t.Error("aux without .nets/.pl accepted")
+	}
+}
+
+func TestReadNetsErrors(t *testing.T) {
+	aux := writeTestFiles(t)
+	files, err := ReadAux(aux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the nets file with an unknown node reference.
+	os.WriteFile(files.Nets, []byte(`UCLA nets 1.0
+NetDegree : 1 n0
+  ghost I : 0 0
+`), 0o644)
+	if _, err := ReadFiles("toy", files); err == nil {
+		t.Error("unknown node in nets accepted")
+	}
+}
+
+func TestMissingOptionalFiles(t *testing.T) {
+	aux := writeTestFiles(t)
+	files, err := ReadAux(aux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files.Wts = "" // weights optional
+	d, err := ReadFiles("toy", files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Nets[1].Weight != 1 {
+		t.Errorf("default weight = %g, want 1", d.Nets[1].Weight)
+	}
+}

@@ -1,0 +1,151 @@
+package bookshelf
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/netlist"
+)
+
+// WriteDesign writes the design as a Bookshelf file set under dir, using
+// the design name as the base file name, and returns the .aux path.
+func WriteDesign(d *netlist.Design, dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	base := d.Name
+	if base == "" {
+		base = "design"
+	}
+	f := Files{
+		Nodes: filepath.Join(dir, base+".nodes"),
+		Nets:  filepath.Join(dir, base+".nets"),
+		Wts:   filepath.Join(dir, base+".wts"),
+		Pl:    filepath.Join(dir, base+".pl"),
+		Scl:   filepath.Join(dir, base+".scl"),
+	}
+	if err := writeNodes(d, f.Nodes); err != nil {
+		return "", err
+	}
+	if err := writeNets(d, f.Nets); err != nil {
+		return "", err
+	}
+	if err := writeWts(d, f.Wts); err != nil {
+		return "", err
+	}
+	if err := writePl(d, f.Pl); err != nil {
+		return "", err
+	}
+	if err := writeScl(d, f.Scl); err != nil {
+		return "", err
+	}
+	aux := filepath.Join(dir, base+".aux")
+	content := fmt.Sprintf("RowBasedPlacement : %s.nodes %s.nets %s.wts %s.pl %s.scl\n",
+		base, base, base, base, base)
+	if err := os.WriteFile(aux, []byte(content), 0o644); err != nil {
+		return "", err
+	}
+	return aux, nil
+}
+
+func withWriter(path string, fn func(w *bufio.Writer) error) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(fh)
+	if err := fn(w); err != nil {
+		fh.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}
+
+func writeNodes(d *netlist.Design, path string) error {
+	return withWriter(path, func(w *bufio.Writer) error {
+		fmt.Fprintln(w, "UCLA nodes 1.0")
+		terms := 0
+		for _, c := range d.Cells {
+			if !c.Kind.Moves() {
+				terms++
+			}
+		}
+		fmt.Fprintf(w, "NumNodes : %d\n", len(d.Cells))
+		fmt.Fprintf(w, "NumTerminals : %d\n", terms)
+		for _, c := range d.Cells {
+			if c.Kind.Moves() {
+				fmt.Fprintf(w, "  %s %g %g\n", c.Name, c.W, c.H)
+			} else {
+				fmt.Fprintf(w, "  %s %g %g terminal\n", c.Name, c.W, c.H)
+			}
+		}
+		return nil
+	})
+}
+
+func writeNets(d *netlist.Design, path string) error {
+	return withWriter(path, func(w *bufio.Writer) error {
+		fmt.Fprintln(w, "UCLA nets 1.0")
+		fmt.Fprintf(w, "NumNets : %d\n", len(d.Nets))
+		fmt.Fprintf(w, "NumPins : %d\n", len(d.Pins))
+		for e := range d.Nets {
+			pins := d.NetPins(e)
+			fmt.Fprintf(w, "NetDegree : %d %s\n", len(pins), d.Nets[e].Name)
+			for _, p := range pins {
+				c := d.Cells[p.Cell]
+				// Lower-left-relative -> center-relative.
+				fmt.Fprintf(w, "  %s B : %g %g\n", c.Name, p.Dx-c.W/2, p.Dy-c.H/2)
+			}
+		}
+		return nil
+	})
+}
+
+func writeWts(d *netlist.Design, path string) error {
+	return withWriter(path, func(w *bufio.Writer) error {
+		fmt.Fprintln(w, "UCLA wts 1.0")
+		for _, n := range d.Nets {
+			fmt.Fprintf(w, "  %s %g\n", n.Name, n.Weight)
+		}
+		return nil
+	})
+}
+
+func writePl(d *netlist.Design, path string) error {
+	return withWriter(path, func(w *bufio.Writer) error {
+		fmt.Fprintln(w, "UCLA pl 1.0")
+		for i, c := range d.Cells {
+			suffix := ""
+			if !c.Kind.Moves() {
+				suffix = " /FIXED"
+			}
+			fmt.Fprintf(w, "  %s %g %g : N%s\n", c.Name, d.X[i], d.Y[i], suffix)
+		}
+		return nil
+	})
+}
+
+func writeScl(d *netlist.Design, path string) error {
+	return withWriter(path, func(w *bufio.Writer) error {
+		fmt.Fprintln(w, "UCLA scl 1.0")
+		fmt.Fprintf(w, "NumRows : %d\n", len(d.Rows))
+		for _, r := range d.Rows {
+			sites := r.Sites()
+			fmt.Fprintln(w, "CoreRow Horizontal")
+			fmt.Fprintf(w, "  Coordinate : %g\n", r.Y)
+			fmt.Fprintf(w, "  Height : %g\n", r.Height)
+			fmt.Fprintf(w, "  Sitewidth : %g\n", r.SiteW)
+			fmt.Fprintf(w, "  Sitespacing : %g\n", r.SiteW)
+			fmt.Fprintf(w, "  NumSites : %d\n", sites)
+			fmt.Fprintf(w, "  SubrowOrigin : %g\n", r.XL)
+			fmt.Fprintln(w, "End")
+		}
+		return nil
+	})
+}

@@ -1,0 +1,158 @@
+package congestion
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// twoPinDesign builds one net spanning a known box.
+func twoPinDesign(t *testing.T) *netlist.Design {
+	t.Helper()
+	b := netlist.NewBuilder("c")
+	b.SetRegion(geom.Rect{XL: 0, YL: 0, XH: 64, YH: 64})
+	a := b.AddCell("a", netlist.Movable, 0, 0, 8, 8)
+	c := b.AddCell("b", netlist.Movable, 0, 0, 40, 24)
+	n := b.AddNet("n", 1)
+	b.AddPin(n, a, 0, 0)
+	b.AddPin(n, c, 0, 0)
+	return b.MustBuild()
+}
+
+func TestRUDYSingleNetDemand(t *testing.T) {
+	d := twoPinDesign(t)
+	m, err := RUDY(d, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Net box: (8,8)-(40,24): w=32, h=16; density = (32+16)/(32*16) = 0.09375.
+	// Total demand integrated over bins = density * boxArea / binArea.
+	total := 0.0
+	for _, v := range m.Demand {
+		total += v
+	}
+	wantTotal := 0.09375 * (32 * 16) / (4 * 4)
+	if math.Abs(total-wantTotal) > 1e-9 {
+		t.Errorf("total demand = %g, want %g", total, wantTotal)
+	}
+	// A bin fully inside the box carries exactly the density.
+	ix, iy := 4, 3 // bin at (16..20, 12..16): inside the box
+	if got := m.Demand[iy*16+ix]; math.Abs(got-0.09375) > 1e-12 {
+		t.Errorf("inside-bin demand = %g, want 0.09375", got)
+	}
+	// A bin outside the box carries nothing.
+	if got := m.Demand[15*16+15]; got != 0 {
+		t.Errorf("outside-bin demand = %g", got)
+	}
+}
+
+func TestRUDYNetWeightScales(t *testing.T) {
+	d := twoPinDesign(t)
+	m1, _ := RUDY(d, 8, 8)
+	d.Nets[0].Weight = 3
+	m3, _ := RUDY(d, 8, 8)
+	for i := range m1.Demand {
+		if math.Abs(m3.Demand[i]-3*m1.Demand[i]) > 1e-12 {
+			t.Fatalf("weight did not scale demand at bin %d", i)
+		}
+	}
+}
+
+func TestRUDYDegenerateNet(t *testing.T) {
+	// Two pins at the same point still demand wire (floored at one bin).
+	b := netlist.NewBuilder("deg")
+	b.SetRegion(geom.Rect{XL: 0, YL: 0, XH: 32, YH: 32})
+	a := b.AddCell("a", netlist.Movable, 0, 0, 16, 16)
+	c := b.AddCell("b", netlist.Movable, 0, 0, 16, 16)
+	n := b.AddNet("n", 1)
+	b.AddPin(n, a, 0, 0)
+	b.AddPin(n, c, 0, 0)
+	d := b.MustBuild()
+	m, err := RUDY(d, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, v := range m.Demand {
+		total += v
+	}
+	if total <= 0 {
+		t.Error("degenerate net produced no demand")
+	}
+}
+
+func TestRUDYSingletonNetIgnored(t *testing.T) {
+	b := netlist.NewBuilder("s")
+	b.SetRegion(geom.Rect{XL: 0, YL: 0, XH: 8, YH: 8})
+	a := b.AddCell("a", netlist.Movable, 0, 0, 4, 4)
+	n := b.AddNet("n", 1)
+	b.AddPin(n, a, 0, 0)
+	d := b.MustBuild()
+	m, err := RUDY(d, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range m.Demand {
+		if v != 0 {
+			t.Fatal("singleton net should not demand wire")
+		}
+	}
+}
+
+func TestRUDYErrors(t *testing.T) {
+	d := twoPinDesign(t)
+	if _, err := RUDY(d, 0, 8); err == nil {
+		t.Error("zero grid accepted")
+	}
+	d.Region = geom.Rect{}
+	if _, err := RUDY(d, 8, 8); err == nil {
+		t.Error("empty region accepted")
+	}
+}
+
+func TestStatsOrdering(t *testing.T) {
+	m := &Map{Nx: 4, Ny: 1, Demand: []float64{0, 1, 2, 10}}
+	s := m.ComputeStats()
+	if s.Peak != 10 {
+		t.Errorf("Peak = %g", s.Peak)
+	}
+	if math.Abs(s.Avg-3.25) > 1e-12 {
+		t.Errorf("Avg = %g", s.Avg)
+	}
+	if s.P99 < s.P95 || s.Peak < s.P99 {
+		t.Errorf("percentiles out of order: %+v", s)
+	}
+	if s.HotspotFrac != 0.25 { // only the 10 exceeds 2*avg=6.5
+		t.Errorf("HotspotFrac = %g", s.HotspotFrac)
+	}
+}
+
+// Placement quality shows up in congestion: a clustered placement has a
+// hotter map than a spread-out one of the same netlist.
+func TestRUDYDetectsClustering(t *testing.T) {
+	d, err := synth.Generate(synth.Spec{
+		Name: "spread", NumMovable: 400, NumPads: 4, NumNets: 450,
+		AvgDegree: 3.5, Utilization: 0.6, TargetDensity: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, err := RUDY(d, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pile every cell into the corner.
+	for _, c := range d.MovableIndices() {
+		d.X[c], d.Y[c] = d.Region.XL, d.Region.YL
+	}
+	clustered, err := RUDY(d, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clustered.ComputeStats().Peak <= spread.ComputeStats().Peak {
+		t.Error("clustered placement should have higher peak congestion")
+	}
+}

@@ -1,0 +1,133 @@
+// Package core is the top-level facade of the placement library: it wires
+// global placement (internal/placer, with any wirelength model including the
+// paper's Moreau-envelope model), Abacus legalization and detailed placement
+// into the three-stage flow the paper's tables evaluate (GP -> LG -> DP),
+// reporting the LGWL/DPWL/runtime triple of Tables II and III.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/detailed"
+	"repro/internal/legalize"
+	"repro/internal/netlist"
+	"repro/internal/placer"
+	"repro/internal/wirelength"
+)
+
+// FlowConfig controls a full placement flow.
+type FlowConfig struct {
+	// ModelName selects the wirelength model: "LSE", "WA", "BiG_CHKS",
+	// "ME" (the paper's Moreau envelope), or "HPWL".
+	ModelName string
+	// GP overrides the global placement configuration; when the Model
+	// field is nil it is filled in from ModelName.
+	GP placer.Config
+	// UseTetris selects the greedy reference legalizer instead of Abacus
+	// (used for the NTUPlace3-substitute reference column of Table II).
+	UseTetris bool
+	// SkipDetailed stops after legalization.
+	SkipDetailed bool
+	// DP overrides detailed placement options.
+	DP detailed.Options
+	// RoutabilityRounds > 0 enables congestion-driven cell inflation
+	// between global placement rounds (RePlAce-style routability mode).
+	RoutabilityRounds int
+	// Inflate tunes the inflation when RoutabilityRounds > 0.
+	Inflate placer.InflateOptions
+}
+
+// DefaultFlowConfig returns the standard flow for a model name.
+func DefaultFlowConfig(modelName string) FlowConfig {
+	return FlowConfig{ModelName: modelName}
+}
+
+// FlowResult carries the per-stage metrics of one flow run.
+type FlowResult struct {
+	Design string
+	Model  string
+
+	// GPWL, LGWL, DPWL are the exact HPWL after global placement,
+	// legalization, and detailed placement (the table columns).
+	GPWL, LGWL, DPWL float64
+	// Overflow is the final global placement density overflow.
+	Overflow float64
+	// GPIters counts global placement iterations.
+	GPIters int
+	// GPSeconds, LGSeconds, DPSeconds, TotalSeconds are stage runtimes.
+	GPSeconds, LGSeconds, DPSeconds, TotalSeconds float64
+	// Trajectory is the recorded HPWL-vs-overflow curve (Fig. 3) when
+	// GP.RecordEvery was set.
+	Trajectory []placer.TrajectoryPoint
+	// LegalizationOK reports whether the final placement passed the
+	// legality check.
+	LegalizationOK bool
+}
+
+// RunFlow executes global placement, legalization, and detailed placement
+// on d (in place) and returns the stage metrics.
+func RunFlow(d *netlist.Design, cfg FlowConfig) (*FlowResult, error) {
+	start := time.Now()
+	gpCfg := cfg.GP
+	if gpCfg.Model == nil {
+		if cfg.ModelName == "" {
+			return nil, fmt.Errorf("core: flow needs a model (set ModelName or GP.Model)")
+		}
+		m, err := wirelength.ByName(cfg.ModelName)
+		if err != nil {
+			return nil, err
+		}
+		// The zero Config is usable: placer.Place fills numeric defaults.
+		gpCfg.Model = m
+	}
+	res := &FlowResult{Design: d.Name, Model: gpCfg.Model.Name()}
+
+	var gp *placer.Result
+	var err error
+	if cfg.RoutabilityRounds > 0 {
+		gp, _, err = placer.PlaceRoutability(d, gpCfg, cfg.RoutabilityRounds, cfg.Inflate)
+	} else {
+		gp, err = placer.Place(d, gpCfg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: global placement: %w", err)
+	}
+	res.GPWL = gp.HPWL
+	res.Overflow = gp.Overflow
+	res.GPIters = gp.Iterations
+	res.GPSeconds = gp.Seconds
+	res.Trajectory = gp.Trajectory
+
+	lgStart := time.Now()
+	if cfg.UseTetris {
+		lg, err := legalize.Tetris(d)
+		if err != nil {
+			return nil, fmt.Errorf("core: legalization: %w", err)
+		}
+		res.LGWL = lg.HPWL
+	} else {
+		lg, err := legalize.Abacus(d, legalize.Options{SiteAlign: true})
+		if err != nil {
+			return nil, fmt.Errorf("core: legalization: %w", err)
+		}
+		res.LGWL = lg.HPWL
+	}
+	res.LGSeconds = time.Since(lgStart).Seconds()
+
+	if cfg.SkipDetailed {
+		res.DPWL = res.LGWL
+	} else {
+		dpStart := time.Now()
+		dp, err := detailed.Place(d, cfg.DP)
+		if err != nil {
+			return nil, fmt.Errorf("core: detailed placement: %w", err)
+		}
+		res.DPWL = dp.HPWL
+		res.DPSeconds = time.Since(dpStart).Seconds()
+	}
+
+	res.LegalizationOK = legalize.CheckLegal(d) == nil
+	res.TotalSeconds = time.Since(start).Seconds()
+	return res, nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bookshelf"
+	"repro/internal/congestion"
+	"repro/internal/legalize"
+	"repro/internal/metrics"
+	"repro/internal/placer"
+	"repro/internal/synth"
+)
+
+// TestBookshelfRoundTripFlow exercises the full external-format path: a
+// synthetic design is written as Bookshelf, read back, placed end to end,
+// and checked for legality — the workflow a user with the real ISPD files
+// would follow.
+func TestBookshelfRoundTripFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration flow in -short mode")
+	}
+	orig, err := synth.Generate(synth.Spec{
+		Name: "roundtrip", NumMovable: 250, NumPads: 8, NumNets: 280,
+		AvgDegree: 3.6, Utilization: 0.65, TargetDensity: 1, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	aux, err := bookshelf.WriteDesign(orig, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := bookshelf.ReadDesign(aux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultFlowConfig("ME")
+	cfg.GP = placer.Config{MaxIters: 300, StopOverflow: 0.2}
+	res, err := RunFlow(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.LegalizationOK {
+		t.Error("flow on roundtripped design produced illegal placement")
+	}
+	// Write the placed result back out and re-read it: positions survive.
+	outAux, err := bookshelf.WriteDesign(d, filepath.Join(dir, "placed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed, err := bookshelf.ReadDesign(outAux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := legalize.CheckLegal(placed); err != nil {
+		t.Errorf("placed design lost legality through Bookshelf: %v", err)
+	}
+}
+
+// TestFlowReducesOverlapAndCongestion ties the auxiliary metrics together:
+// the flow must eliminate overlap entirely (legal output) and reduce RUDY
+// peak congestion relative to the clustered initial state.
+func TestFlowReducesOverlapAndCongestion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration flow in -short mode")
+	}
+	d, err := synth.Generate(synth.Spec{
+		Name: "metrics", NumMovable: 300, NumPads: 8, NumNets: 330,
+		AvgDegree: 3.6, Utilization: 0.6, TargetDensity: 1, Seed: 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clustered start: everything at the region center.
+	c := d.Region.Center()
+	for _, i := range d.MovableIndices() {
+		d.SetCenter(i, c.X, c.Y)
+	}
+	before, err := congestion.RUDY(d, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlapBefore := metrics.TotalOverlap(d)
+	if overlapBefore <= 0 {
+		t.Fatal("clustered start should overlap")
+	}
+	cfg := DefaultFlowConfig("ME")
+	cfg.GP = placer.Config{MaxIters: 400, StopOverflow: 0.15}
+	if _, err := RunFlow(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if ov := metrics.TotalOverlap(d); ov > 1e-6 {
+		t.Errorf("overlap after flow = %g, want 0", ov)
+	}
+	after, err := congestion.RUDY(d, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.ComputeStats().Peak >= before.ComputeStats().Peak {
+		t.Errorf("peak congestion did not improve: %g -> %g",
+			before.ComputeStats().Peak, after.ComputeStats().Peak)
+	}
+}

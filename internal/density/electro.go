@@ -1,0 +1,180 @@
+package density
+
+import (
+	"math"
+
+	"repro/internal/fft"
+)
+
+// Electro is the spectral Poisson solver of the ePlace electrostatic system.
+// Given the grid's charge density rho (utilization per bin) it solves
+//
+//	laplacian(psi) = -rho   with Neumann boundary conditions,
+//
+// by expanding rho in a 2-D cosine basis (DCT), dividing by w_u^2 + w_v^2,
+// and synthesizing the potential (IDCT) and field components (shifted sine
+// synthesis along the derivative axis). The zero-frequency mode is dropped,
+// which is equivalent to solving with the mean charge removed — physically,
+// the neutralizing background charge of ePlace.
+type Electro struct {
+	g            *Grid
+	planX, planY *fft.CosPlan
+
+	// wu, wv are the spatial frequencies pi*u/W and pi*v/H.
+	wu, wv []float64
+
+	// Rho is the input utilization per bin (filled by SolveFromGrid).
+	Rho []float64
+	// Coeff holds the 2-D DCT of Rho after Solve.
+	Coeff []float64
+	// Psi is the potential, Ex/Ey the field components, all per bin.
+	Psi, Ex, Ey []float64
+
+	rowBuf, colBuf, colBuf2 []float64
+	scaled                  []float64
+}
+
+// NewElectro builds a solver bound to grid g.
+func NewElectro(g *Grid) *Electro {
+	e := &Electro{
+		g:       g,
+		planX:   fft.NewCosPlan(g.Nx),
+		planY:   fft.NewCosPlan(g.Ny),
+		wu:      make([]float64, g.Nx),
+		wv:      make([]float64, g.Ny),
+		Rho:     make([]float64, g.Nx*g.Ny),
+		Coeff:   make([]float64, g.Nx*g.Ny),
+		Psi:     make([]float64, g.Nx*g.Ny),
+		Ex:      make([]float64, g.Nx*g.Ny),
+		Ey:      make([]float64, g.Nx*g.Ny),
+		rowBuf:  make([]float64, g.Nx),
+		colBuf:  make([]float64, g.Ny),
+		colBuf2: make([]float64, g.Ny),
+		scaled:  make([]float64, g.Nx*g.Ny),
+	}
+	for u := 0; u < g.Nx; u++ {
+		e.wu[u] = math.Pi * float64(u) / g.Region.W()
+	}
+	for v := 0; v < g.Ny; v++ {
+		e.wv[v] = math.Pi * float64(v) / g.Region.H()
+	}
+	return e
+}
+
+// dct2DForward computes the per-axis DCT-II of src into dst (both nx*ny).
+func (e *Electro) dct2DForward(dst, src []float64) {
+	nx, ny := e.g.Nx, e.g.Ny
+	// Rows (x axis).
+	for iy := 0; iy < ny; iy++ {
+		row := src[iy*nx : (iy+1)*nx]
+		e.planX.DCT2(dst[iy*nx:(iy+1)*nx], row)
+	}
+	// Columns (y axis).
+	for ix := 0; ix < nx; ix++ {
+		for iy := 0; iy < ny; iy++ {
+			e.colBuf[iy] = dst[iy*nx+ix]
+		}
+		e.planY.DCT2(e.colBuf2, e.colBuf)
+		for iy := 0; iy < ny; iy++ {
+			dst[iy*nx+ix] = e.colBuf2[iy]
+		}
+	}
+}
+
+// synth2D synthesizes dst from 2-D DCT coefficients src, applying transform
+// xT along rows and yT along columns (each either IDCT or IDXST).
+func (e *Electro) synth2D(dst, src []float64, xSine, ySine bool) {
+	nx, ny := e.g.Nx, e.g.Ny
+	// Columns first (y axis).
+	for ix := 0; ix < nx; ix++ {
+		for iy := 0; iy < ny; iy++ {
+			e.colBuf[iy] = src[iy*nx+ix]
+		}
+		if ySine {
+			e.planY.IDXST(e.colBuf2, e.colBuf)
+		} else {
+			e.planY.IDCT(e.colBuf2, e.colBuf)
+		}
+		for iy := 0; iy < ny; iy++ {
+			dst[iy*nx+ix] = e.colBuf2[iy]
+		}
+	}
+	// Rows (x axis).
+	for iy := 0; iy < ny; iy++ {
+		row := dst[iy*nx : (iy+1)*nx]
+		if xSine {
+			copy(e.rowBuf, row)
+			e.planX.IDXST(row, e.rowBuf)
+		} else {
+			e.planX.IDCT(row, row)
+		}
+	}
+}
+
+// SolveFromGrid loads the grid's current total density (movable + fixed),
+// converts it to utilization, and solves for potential and field.
+func (e *Electro) SolveFromGrid() {
+	invBin := 1 / e.g.BinArea()
+	for i := range e.Rho {
+		e.Rho[i] = (e.g.Density[i] + e.g.FixedDensity[i]) * invBin
+	}
+	e.Solve()
+}
+
+// Solve runs the spectral solve on the current contents of Rho.
+func (e *Electro) Solve() {
+	nx, ny := e.g.Nx, e.g.Ny
+	e.dct2DForward(e.Coeff, e.Rho)
+
+	// Potential coefficients: A/(wu^2+wv^2), zero DC.
+	for v := 0; v < ny; v++ {
+		for u := 0; u < nx; u++ {
+			i := v*nx + u
+			if u == 0 && v == 0 {
+				e.scaled[i] = 0
+				continue
+			}
+			e.scaled[i] = e.Coeff[i] / (e.wu[u]*e.wu[u] + e.wv[v]*e.wv[v])
+		}
+	}
+	e.synth2D(e.Psi, e.scaled, false, false)
+
+	// Ex = sum B*wu * sin(wu x) cos(wv y): sine along x.
+	for v := 0; v < ny; v++ {
+		for u := 0; u < nx; u++ {
+			i := v*nx + u
+			if u == 0 && v == 0 {
+				e.scaled[i] = 0
+				continue
+			}
+			e.scaled[i] = e.Coeff[i] * e.wu[u] / (e.wu[u]*e.wu[u] + e.wv[v]*e.wv[v])
+		}
+	}
+	e.synth2D(e.Ex, e.scaled, true, false)
+
+	// Ey: sine along y.
+	for v := 0; v < ny; v++ {
+		for u := 0; u < nx; u++ {
+			i := v*nx + u
+			if u == 0 && v == 0 {
+				e.scaled[i] = 0
+				continue
+			}
+			e.scaled[i] = e.Coeff[i] * e.wv[v] / (e.wu[u]*e.wu[u] + e.wv[v]*e.wv[v])
+		}
+	}
+	e.synth2D(e.Ey, e.scaled, false, true)
+}
+
+// Energy returns the total electrostatic energy sum_b q_b * psi_b over the
+// movable charge, the ePlace density penalty D of Eq. (1).
+func (e *Electro) Energy() float64 {
+	s := 0.0
+	for i, q := range e.g.Density {
+		s += q * e.Psi[i]
+	}
+	return s
+}
+
+// Grid returns the bound grid.
+func (e *Electro) Grid() *Grid { return e.g }

@@ -1,0 +1,269 @@
+// Package detailed implements legality-preserving detailed placement in the
+// style of ABCDPlace's CPU passes: global swap (move each cell toward the
+// median of its nets, swapping with an equal-width cell or sliding into
+// whitespace when profitable) and local reordering (optimal permutation of
+// small windows of consecutive cells in a row). Both passes strictly
+// decrease HPWL or leave the placement unchanged.
+package detailed
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/wirelength"
+)
+
+// Options configures the detailed placer.
+type Options struct {
+	// Passes is the number of (swap + reorder) rounds (default 3).
+	Passes int
+	// WindowSize is the reordering window (default 3, max 5).
+	WindowSize int
+	// SearchRows bounds the vertical swap search (default 3 rows each way).
+	SearchRows int
+	// UseISM additionally runs independent-set matching each pass (the
+	// third ABCDPlace move): exact Hungarian assignment within batches of
+	// net-disjoint equal-width cells.
+	UseISM bool
+	// ISMBatch is the matching batch size (default 8, exact assignment is
+	// O(batch^3)).
+	ISMBatch int
+}
+
+// Result summarizes a detailed placement run.
+type Result struct {
+	// HPWL is the final exact wirelength (DPWL in the paper's tables).
+	HPWL float64
+	// StartHPWL is the wirelength of the input placement.
+	StartHPWL float64
+	// Moves and Swaps count accepted whitespace moves and cell swaps.
+	Moves, Swaps int
+	// Reorders counts accepted window permutations.
+	Reorders int
+	// ISMBatches counts batches improved by independent-set matching.
+	ISMBatches int
+}
+
+// entry is one slot in a row: a standard cell or a blockage interval.
+type entry struct {
+	x, w float64
+	cell int32 // -1 for obstacles
+}
+
+type rowState struct {
+	y      float64
+	xl, xh float64
+	items  []entry // sorted by x
+}
+
+type state struct {
+	d       *netlist.Design
+	rows    []rowState
+	rowOf   map[int32]int // cell -> row index
+	slotOf  map[int32]int // cell -> index into rows[rowOf].items (maintained per pass)
+	nets    []int32       // scratch: affected nets
+	overpos map[int32][2]float64
+}
+
+// Place runs detailed placement on a legal design, preserving legality.
+func Place(d *netlist.Design, opt Options) (*Result, error) {
+	if opt.Passes <= 0 {
+		opt.Passes = 3
+	}
+	if opt.WindowSize <= 0 {
+		opt.WindowSize = 3
+	}
+	if opt.WindowSize > 5 {
+		opt.WindowSize = 5
+	}
+	if opt.SearchRows <= 0 {
+		opt.SearchRows = 3
+	}
+	st, err := buildState(d)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{StartHPWL: wirelength.TotalHPWL(d)}
+	for p := 0; p < opt.Passes; p++ {
+		moves, swaps := st.globalSwapPass(opt.SearchRows)
+		reorders := st.reorderPass(opt.WindowSize)
+		isms := 0
+		if opt.UseISM {
+			isms = st.ismPass(opt.ISMBatch)
+		}
+		res.Moves += moves
+		res.Swaps += swaps
+		res.Reorders += reorders
+		res.ISMBatches += isms
+		if moves+swaps+reorders+isms == 0 {
+			break
+		}
+	}
+	res.HPWL = wirelength.TotalHPWL(d)
+	return res, nil
+}
+
+// buildState indexes the legal placement into per-row occupancy lists.
+func buildState(d *netlist.Design) (*state, error) {
+	if len(d.Rows) == 0 {
+		return nil, fmt.Errorf("detailed: design has no rows")
+	}
+	rows := append([]netlist.Row(nil), d.Rows...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Y < rows[j].Y })
+	st := &state{
+		d:       d,
+		rowOf:   make(map[int32]int),
+		slotOf:  make(map[int32]int),
+		overpos: make(map[int32][2]float64, 4),
+	}
+	st.rows = make([]rowState, len(rows))
+	rowIdx := make(map[float64]int, len(rows))
+	for i, r := range rows {
+		st.rows[i] = rowState{y: r.Y, xl: r.XL, xh: r.XH}
+		rowIdx[r.Y] = i
+	}
+	findRow := func(y float64) (int, bool) {
+		if i, ok := rowIdx[y]; ok {
+			return i, true
+		}
+		for i, r := range st.rows {
+			if math.Abs(r.y-y) < 1e-6 {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+
+	// Obstacles: fixed cells and movable macros.
+	for i, c := range d.Cells {
+		isObstacle := (c.Kind == netlist.Fixed && c.Area() > 0) || c.Kind == netlist.MovableMacro
+		if !isObstacle {
+			continue
+		}
+		r := d.CellRect(i)
+		for ri := range st.rows {
+			rowTop := st.rows[ri].y + rows[ri].Height
+			if r.YL < rowTop && r.YH > st.rows[ri].y {
+				st.rows[ri].items = append(st.rows[ri].items, entry{x: r.XL, w: r.W(), cell: -1})
+			}
+		}
+	}
+	for _, c := range d.MovableIndices() {
+		if d.Cells[c].Kind == netlist.MovableMacro {
+			continue
+		}
+		ri, ok := findRow(d.Y[c])
+		if !ok {
+			return nil, fmt.Errorf("detailed: cell %d not on a row (y=%g); legalize first", c, d.Y[c])
+		}
+		st.rows[ri].items = append(st.rows[ri].items, entry{x: d.X[c], w: d.Cells[c].W, cell: int32(c)})
+		st.rowOf[int32(c)] = ri
+	}
+	for ri := range st.rows {
+		items := st.rows[ri].items
+		sort.Slice(items, func(a, b int) bool { return items[a].x < items[b].x })
+		// Merge overlapping obstacle intervals (fixed blocks may overlap
+		// each other legally); then sanity-check movable cells.
+		merged := items[:0]
+		for _, e := range items {
+			if n := len(merged); n > 0 && e.cell < 0 && merged[n-1].cell < 0 &&
+				merged[n-1].x+merged[n-1].w > e.x {
+				if end := e.x + e.w; end > merged[n-1].x+merged[n-1].w {
+					merged[n-1].w = end - merged[n-1].x
+				}
+				continue
+			}
+			merged = append(merged, e)
+		}
+		st.rows[ri].items = merged
+		items = merged
+		for si, e := range items {
+			if e.cell >= 0 {
+				st.slotOf[e.cell] = si
+			}
+		}
+		for si := 1; si < len(items); si++ {
+			if items[si-1].x+items[si-1].w > items[si].x+1e-6 {
+				return nil, fmt.Errorf("detailed: input row y=%g has overlap at slot %d; legalize first", st.rows[ri].y, si)
+			}
+		}
+	}
+	return st, nil
+}
+
+// hpwlDelta returns the change in total HPWL if the cells in moves were
+// repositioned (negative is an improvement).
+func (st *state) hpwlDelta(cells []int32, newX, newY []float64) float64 {
+	d := st.d
+	for k := range st.overpos {
+		delete(st.overpos, k)
+	}
+	st.nets = st.nets[:0]
+	seen := map[int32]bool{}
+	for i, c := range cells {
+		st.overpos[c] = [2]float64{newX[i], newY[i]}
+		for _, pi := range d.PinsOfCell(int(c)) {
+			e := d.Pins[pi].Net
+			if !seen[e] {
+				seen[e] = true
+				st.nets = append(st.nets, e)
+			}
+		}
+	}
+	delta := 0.0
+	for _, e := range st.nets {
+		pins := d.NetPins(int(e))
+		var oxl, oxh, oyl, oyh float64
+		var nxl, nxh, nyl, nyh float64
+		for i, p := range pins {
+			ox := d.X[p.Cell] + p.Dx
+			oy := d.Y[p.Cell] + p.Dy
+			nx, ny := ox, oy
+			if np, ok := st.overpos[p.Cell]; ok {
+				nx = np[0] + p.Dx
+				ny = np[1] + p.Dy
+			}
+			if i == 0 {
+				oxl, oxh, oyl, oyh = ox, ox, oy, oy
+				nxl, nxh, nyl, nyh = nx, nx, ny, ny
+				continue
+			}
+			oxl = math.Min(oxl, ox)
+			oxh = math.Max(oxh, ox)
+			oyl = math.Min(oyl, oy)
+			oyh = math.Max(oyh, oy)
+			nxl = math.Min(nxl, nx)
+			nxh = math.Max(nxh, nx)
+			nyl = math.Min(nyl, ny)
+			nyh = math.Max(nyh, ny)
+		}
+		w := d.Nets[e].Weight
+		delta += w * ((nxh - nxl + nyh - nyl) - (oxh - oxl + oyh - oyl))
+	}
+	return delta
+}
+
+// optimalPoint returns the median-based optimal region center for cell c:
+// the median of the other pins' coordinates across all its nets.
+func (st *state) optimalPoint(c int32) (float64, float64) {
+	d := st.d
+	var xs, ys []float64
+	for _, pi := range d.PinsOfCell(int(c)) {
+		e := d.Pins[pi].Net
+		for _, p := range d.NetPins(int(e)) {
+			if p.Cell == c {
+				continue
+			}
+			xs = append(xs, d.X[p.Cell]+p.Dx)
+			ys = append(ys, d.Y[p.Cell]+p.Dy)
+		}
+	}
+	if len(xs) == 0 {
+		return d.X[c], d.Y[c]
+	}
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+	return xs[len(xs)/2], ys[len(ys)/2]
+}

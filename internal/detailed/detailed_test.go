@@ -1,0 +1,305 @@
+package detailed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/legalize"
+	"repro/internal/netlist"
+	"repro/internal/placer"
+	"repro/internal/synth"
+	"repro/internal/wirelength"
+)
+
+// legalDesign returns a small design after GP + Abacus legalization.
+func legalDesign(t testing.TB, cells, macros int, seed int64) *netlist.Design {
+	t.Helper()
+	spec := synth.Spec{
+		Name:           "dp-test",
+		NumMovable:     cells,
+		NumMacros:      macros,
+		NumPads:        8,
+		NumFixedBlocks: 2,
+		NumNets:        cells + cells/8,
+		AvgDegree:      3.8,
+		Utilization:    0.6,
+		TargetDensity:  1.0,
+		Seed:           seed,
+	}
+	d, err := synth.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := wirelength.ByName("WA")
+	cfg := placer.DefaultConfig(m)
+	cfg.MaxIters = 250
+	cfg.StopOverflow = 0.18
+	if _, err := placer.Place(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := legalize.Abacus(d, legalize.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDetailedImprovesHPWLAndStaysLegal(t *testing.T) {
+	d := legalDesign(t, 400, 0, 3)
+	res, err := Place(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HPWL > res.StartHPWL {
+		t.Errorf("detailed placement worsened HPWL: %g -> %g", res.StartHPWL, res.HPWL)
+	}
+	if res.Moves+res.Swaps+res.Reorders == 0 {
+		t.Error("no moves accepted at all; suspicious")
+	}
+	if err := legalize.CheckLegal(d); err != nil {
+		t.Fatalf("detailed placement output illegal: %v", err)
+	}
+}
+
+func TestDetailedWithMacros(t *testing.T) {
+	d := legalDesign(t, 300, 2, 4)
+	if _, err := Place(d, Options{Passes: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := legalize.CheckLegal(d); err != nil {
+		t.Fatalf("illegal with macros: %v", err)
+	}
+}
+
+func TestDetailedRequiresLegalInput(t *testing.T) {
+	d := legalDesign(t, 100, 0, 5)
+	mov := d.MovableIndices()
+	d.Y[mov[0]] += 0.37 // knock a cell off its row
+	if _, err := Place(d, Options{}); err == nil {
+		t.Error("off-row input accepted")
+	}
+	d2 := legalDesign(t, 100, 0, 6)
+	d2.Rows = nil
+	if _, err := Place(d2, Options{}); err == nil {
+		t.Error("rowless input accepted")
+	}
+}
+
+func TestDetailedDeterministic(t *testing.T) {
+	d1 := legalDesign(t, 200, 0, 7)
+	d2 := d1.Clone()
+	r1, err := Place(d1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Place(d2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.HPWL != r2.HPWL {
+		t.Errorf("nondeterministic: %g vs %g", r1.HPWL, r2.HPWL)
+	}
+	for i := range d1.X {
+		if d1.X[i] != d2.X[i] || d1.Y[i] != d2.Y[i] {
+			t.Fatalf("positions differ at %d", i)
+		}
+	}
+}
+
+func TestDetailedIdempotentAfterConvergence(t *testing.T) {
+	d := legalDesign(t, 200, 0, 8)
+	if _, err := Place(d, Options{Passes: 6}); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Place(d, Options{Passes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second run on converged output should find little or nothing.
+	if res2.HPWL > res2.StartHPWL {
+		t.Errorf("second run worsened HPWL: %g -> %g", res2.StartHPWL, res2.HPWL)
+	}
+}
+
+func TestPermutations(t *testing.T) {
+	p3 := permutations(3)
+	if len(p3) != 6 {
+		t.Fatalf("3! = %d", len(p3))
+	}
+	// First must be the identity (skipped by the reorder pass).
+	id := p3[0]
+	for i, v := range id {
+		if v != i {
+			t.Fatalf("permutation 0 is %v, want identity", id)
+		}
+	}
+	seen := map[[3]int]bool{}
+	for _, p := range p3 {
+		var k [3]int
+		copy(k[:], p)
+		if seen[k] {
+			t.Fatalf("duplicate permutation %v", p)
+		}
+		seen[k] = true
+	}
+}
+
+func TestWindowSizeBounds(t *testing.T) {
+	d := legalDesign(t, 150, 0, 9)
+	// Window of 5 is the cap; 99 must be clamped, not explode.
+	if _, err := Place(d, Options{WindowSize: 99, Passes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := legalize.CheckLegal(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHpwlDeltaMatchesRecompute(t *testing.T) {
+	d := legalDesign(t, 150, 0, 10)
+	st, err := buildState(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mov := d.MovableIndices()
+	c := int32(mov[3])
+	before := wirelength.TotalHPWL(d)
+	newX, newY := d.X[c]+2.5, d.Y[c]
+	delta := st.hpwlDelta([]int32{c}, []float64{newX}, []float64{newY})
+	oldX := d.X[c]
+	d.X[c] = newX
+	after := wirelength.TotalHPWL(d)
+	d.X[c] = oldX
+	if diff := (after - before) - delta; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("hpwlDelta %g != recompute %g", delta, after-before)
+	}
+}
+
+func TestHungarianKnownMatrices(t *testing.T) {
+	// Classic 3x3: optimal assignment (0->1, 1->0, 2->2) with cost 5.
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	perm := hungarian(cost)
+	total := 0.0
+	for i, j := range perm {
+		total += cost[i][j]
+	}
+	if total != 5 {
+		t.Errorf("assignment cost = %g, want 5 (perm %v)", total, perm)
+	}
+	// Permutation must be a bijection.
+	seen := map[int]bool{}
+	for _, j := range perm {
+		if seen[j] {
+			t.Fatalf("column %d assigned twice", j)
+		}
+		seen[j] = true
+	}
+	if len(hungarian(nil)) != 0 {
+		t.Error("empty matrix should yield empty assignment")
+	}
+}
+
+func TestHungarianMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for iter := 0; iter < 50; iter++ {
+		n := 2 + rng.Intn(5)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = rng.NormFloat64() * 10
+			}
+		}
+		perm := hungarian(cost)
+		got := 0.0
+		for i, j := range perm {
+			got += cost[i][j]
+		}
+		// Brute force over all permutations.
+		best := math.Inf(1)
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		var rec func(k int, cur float64, used []bool)
+		used := make([]bool, n)
+		rec = func(k int, cur float64, used []bool) {
+			if k == n {
+				if cur < best {
+					best = cur
+				}
+				return
+			}
+			for j := 0; j < n; j++ {
+				if !used[j] {
+					used[j] = true
+					rec(k+1, cur+cost[k][j], used)
+					used[j] = false
+				}
+			}
+		}
+		rec(0, 0, used)
+		if math.Abs(got-best) > 1e-9 {
+			t.Fatalf("hungarian cost %g != brute force %g (n=%d)", got, best, n)
+		}
+	}
+}
+
+func TestDetailedWithISM(t *testing.T) {
+	d := legalDesign(t, 400, 0, 13)
+	res, err := Place(d, Options{UseISM: true, Passes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HPWL > res.StartHPWL {
+		t.Errorf("ISM run worsened HPWL: %g -> %g", res.StartHPWL, res.HPWL)
+	}
+	if err := legalize.CheckLegal(d); err != nil {
+		t.Fatalf("ISM output illegal: %v", err)
+	}
+}
+
+func TestISMBeatsOrMatchesSwapOnly(t *testing.T) {
+	d1 := legalDesign(t, 500, 0, 14)
+	d2 := d1.Clone()
+	plain, err := Place(d1, Options{Passes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ism, err := Place(d2, Options{Passes: 3, UseISM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ISM adds an exact move; it should never end up meaningfully worse.
+	if ism.HPWL > plain.HPWL*1.001 {
+		t.Errorf("ISM HPWL %g worse than swap-only %g", ism.HPWL, plain.HPWL)
+	}
+}
+
+func BenchmarkDetailedPasses(b *testing.B) {
+	base := legalDesign(b, 800, 0, 15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := base.Clone()
+		if _, err := Place(d, Options{Passes: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetailedISM(b *testing.B) {
+	base := legalDesign(b, 800, 0, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := base.Clone()
+		if _, err := Place(d, Options{Passes: 2, UseISM: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

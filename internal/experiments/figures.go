@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+	"repro/internal/wirelength"
+)
+
+// Fig1a regenerates the non-convexity study of Fig. 1(a): the WA model on a
+// 3-pin net x = (0, x, 100) for several gamma values, plus the Moreau
+// envelope at a comparable smoothing for contrast (convex by construction).
+// Returns the curves and the gamma values for which a convexity violation
+// was detected.
+func Fig1a(w io.Writer) ([]metrics.Series, []float64) {
+	gammas := []float64{5, 10, 20, 40}
+	var series []metrics.Series
+	var nonConvex []float64
+	for _, g := range gammas {
+		s := metrics.Series{Name: fmt.Sprintf("WA(gamma=%g)", g)}
+		for x := 0.0; x <= 100; x += 1 {
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, wirelength.NetWA([]float64{0, x, 100}, g, nil))
+		}
+		series = append(series, s)
+		if hasConvexityViolation(s.Y) {
+			nonConvex = append(nonConvex, g)
+		}
+	}
+	me := metrics.Series{Name: "ME(t=10)"}
+	for x := 0.0; x <= 100; x += 1 {
+		me.X = append(me.X, x)
+		me.Y = append(me.Y, wirelength.NetMoreau([]float64{0, x, 100}, 10, nil))
+	}
+	series = append(series, me)
+	fmt.Fprint(w, metrics.RenderSeries(
+		"Fig. 1(a)  WA wirelength of the 3-pin net (0, x, 100): non-convex in x; ME shown for contrast",
+		"x", "approx_dx", series))
+	fmt.Fprintf(w, "\n# WA convexity violations detected at gamma = %v; ME violations: %v\n",
+		nonConvex, hasConvexityViolation(me.Y))
+	return series, nonConvex
+}
+
+// hasConvexityViolation checks midpoint convexity on a uniformly sampled
+// curve.
+func hasConvexityViolation(y []float64) bool {
+	for i := 1; i+1 < len(y); i++ {
+		if y[i] > (y[i-1]+y[i+1])/2+1e-9 {
+			return true
+		}
+	}
+	return false
+}
+
+// Fig1bPoint is one sample of the approximation-error study.
+type Fig1bPoint struct {
+	Param        float64
+	LSE, WA, ME  float64 // mean |approx - 200| over the random nets
+	MEPlusOffset float64 // ME with the paper's +t reporting offset
+	SamplesPerPt int
+}
+
+// Fig1b regenerates the approximation-error study of Fig. 1(b): 4-pin nets
+// with fixed span dx = 200 (ends pinned, two interior pins uniform), 3000
+// samples per smoothing-parameter value, mean absolute error of LSE, WA and
+// the Moreau envelope against the true span.
+func Fig1b(w io.Writer, samples int, seed int64) []Fig1bPoint {
+	if samples <= 0 {
+		samples = 3000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const span = 200.0
+	params := []float64{0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000}
+	nets := make([][]float64, samples)
+	for i := range nets {
+		nets[i] = []float64{0, span, rng.Float64() * span, rng.Float64() * span}
+	}
+	var pts []Fig1bPoint
+	for _, p := range params {
+		var eLSE, eWA, eME, eMEo float64
+		for _, x := range nets {
+			eLSE += math.Abs(wirelength.NetLSE(x, p, nil) - span)
+			eWA += math.Abs(wirelength.NetWA(x, p, nil) - span)
+			me := wirelength.NetMoreau(x, p, nil) // envelope + t
+			eME += math.Abs((me - p) - span)      // raw envelope error
+			eMEo += math.Abs(me - span)
+		}
+		n := float64(samples)
+		pts = append(pts, Fig1bPoint{
+			Param: p, LSE: eLSE / n, WA: eWA / n, ME: eME / n,
+			MEPlusOffset: eMEo / n, SamplesPerPt: samples,
+		})
+	}
+	series := Fig1bSeries(pts)
+	fmt.Fprint(w, metrics.RenderSeries(
+		fmt.Sprintf("Fig. 1(b)  Mean approximation error, 4-pin nets, dx=200, %d samples per point", samples),
+		"param", "mean_abs_err", series))
+	return pts
+}
+
+// Fig1bSeries converts the approximation-error points into plottable
+// series (LSE, WA, raw envelope, and the paper's ME+t model).
+func Fig1bSeries(pts []Fig1bPoint) []metrics.Series {
+	series := []metrics.Series{{Name: "LSE"}, {Name: "WA"}, {Name: "ME"}, {Name: "ME+t"}}
+	for _, pt := range pts {
+		series[0].X = append(series[0].X, pt.Param)
+		series[0].Y = append(series[0].Y, pt.LSE)
+		series[1].X = append(series[1].X, pt.Param)
+		series[1].Y = append(series[1].Y, pt.WA)
+		series[2].X = append(series[2].X, pt.Param)
+		series[2].Y = append(series[2].Y, pt.ME)
+		series[3].X = append(series[3].X, pt.Param)
+		series[3].Y = append(series[3].Y, pt.MEPlusOffset)
+	}
+	return series
+}
+
+// FigureBlock is one labelled sub-figure (Fig. 3 has two).
+type FigureBlock struct {
+	Label  string
+	Series []metrics.Series
+}
+
+// Fig3 regenerates the wirelength-vs-overflow trajectories of Fig. 3 for a
+// newblue1-like case (a) and an ispd19_test10-like case (b), comparing WA
+// and the Moreau model during global placement.
+func Fig3(w io.Writer, o Options) ([]FigureBlock, error) {
+	o = o.withDefaults()
+	cases := []struct {
+		label string
+		spec  synth.Spec
+	}{
+		{"Fig3a-newblue1-like", synth.SpecFromContest(synth.ISPD2006[1], o.Scale2006)},
+		{"Fig3b-ispd19_test10-like", synth.SpecFromContest(synth.ISPD2019[9], o.Scale2019)},
+	}
+	var blocks []FigureBlock
+	for _, c := range cases {
+		d, err := synth.Generate(c.spec)
+		if err != nil {
+			return nil, err
+		}
+		var series []metrics.Series
+		for _, model := range []string{"WA", "ME"} {
+			cfg := o.flowConfig(model)
+			cfg.GP.RecordEvery = 5
+			cfg.SkipDetailed = true
+			res, err := core.RunFlow(d.Clone(), cfg)
+			if err != nil {
+				return nil, err
+			}
+			s := metrics.Series{Name: model}
+			for _, p := range res.Trajectory {
+				s.X = append(s.X, p.Overflow)
+				s.Y = append(s.Y, p.HPWL)
+			}
+			series = append(series, s)
+			o.progressf("  %s %s: GPWL=%.4g overflow=%.3f\n", c.label, model, res.GPWL, res.Overflow)
+		}
+		fmt.Fprint(w, metrics.RenderSeries(
+			c.label+"  HPWL vs density overflow during global placement",
+			"overflow", "hpwl", series))
+		fmt.Fprintln(w)
+		blocks = append(blocks, FigureBlock{Label: c.label, Series: series})
+	}
+	return blocks, nil
+}
+
+// StabilityStudy prints the Section II-D(1) numerical-stability table: the
+// naive exponential kernels overflow for small gamma at realistic spreads
+// while the stabilized kernels and the Moreau envelope stay finite.
+func StabilityStudy(w io.Writer) {
+	x := []float64{0, 350, 700, 1000}
+	fmt.Fprintln(w, "Numerical stability at spread dx=1000 (finite = ok, NaN/Inf = overflow)")
+	fmt.Fprintf(w, "%-10s %-14s %-14s %-14s %-14s %-14s\n", "gamma", "LSE(naive)", "WA(naive)", "LSE", "WA", "ME")
+	show := func(v float64) string {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return "OVERFLOW"
+		}
+		return fmt.Sprintf("%.2f", v)
+	}
+	for _, g := range []float64{100, 10, 1, 0.1} {
+		fmt.Fprintf(w, "%-10g %-14s %-14s %-14s %-14s %-14s\n", g,
+			show(wirelength.NetLSENaive(x, g, nil)),
+			show(wirelength.NetWANaive(x, g, nil)),
+			show(wirelength.NetLSE(x, g, nil)),
+			show(wirelength.NetWA(x, g, nil)),
+			show(wirelength.NetMoreau(x, g, nil)))
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// SeedStats summarizes DPWL across seeds for one model.
+type SeedStats struct {
+	Model               string
+	Mean, Std           float64
+	Min, Max            float64
+	PerSeed             []float64
+	MeanImprovementVsWA float64 // filled for non-WA models
+}
+
+// SeedStudy quantifies run-to-run noise: it places the newblue1-like design
+// with WA and ME across several seeds and reports mean/std DPWL per model
+// plus ME's mean improvement. The paper reports single-seed numbers; this
+// study shows whether the reproduction's model gaps exceed seed noise.
+func SeedStudy(w io.Writer, o Options, seeds []int64) ([]SeedStats, error) {
+	o = o.withDefaults()
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2, 3, 4, 5}
+	}
+	spec := synth.SpecFromContest(synth.ISPD2006[1], o.Scale2006)
+	d, err := synth.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	models := []string{"WA", "ME"}
+	results := map[string][]float64{}
+	for _, model := range models {
+		for _, seed := range seeds {
+			cfg := o.flowConfig(model)
+			cfg.GP.Seed = seed
+			res, err := core.RunFlow(d.Clone(), cfg)
+			if err != nil {
+				return nil, fmt.Errorf("seed study %s seed %d: %w", model, seed, err)
+			}
+			results[model] = append(results[model], res.DPWL)
+			o.progressf("  seed study %-3s seed=%-3d DPWL=%.5g\n", model, seed, res.DPWL)
+		}
+	}
+	var out []SeedStats
+	var waMean float64
+	for _, model := range models {
+		vals := results[model]
+		s := SeedStats{Model: model, PerSeed: vals, Min: math.Inf(1), Max: math.Inf(-1)}
+		for _, v := range vals {
+			s.Mean += v
+			s.Min = math.Min(s.Min, v)
+			s.Max = math.Max(s.Max, v)
+		}
+		s.Mean /= float64(len(vals))
+		for _, v := range vals {
+			s.Std += (v - s.Mean) * (v - s.Mean)
+		}
+		s.Std = math.Sqrt(s.Std / float64(len(vals)))
+		if model == "WA" {
+			waMean = s.Mean
+		} else if waMean > 0 {
+			s.MeanImprovementVsWA = (waMean - s.Mean) / waMean
+		}
+		out = append(out, s)
+	}
+	fmt.Fprintf(w, "Seed study on %s (%d seeds)\n", spec.Name, len(seeds))
+	fmt.Fprintf(w, "%-6s %-12s %-10s %-12s %-12s %s\n", "model", "meanDPWL", "std", "min", "max", "improvement vs WA")
+	for _, s := range out {
+		imp := ""
+		if s.Model != "WA" {
+			imp = fmt.Sprintf("%+.2f%%", 100*s.MeanImprovementVsWA)
+		}
+		fmt.Fprintf(w, "%-6s %-12.5g %-10.3g %-12.5g %-12.5g %s\n", s.Model, s.Mean, s.Std, s.Min, s.Max, imp)
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/synth"
+	"repro/internal/wirelength"
+)
+
+// Table1 prints the benchmark statistics table: the paper's published
+// contest numbers next to the generated synthetic mirrors at the configured
+// scale.
+func Table1(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	fmt.Fprintln(w, "TABLE I  Benchmark statistics: contest (paper) vs synthetic mirror (generated)")
+	fmt.Fprintf(w, "%-15s %10s %8s %9s %10s | %10s %8s %9s %10s %7s\n",
+		"Benchmark", "#Movable", "#Fixed", "#Nets", "#Pins",
+		"gen.Mov", "gen.Fix", "gen.Nets", "gen.Pins", "util")
+	print := func(suite []synth.ContestDesign, scale float64) error {
+		for _, cd := range suite {
+			spec := synth.SpecFromContest(cd, scale)
+			d, err := synth.Generate(spec)
+			if err != nil {
+				return err
+			}
+			s := d.ComputeStats()
+			fmt.Fprintf(w, "%-15s %10d %8d %9d %10d | %10d %8d %9d %10d %7.2f\n",
+				cd.Name, cd.Movable, cd.Fixed, cd.Nets, cd.Pins,
+				s.NumMovable, s.NumFixed, s.NumNets, s.NumPins, s.Utilization)
+		}
+		return nil
+	}
+	if err := print(synth.ISPD2006, o.Scale2006); err != nil {
+		return err
+	}
+	if err := print(synth.ISPD2019, o.Scale2019); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(scales: ISPD2006 x%.4g, ISPD2019 x%.4g — see DESIGN.md)\n", o.Scale2006, o.Scale2019)
+	return nil
+}
+
+// Table2 regenerates the ISPD2006 comparison (Table II): the reference
+// Tetris flow (NTUPlace3-substitute column), BiG(CHKS), LSE, WA, and the
+// Moreau-envelope model, each through GP + legalization + detailed
+// placement, with the Avg. Ratio row normalized to ours.
+func Table2(w io.Writer, o Options) (*metrics.Table, error) {
+	o = o.withDefaults()
+	models := append([]string{RefTetris}, wirelength.AllModelNames()...)
+	tbl, err := RunSuite(
+		"TABLE II  HPWL and runtime on the ISPD2006-like suite (REF_T = Tetris reference flow, substitute for the NTUPlace3 column)",
+		synth.Suite2006WithScale(o.Scale2006), models, o)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprint(w, tbl.Render())
+	return tbl, nil
+}
+
+// Table3 regenerates the ISPD2019 comparison (Table III): BiG(CHKS), LSE,
+// WA, and ours.
+func Table3(w io.Writer, o Options) (*metrics.Table, error) {
+	o = o.withDefaults()
+	tbl, err := RunSuite(
+		"TABLE III  HPWL and runtime on the ISPD2019-like suite",
+		synth.Suite2019WithScale(o.Scale2019), wirelength.AllModelNames(), o)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprint(w, tbl.Render())
+	return tbl, nil
+}

@@ -1,0 +1,220 @@
+// Package fft provides the spectral transforms needed by the electrostatic
+// placement engine: an iterative radix-2 complex FFT, the DCT-II/DCT-III
+// pair used for Neumann-boundary Poisson analysis/synthesis, and the shifted
+// sine synthesis (IDXST) used to evaluate the electric field from cosine
+// potential coefficients.
+//
+// All lengths must be powers of two. Transforms are deterministic and
+// allocation-free after plan construction.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Plan caches twiddle factors and the bit-reversal permutation for complex
+// FFTs of one fixed power-of-two length.
+type Plan struct {
+	n      int
+	rev    []int
+	cosTab []float64 // cos(2*pi*k/n) for k < n/2
+	sinTab []float64 // sin(2*pi*k/n) for k < n/2
+}
+
+// NewPlan creates an FFT plan for length n (a power of two, n >= 1).
+func NewPlan(n int) *Plan {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("fft: length %d is not a positive power of two", n))
+	}
+	p := &Plan{n: n}
+	p.rev = make([]int, n)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		p.rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
+	}
+	p.cosTab = make([]float64, n/2)
+	p.sinTab = make([]float64, n/2)
+	for k := 0; k < n/2; k++ {
+		ang := 2 * math.Pi * float64(k) / float64(n)
+		p.cosTab[k] = math.Cos(ang)
+		p.sinTab[k] = math.Sin(ang)
+	}
+	return p
+}
+
+// N returns the plan length.
+func (p *Plan) N() int { return p.n }
+
+// Transform computes the in-place complex DFT of (re, im):
+//
+//	X_k = sum_n x_n * exp(-2*pi*i*k*n/N)   (forward)
+//
+// With inverse=true it computes the unscaled inverse DFT (conjugate
+// exponent); callers divide by N to invert a forward transform.
+func (p *Plan) Transform(re, im []float64, inverse bool) {
+	n := p.n
+	if len(re) != n || len(im) != n {
+		panic("fft: slice length does not match plan")
+	}
+	// Bit-reversal permutation.
+	for i, j := range p.rev {
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			k := 0
+			for j := start; j < start+half; j++ {
+				c := p.cosTab[k]
+				s := p.sinTab[k]
+				if !inverse {
+					s = -s
+				}
+				l := j + half
+				tre := re[l]*c - im[l]*s
+				tim := re[l]*s + im[l]*c
+				re[l] = re[j] - tre
+				im[l] = im[j] - tim
+				re[j] += tre
+				im[j] += tim
+				k += step
+			}
+		}
+	}
+}
+
+// CosPlan bundles the FFT plan and scratch needed by the real cosine/sine
+// transforms of one length.
+type CosPlan struct {
+	fft      *Plan
+	wre, wim []float64 // length-n scratch for the packed FFT
+	cosQ     []float64 // cos(pi*k/(2n))
+	sinQ     []float64 // sin(pi*k/(2n))
+}
+
+// NewCosPlan creates the cosine/sine transform plan for length n (power of
+// two).
+func NewCosPlan(n int) *CosPlan {
+	cp := &CosPlan{
+		fft:  NewPlan(n),
+		wre:  make([]float64, n),
+		wim:  make([]float64, n),
+		cosQ: make([]float64, n),
+		sinQ: make([]float64, n),
+	}
+	for k := 0; k < n; k++ {
+		ang := math.Pi * float64(k) / float64(2*n)
+		cp.cosQ[k] = math.Cos(ang)
+		cp.sinQ[k] = math.Sin(ang)
+	}
+	return cp
+}
+
+// N returns the plan length.
+func (cp *CosPlan) N() int { return cp.fft.n }
+
+// DCT2 computes the (unnormalized) type-II discrete cosine transform
+//
+//	X_k = sum_{m=0}^{N-1} x_m * cos(pi*k*(2m+1)/(2N)),
+//
+// writing the result into dst (dst and src may alias). It uses Makhoul's
+// even permutation so one length-N complex FFT suffices.
+func (cp *CosPlan) DCT2(dst, src []float64) {
+	n := cp.fft.n
+	if len(src) != n || len(dst) != n {
+		panic("fft: DCT2 length mismatch")
+	}
+	// v[m] = x[2m], v[N-1-m] = x[2m+1]
+	for m := 0; m < (n+1)/2; m++ {
+		cp.wre[m] = src[2*m]
+	}
+	for m := 0; 2*m+1 < n; m++ {
+		cp.wre[n-1-m] = src[2*m+1]
+	}
+	for i := range cp.wim {
+		cp.wim[i] = 0
+	}
+	cp.fft.Transform(cp.wre, cp.wim, false)
+	// X_k = Re( e^{-i*pi*k/(2N)} * V_k )
+	for k := 0; k < n; k++ {
+		dst[k] = cp.cosQ[k]*cp.wre[k] + cp.sinQ[k]*cp.wim[k]
+	}
+}
+
+// IDCT synthesizes samples from type-II DCT coefficients with the standard
+// normalization, inverting DCT2 exactly:
+//
+//	x_m = A_0/N + (2/N) * sum_{k=1}^{N-1} A_k * cos(pi*k*(2m+1)/(2N)).
+//
+// dst and src may alias.
+func (cp *CosPlan) IDCT(dst, src []float64) {
+	n := cp.fft.n
+	if len(src) != n || len(dst) != n {
+		panic("fft: IDCT length mismatch")
+	}
+	// Conjugate-symmetry construction: V_k = e^{+i*pi*k/(2N)} *
+	// (A_k - i*A_{N-k}) with A_N := 0, then (1/N)*IFFT(V) recovers the
+	// even permutation of x.
+	invN := 1 / float64(n)
+	cp.wre[0] = src[0] * invN
+	cp.wim[0] = 0
+	for k := 1; k < n; k++ {
+		a := src[k]
+		b := src[n-k]
+		cp.wre[k] = (a*cp.cosQ[k] + b*cp.sinQ[k]) * invN
+		cp.wim[k] = (a*cp.sinQ[k] - b*cp.cosQ[k]) * invN
+	}
+	cp.fft.Transform(cp.wre, cp.wim, true)
+	for m := 0; m < (n+1)/2; m++ {
+		dst[2*m] = cp.wre[m]
+	}
+	for m := 0; 2*m+1 < n; m++ {
+		dst[2*m+1] = cp.wre[n-1-m]
+	}
+}
+
+// IDXST synthesizes the shifted sine series
+//
+//	s_m = (2/N) * sum_{k=1}^{N-1} B_k * sin(pi*k*(2m+1)/(2N)),
+//
+// the transform DREAMPlace calls IDXST, used to evaluate electric fields
+// from cosine potential coefficients (B_0 is ignored). It reduces to an
+// IDCT through the identity sin(w_k*(m+1/2)) = (-1)^m * cos(w_{N-k}*(m+1/2)).
+// dst and src must not alias.
+func (cp *CosPlan) IDXST(dst, src []float64) {
+	n := cp.fft.n
+	if len(src) != n || len(dst) != n {
+		panic("fft: IDXST length mismatch")
+	}
+	if &dst[0] == &src[0] {
+		panic("fft: IDXST dst must not alias src")
+	}
+	// c_j = B_{N-j} for j >= 1; c_0 = 0. The IDCT constant term uses
+	// A_0/N (not 2/N), so zeroing c_0 matches the 2/N sine normalization.
+	dst[0] = 0
+	for j := 1; j < n; j++ {
+		dst[j] = src[n-j]
+	}
+	cp.IDCT(dst, dst)
+	for m := 1; m < n; m += 2 {
+		dst[m] = -dst[m]
+	}
+}
+
+// naiveDCT2 is the O(N^2) reference used by tests.
+func naiveDCT2(dst, src []float64) {
+	n := len(src)
+	for k := 0; k < n; k++ {
+		s := 0.0
+		for m := 0; m < n; m++ {
+			s += src[m] * math.Cos(math.Pi*float64(k)*(2*float64(m)+1)/(2*float64(n)))
+		}
+		dst[k] = s
+	}
+}

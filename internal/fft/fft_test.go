@@ -1,0 +1,283 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveDFT is the O(N^2) reference DFT.
+func naiveDFT(re, im []float64, inverse bool) ([]float64, []float64) {
+	n := len(re)
+	or := make([]float64, n)
+	oi := make([]float64, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		for m := 0; m < n; m++ {
+			ang := sign * 2 * math.Pi * float64(k) * float64(m) / float64(n)
+			c, s := math.Cos(ang), math.Sin(ang)
+			or[k] += re[m]*c - im[m]*s
+			oi[k] += re[m]*s + im[m]*c
+		}
+	}
+	return or, oi
+}
+
+func randSlice(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		re := randSlice(rng, n)
+		im := randSlice(rng, n)
+		wantRe, wantIm := naiveDFT(re, im, false)
+		p := NewPlan(n)
+		gotRe := append([]float64(nil), re...)
+		gotIm := append([]float64(nil), im...)
+		p.Transform(gotRe, gotIm, false)
+		for i := 0; i < n; i++ {
+			if math.Abs(gotRe[i]-wantRe[i]) > 1e-9*(1+math.Abs(wantRe[i])) ||
+				math.Abs(gotIm[i]-wantIm[i]) > 1e-9*(1+math.Abs(wantIm[i])) {
+				t.Fatalf("n=%d k=%d: FFT (%g,%g) vs DFT (%g,%g)", n, i, gotRe[i], gotIm[i], wantRe[i], wantIm[i])
+			}
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 8, 128, 512} {
+		re := randSlice(rng, n)
+		im := randSlice(rng, n)
+		origRe := append([]float64(nil), re...)
+		origIm := append([]float64(nil), im...)
+		p := NewPlan(n)
+		p.Transform(re, im, false)
+		p.Transform(re, im, true)
+		for i := 0; i < n; i++ {
+			if math.Abs(re[i]/float64(n)-origRe[i]) > 1e-10 ||
+				math.Abs(im[i]/float64(n)-origIm[i]) > 1e-10 {
+				t.Fatalf("n=%d: roundtrip mismatch at %d", n, i)
+			}
+		}
+	}
+}
+
+// Parseval: sum |x|^2 == (1/N) sum |X|^2.
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 256
+	re := randSlice(rng, n)
+	im := randSlice(rng, n)
+	var timeE float64
+	for i := range re {
+		timeE += re[i]*re[i] + im[i]*im[i]
+	}
+	p := NewPlan(n)
+	p.Transform(re, im, false)
+	var freqE float64
+	for i := range re {
+		freqE += re[i]*re[i] + im[i]*im[i]
+	}
+	if math.Abs(timeE-freqE/float64(n)) > 1e-8*timeE {
+		t.Errorf("Parseval violated: %g vs %g", timeE, freqE/float64(n))
+	}
+}
+
+func TestNewPlanRejectsBadLengths(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 6, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPlan(%d) did not panic", n)
+				}
+			}()
+			NewPlan(n)
+		}()
+	}
+}
+
+func TestDCT2MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 4, 16, 128} {
+		src := randSlice(rng, n)
+		want := make([]float64, n)
+		naiveDCT2(want, src)
+		cp := NewCosPlan(n)
+		got := make([]float64, n)
+		cp.DCT2(got, src)
+		for k := 0; k < n; k++ {
+			if math.Abs(got[k]-want[k]) > 1e-9*(1+math.Abs(want[k])) {
+				t.Fatalf("n=%d k=%d: DCT2 %g vs naive %g", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestDCTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 8, 64, 512} {
+		src := randSlice(rng, n)
+		cp := NewCosPlan(n)
+		coeff := make([]float64, n)
+		back := make([]float64, n)
+		cp.DCT2(coeff, src)
+		cp.IDCT(back, coeff)
+		for i := 0; i < n; i++ {
+			if math.Abs(back[i]-src[i]) > 1e-9 {
+				t.Fatalf("n=%d: IDCT(DCT2(x))[%d] = %g, want %g", n, i, back[i], src[i])
+			}
+		}
+	}
+}
+
+func TestDCT2InPlaceAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 64
+	src := randSlice(rng, n)
+	cp := NewCosPlan(n)
+	want := make([]float64, n)
+	cp.DCT2(want, src)
+	inPlace := append([]float64(nil), src...)
+	cp.DCT2(inPlace, inPlace)
+	for k := range want {
+		if inPlace[k] != want[k] {
+			t.Fatalf("aliased DCT2 differs at %d", k)
+		}
+	}
+}
+
+// naiveIDCT implements x_m = A_0/N + (2/N) sum A_k cos(pi k (2m+1)/(2N)).
+func naiveIDCT(dst, src []float64) {
+	n := len(src)
+	for m := 0; m < n; m++ {
+		s := src[0] / float64(n)
+		for k := 1; k < n; k++ {
+			s += 2 / float64(n) * src[k] * math.Cos(math.Pi*float64(k)*(2*float64(m)+1)/(2*float64(n)))
+		}
+		dst[m] = s
+	}
+}
+
+func TestIDCTMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 4, 32, 128} {
+		src := randSlice(rng, n)
+		want := make([]float64, n)
+		naiveIDCT(want, src)
+		cp := NewCosPlan(n)
+		got := make([]float64, n)
+		cp.IDCT(got, src)
+		for m := 0; m < n; m++ {
+			if math.Abs(got[m]-want[m]) > 1e-9*(1+math.Abs(want[m])) {
+				t.Fatalf("n=%d m=%d: IDCT %g vs naive %g", n, m, got[m], want[m])
+			}
+		}
+	}
+}
+
+// naiveIDXST implements s_m = (2/N) sum_{k>=1} B_k sin(pi k (2m+1)/(2N)).
+func naiveIDXST(dst, src []float64) {
+	n := len(src)
+	for m := 0; m < n; m++ {
+		s := 0.0
+		for k := 1; k < n; k++ {
+			s += 2 / float64(n) * src[k] * math.Sin(math.Pi*float64(k)*(2*float64(m)+1)/(2*float64(n)))
+		}
+		dst[m] = s
+	}
+}
+
+func TestIDXSTMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{2, 4, 32, 256} {
+		src := randSlice(rng, n)
+		want := make([]float64, n)
+		naiveIDXST(want, src)
+		cp := NewCosPlan(n)
+		got := make([]float64, n)
+		cp.IDXST(got, src)
+		for m := 0; m < n; m++ {
+			if math.Abs(got[m]-want[m]) > 1e-9*(1+math.Abs(want[m])) {
+				t.Fatalf("n=%d m=%d: IDXST %g vs naive %g", n, m, got[m], want[m])
+			}
+		}
+	}
+}
+
+// IDXST must ignore B_0 entirely.
+func TestIDXSTIgnoresDC(t *testing.T) {
+	n := 32
+	rng := rand.New(rand.NewSource(9))
+	src := randSlice(rng, n)
+	cp := NewCosPlan(n)
+	a := make([]float64, n)
+	b := make([]float64, n)
+	cp.IDXST(a, src)
+	src[0] = 12345
+	cp.IDXST(b, src)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("IDXST depends on B_0 at %d", i)
+		}
+	}
+}
+
+// A pure cosine mode must produce exactly one DCT coefficient.
+func TestDCT2PureMode(t *testing.T) {
+	n := 64
+	k0 := 5
+	src := make([]float64, n)
+	for m := range src {
+		src[m] = math.Cos(math.Pi * float64(k0) * (2*float64(m) + 1) / (2 * float64(n)))
+	}
+	cp := NewCosPlan(n)
+	coeff := make([]float64, n)
+	cp.DCT2(coeff, src)
+	for k := range coeff {
+		want := 0.0
+		if k == k0 {
+			want = float64(n) / 2
+		}
+		if math.Abs(coeff[k]-want) > 1e-9 {
+			t.Fatalf("coeff[%d] = %g, want %g", k, coeff[k], want)
+		}
+	}
+}
+
+func BenchmarkFFT256(b *testing.B) {
+	p := NewPlan(256)
+	re := make([]float64, 256)
+	im := make([]float64, 256)
+	for i := range re {
+		re[i] = float64(i % 7)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Transform(re, im, i%2 == 1)
+	}
+}
+
+func BenchmarkDCT2_256(b *testing.B) {
+	cp := NewCosPlan(256)
+	src := make([]float64, 256)
+	dst := make([]float64, 256)
+	for i := range src {
+		src[i] = float64(i % 13)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp.DCT2(dst, src)
+	}
+}

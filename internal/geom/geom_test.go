@@ -1,0 +1,198 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -4}
+	if got := p.Add(q); got != (Point{4, -2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestPointDistances(t *testing.T) {
+	p := Point{0, 0}
+	q := Point{3, 4}
+	if d := p.Dist(q); math.Abs(d-5) > 1e-12 {
+		t.Errorf("Dist = %g, want 5", d)
+	}
+	if d := p.ManhattanDist(q); math.Abs(d-7) > 1e-12 {
+		t.Errorf("ManhattanDist = %g, want 7", d)
+	}
+}
+
+func TestNewRectNormalizesCorners(t *testing.T) {
+	r := NewRect(5, 7, 1, 2)
+	want := Rect{1, 2, 5, 7}
+	if r != want {
+		t.Errorf("NewRect = %v, want %v", r, want)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{0, 0, 4, 2}
+	if r.W() != 4 || r.H() != 2 {
+		t.Errorf("W/H = %g/%g", r.W(), r.H())
+	}
+	if r.Area() != 8 {
+		t.Errorf("Area = %g", r.Area())
+	}
+	if r.Empty() {
+		t.Error("Empty = true for non-empty rect")
+	}
+	if c := r.Center(); c != (Point{2, 1}) {
+		t.Errorf("Center = %v", c)
+	}
+	if !r.Contains(Point{4, 2}) {
+		t.Error("Contains should be inclusive of boundary")
+	}
+	if r.Contains(Point{4.01, 2}) {
+		t.Error("Contains outside point")
+	}
+}
+
+func TestEmptyRect(t *testing.T) {
+	r := Rect{3, 3, 3, 5} // zero width
+	if !r.Empty() {
+		t.Error("zero-width rect should be empty")
+	}
+	if r.Area() != 0 {
+		t.Errorf("empty rect area = %g", r.Area())
+	}
+}
+
+func TestRectIntersectUnion(t *testing.T) {
+	a := Rect{0, 0, 4, 4}
+	b := Rect{2, 2, 6, 6}
+	got := a.Intersect(b)
+	want := Rect{2, 2, 4, 4}
+	if got != want {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if ov := a.OverlapArea(b); ov != 4 {
+		t.Errorf("OverlapArea = %g, want 4", ov)
+	}
+	u := a.Union(b)
+	if u != (Rect{0, 0, 6, 6}) {
+		t.Errorf("Union = %v", u)
+	}
+	// Union with empty ignores the empty operand.
+	e := Rect{1, 1, 1, 1}
+	if u2 := a.Union(e); u2 != a {
+		t.Errorf("Union with empty = %v, want %v", u2, a)
+	}
+	if u3 := e.Union(a); u3 != a {
+		t.Errorf("empty.Union = %v, want %v", u3, a)
+	}
+}
+
+func TestRectOverlapsDisjoint(t *testing.T) {
+	a := Rect{0, 0, 1, 1}
+	b := Rect{1, 0, 2, 1} // touching edge: no positive-area overlap
+	if a.Overlaps(b) {
+		t.Error("edge-touching rects should not overlap")
+	}
+	if a.OverlapArea(b) != 0 {
+		t.Error("edge-touching rects overlap area != 0")
+	}
+}
+
+func TestRectTranslateExpandContainsRect(t *testing.T) {
+	r := Rect{0, 0, 2, 2}
+	if got := r.Translate(1, -1); got != (Rect{1, -1, 3, 1}) {
+		t.Errorf("Translate = %v", got)
+	}
+	if got := r.Expand(0.5); got != (Rect{-0.5, -0.5, 2.5, 2.5}) {
+		t.Errorf("Expand = %v", got)
+	}
+	if !(Rect{-1, -1, 3, 3}).ContainsRect(r) {
+		t.Error("ContainsRect false negative")
+	}
+	if (Rect{0.5, 0, 2, 2}).ContainsRect(r) {
+		t.Error("ContainsRect false positive")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ v, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%g,%g,%g) = %g, want %g", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestInterval(t *testing.T) {
+	iv := Interval{2, 5}
+	if iv.Len() != 3 {
+		t.Errorf("Len = %g", iv.Len())
+	}
+	if !iv.Contains(2) || !iv.Contains(5) || iv.Contains(5.1) {
+		t.Error("Contains boundary behaviour wrong")
+	}
+	if iv.Clamp(0) != 2 || iv.Clamp(9) != 5 || iv.Clamp(3) != 3 {
+		t.Error("Clamp wrong")
+	}
+	x := iv.Intersect(Interval{4, 9})
+	if x != (Interval{4, 5}) {
+		t.Errorf("Intersect = %v", x)
+	}
+	d := iv.Intersect(Interval{6, 9})
+	if d.Len() >= 0 {
+		t.Errorf("disjoint intersect should have negative length, got %v", d)
+	}
+}
+
+// Property: intersection area is symmetric and never exceeds either area.
+func TestOverlapAreaProperties(t *testing.T) {
+	f := func(ax1, ay1, ax2, ay2, bx1, by1, bx2, by2 float64) bool {
+		// Map unbounded floats into a sane range to avoid inf/NaN noise.
+		m := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 1e6)
+		}
+		a := NewRect(m(ax1), m(ay1), m(ax2), m(ay2))
+		b := NewRect(m(bx1), m(by1), m(bx2), m(by2))
+		ov1 := a.OverlapArea(b)
+		ov2 := b.OverlapArea(a)
+		if ov1 != ov2 {
+			return false
+		}
+		return ov1 <= a.Area()+1e-9 && ov1 <= b.Area()+1e-9 && ov1 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: clamping is idempotent and lands inside the interval.
+func TestClampProperties(t *testing.T) {
+	f := func(v, a, b float64) bool {
+		if math.IsNaN(v) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		c := Clamp(v, lo, hi)
+		return c >= lo && c <= hi && Clamp(c, lo, hi) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,404 @@
+// Package legalize snaps a global placement to legal standard-cell rows:
+// overlap-free, row-aligned, inside the placement region, avoiding fixed
+// obstacles. Two algorithms are provided:
+//
+//   - Abacus (Spindler et al., ISPD 2008): the dynamic-programming cluster
+//     legalizer used by DREAMPlace, minimizing quadratic displacement per
+//     row; this is the paper's legalization step.
+//   - Tetris (Hill): the classic greedy row-packing reference.
+//
+// Movable macros are legalized first by a greedy displacement search and
+// then treated as obstacles for the standard cells.
+package legalize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/wirelength"
+)
+
+// Options tunes the Abacus legalizer.
+type Options struct {
+	// MaxRowSearch bounds how many rows above/below the target row are
+	// tried per cell (default 24).
+	MaxRowSearch int
+	// SiteAlign snaps final x coordinates to the row's site grid.
+	SiteAlign bool
+}
+
+// Result reports displacement statistics and post-legalization wirelength.
+type Result struct {
+	// TotalDisp, AvgDisp, MaxDisp are Euclidean cell displacements.
+	TotalDisp, AvgDisp, MaxDisp float64
+	// HPWL is the exact wirelength after legalization (LGWL in the
+	// paper's tables).
+	HPWL float64
+}
+
+// cluster is an Abacus cell cluster within one row segment.
+type cluster struct {
+	x, e, q, w float64
+	cells      []int32
+	widths     []float64
+}
+
+// segment is a free interval of one row between obstacles.
+type segment struct {
+	row      int
+	y        float64
+	xl, xh   float64
+	rowXL    float64 // row origin: the site grid is anchored here
+	siteW    float64
+	used     float64
+	clusters []cluster
+}
+
+func (s *segment) free() float64 { return (s.xh - s.xl) - s.used }
+
+// Abacus legalizes the design in place and returns displacement statistics.
+// Standard cells must have exactly the row height; movable macros are
+// legalized greedily first.
+func Abacus(d *netlist.Design, opt Options) (*Result, error) {
+	if opt.MaxRowSearch <= 0 {
+		opt.MaxRowSearch = 24
+	}
+	if len(d.Rows) == 0 {
+		return nil, fmt.Errorf("legalize: design %q has no rows", d.Name)
+	}
+	obstacles, err := legalizeMacros(d)
+	if err != nil {
+		return nil, err
+	}
+
+	segs, rowsByY, err := buildSegments(d, obstacles, opt.SiteAlign)
+	if err != nil {
+		return nil, err
+	}
+
+	// Cells to legalize: movable standard cells, sorted by x (Abacus order).
+	cells := []int{}
+	for _, c := range d.MovableIndices() {
+		if d.Cells[c].Kind == netlist.MovableMacro {
+			continue
+		}
+		if math.Abs(d.Cells[c].H-d.Rows[0].Height) > 1e-9 {
+			return nil, fmt.Errorf("legalize: cell %d height %g does not match row height %g (multi-row cells unsupported)", c, d.Cells[c].H, d.Rows[0].Height)
+		}
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool { return d.X[cells[i]] < d.X[cells[j]] })
+
+	origX := append([]float64(nil), d.X...)
+	origY := append([]float64(nil), d.Y...)
+
+	for _, c := range cells {
+		w := d.Cells[c].W
+		xWant := d.X[c]
+		yWant := d.Y[c]
+		bestCost := math.Inf(1)
+		var bestSeg *segment
+		var bestX float64
+
+		// Rows ordered by vertical distance from the wanted position.
+		tryRow := func(ri int) bool {
+			if ri < 0 || ri >= len(rowsByY) {
+				return false
+			}
+			dy := rowsByY[ri].y - yWant
+			if dy*dy >= bestCost {
+				return false // even zero horizontal cost cannot win
+			}
+			for _, si := range rowsByY[ri].segs {
+				seg := &segs[si]
+				if seg.free() < w-1e-9 {
+					continue
+				}
+				x, ok := trialInsert(seg, xWant, w)
+				if !ok {
+					continue
+				}
+				dx := x - xWant
+				cost := dx*dx + dy*dy
+				if cost < bestCost {
+					bestCost = cost
+					bestSeg = seg
+					bestX = x
+				}
+			}
+			return true
+		}
+
+		base := nearestRowIndex(rowsByY, yWant)
+		tryRow(base)
+		for off := 1; off <= opt.MaxRowSearch; off++ {
+			up := tryRow(base + off)
+			down := tryRow(base - off)
+			if !up && !down {
+				break
+			}
+		}
+		if bestSeg == nil {
+			// Desperate fallback: search every row.
+			for ri := range rowsByY {
+				tryRow(ri)
+			}
+		}
+		if bestSeg == nil {
+			return nil, fmt.Errorf("legalize: no row segment fits cell %d (w=%g)", c, w)
+		}
+		commitInsert(bestSeg, int32(c), xWant, w)
+		_ = bestX
+	}
+
+	// Write final positions from the clusters.
+	for i := range segs {
+		seg := &segs[i]
+		for _, cl := range seg.clusters {
+			x := cl.x
+			for k, cell := range cl.cells {
+				d.X[cell] = x
+				d.Y[cell] = seg.y
+				x += cl.widths[k]
+			}
+		}
+		if opt.SiteAlign {
+			snapSegment(d, seg)
+		}
+	}
+
+	res := displacementStats(d, origX, origY)
+	res.HPWL = wirelength.TotalHPWL(d)
+	return res, nil
+}
+
+// trialInsert computes where a cell would land if appended to the segment,
+// without mutating it. Returns the final x of the cell and whether it fits.
+func trialInsert(seg *segment, xWant, w float64) (float64, bool) {
+	if xWant < seg.xl {
+		xWant = seg.xl
+	}
+	if xWant > seg.xh-w {
+		xWant = seg.xh - w
+	}
+	i := len(seg.clusters) - 1
+	var e, q, wi, off float64
+	if i >= 0 && seg.clusters[i].x+seg.clusters[i].w > xWant {
+		c := &seg.clusters[i]
+		e = c.e + 1
+		q = c.q + (xWant - c.w)
+		wi = c.w + w
+		off = c.w
+		i--
+	} else {
+		e, q, wi, off = 1, xWant, w, 0
+	}
+	if wi > seg.xh-seg.xl+1e-9 {
+		return 0, false
+	}
+	x := geom.Clamp(q/e, seg.xl, seg.xh-wi)
+	for i >= 0 && seg.clusters[i].x+seg.clusters[i].w > x {
+		p := &seg.clusters[i]
+		off += p.w
+		q = p.q + q - e*p.w
+		e = p.e + e
+		wi = p.w + wi
+		if wi > seg.xh-seg.xl+1e-9 {
+			return 0, false
+		}
+		x = geom.Clamp(q/e, seg.xl, seg.xh-wi)
+		i--
+	}
+	return x + off, true
+}
+
+// commitInsert performs the Abacus insertion for real.
+func commitInsert(seg *segment, cell int32, xWant, w float64) {
+	if xWant < seg.xl {
+		xWant = seg.xl
+	}
+	if xWant > seg.xh-w {
+		xWant = seg.xh - w
+	}
+	n := len(seg.clusters)
+	if n > 0 && seg.clusters[n-1].x+seg.clusters[n-1].w > xWant {
+		c := &seg.clusters[n-1]
+		c.e++
+		c.q += xWant - c.w
+		c.w += w
+		c.cells = append(c.cells, cell)
+		c.widths = append(c.widths, w)
+	} else {
+		seg.clusters = append(seg.clusters, cluster{
+			x: xWant, e: 1, q: xWant, w: w,
+			cells:  []int32{cell},
+			widths: []float64{w},
+		})
+	}
+	// Collapse.
+	for {
+		n = len(seg.clusters)
+		c := &seg.clusters[n-1]
+		c.x = geom.Clamp(c.q/c.e, seg.xl, seg.xh-c.w)
+		if n == 1 {
+			break
+		}
+		p := &seg.clusters[n-2]
+		if p.x+p.w <= c.x {
+			break
+		}
+		// Merge c into p.
+		p.q += c.q - c.e*p.w
+		p.e += c.e
+		p.w += c.w
+		p.cells = append(p.cells, c.cells...)
+		p.widths = append(p.widths, c.widths...)
+		seg.clusters = seg.clusters[:n-1]
+	}
+	seg.used += w
+}
+
+// snapSegment aligns cell x coordinates to the site grid, resolving any
+// overlap introduced by rounding with a left-to-right then right-to-left
+// fixup.
+func snapSegment(d *netlist.Design, seg *segment) {
+	if seg.siteW <= 0 {
+		return
+	}
+	cells := []int32{}
+	for _, cl := range seg.clusters {
+		cells = append(cells, cl.cells...)
+	}
+	sort.Slice(cells, func(i, j int) bool { return d.X[cells[i]] < d.X[cells[j]] })
+	snapDown := func(x float64) float64 {
+		return seg.rowXL + math.Floor((x-seg.rowXL)/seg.siteW)*seg.siteW
+	}
+	snapUp := func(x float64) float64 {
+		return seg.rowXL + math.Ceil((x-seg.rowXL-1e-9)/seg.siteW)*seg.siteW
+	}
+	prevEnd := snapUp(seg.xl)
+	for _, c := range cells {
+		x := math.Max(snapDown(d.X[c]), snapUp(prevEnd))
+		d.X[c] = x
+		prevEnd = x + d.Cells[c].W
+	}
+	// If the row overflowed to the right, shift cells back left on the
+	// site grid (snapDown keeps both alignment and the right boundary).
+	if prevEnd > seg.xh {
+		nextStart := seg.xh
+		for i := len(cells) - 1; i >= 0; i-- {
+			c := cells[i]
+			if d.X[c]+d.Cells[c].W <= nextStart {
+				break
+			}
+			x := snapDown(nextStart - d.Cells[c].W)
+			if x < seg.xl {
+				// Not enough site-aligned room; leave the remainder
+				// continuous rather than push cells out of the segment.
+				break
+			}
+			d.X[c] = x
+			nextStart = x
+		}
+	}
+}
+
+// rowRef groups the segments of one row for the row search.
+type rowRef struct {
+	y    float64
+	segs []int
+}
+
+// buildSegments splits every row into free segments around the obstacles.
+// With siteAlign, segment bounds are shrunk inward to the row's site grid so
+// that site-snapped packing can never overflow a segment (this requires cell
+// widths that are whole multiples of the site width, which contest designs
+// satisfy).
+func buildSegments(d *netlist.Design, obstacles []geom.Rect, siteAlign bool) ([]segment, []rowRef, error) {
+	var segs []segment
+	rows := append([]netlist.Row(nil), d.Rows...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Y < rows[j].Y })
+	refs := make([]rowRef, 0, len(rows))
+	for ri, row := range rows {
+		// Obstacles overlapping this row, as x intervals.
+		type iv struct{ lo, hi float64 }
+		var blocked []iv
+		rowRect := geom.Rect{XL: row.XL, YL: row.Y, XH: row.XH, YH: row.Y + row.Height}
+		for _, ob := range obstacles {
+			if ob.Overlaps(rowRect) {
+				blocked = append(blocked, iv{ob.XL, ob.XH})
+			}
+		}
+		sort.Slice(blocked, func(i, j int) bool { return blocked[i].lo < blocked[j].lo })
+		ref := rowRef{y: row.Y}
+		cursor := row.XL
+		emit := func(xl, xh float64) {
+			if siteAlign && row.SiteW > 0 {
+				// Shrink inward onto the site grid anchored at row.XL.
+				xl = row.XL + math.Ceil((xl-row.XL-1e-9)/row.SiteW)*row.SiteW
+				xh = row.XL + math.Floor((xh-row.XL+1e-9)/row.SiteW)*row.SiteW
+			}
+			if xh-xl <= 1e-9 {
+				return
+			}
+			ref.segs = append(ref.segs, len(segs))
+			segs = append(segs, segment{row: ri, y: row.Y, xl: xl, xh: xh, rowXL: row.XL, siteW: row.SiteW})
+		}
+		for _, b := range blocked {
+			if b.lo > cursor {
+				emit(cursor, math.Min(b.lo, row.XH))
+			}
+			if b.hi > cursor {
+				cursor = b.hi
+			}
+			if cursor >= row.XH {
+				break
+			}
+		}
+		if cursor < row.XH {
+			emit(cursor, row.XH)
+		}
+		refs = append(refs, ref)
+	}
+	return segs, refs, nil
+}
+
+// nearestRowIndex locates the row whose bottom is closest to y.
+func nearestRowIndex(rows []rowRef, y float64) int {
+	lo, hi := 0, len(rows)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if rows[mid].y < y {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo > 0 && math.Abs(rows[lo-1].y-y) < math.Abs(rows[lo].y-y) {
+		return lo - 1
+	}
+	return lo
+}
+
+// displacementStats computes how far cells moved from (origX, origY).
+func displacementStats(d *netlist.Design, origX, origY []float64) *Result {
+	res := &Result{}
+	n := 0
+	for _, c := range d.MovableIndices() {
+		dx := d.X[c] - origX[c]
+		dy := d.Y[c] - origY[c]
+		disp := math.Hypot(dx, dy)
+		res.TotalDisp += disp
+		if disp > res.MaxDisp {
+			res.MaxDisp = disp
+		}
+		n++
+	}
+	if n > 0 {
+		res.AvgDisp = res.TotalDisp / float64(n)
+	}
+	return res
+}

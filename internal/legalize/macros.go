@@ -1,0 +1,87 @@
+package legalize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// legalizeMacros places movable macros at overlap-free positions near their
+// global-placement locations (greedy spiral search, largest macro first) and
+// returns the full obstacle list (fixed cells + legalized macros) for the
+// standard-cell legalizer.
+func legalizeMacros(d *netlist.Design) ([]geom.Rect, error) {
+	var obstacles []geom.Rect
+	for i, c := range d.Cells {
+		if c.Kind == netlist.Fixed && c.Area() > 0 {
+			obstacles = append(obstacles, d.CellRect(i))
+		}
+	}
+	var macros []int
+	for i, c := range d.Cells {
+		if c.Kind == netlist.MovableMacro {
+			macros = append(macros, i)
+		}
+	}
+	sort.Slice(macros, func(a, b int) bool {
+		return d.Cells[macros[a]].Area() > d.Cells[macros[b]].Area()
+	})
+	for _, m := range macros {
+		pos, ok := findMacroSpot(d, m, obstacles)
+		if !ok {
+			return nil, fmt.Errorf("legalize: cannot find legal spot for macro %s", d.Cells[m].Name)
+		}
+		d.X[m], d.Y[m] = pos.X, pos.Y
+		obstacles = append(obstacles, d.CellRect(m))
+	}
+	return obstacles, nil
+}
+
+// findMacroSpot searches a spiral of candidate offsets around the macro's
+// wanted position for an overlap-free, in-region placement. The step size
+// follows the row height so macros stay roughly row-aligned.
+func findMacroSpot(d *netlist.Design, m int, obstacles []geom.Rect) (geom.Point, bool) {
+	c := d.Cells[m]
+	r := d.Region
+	step := 1.0
+	if len(d.Rows) > 0 {
+		step = d.Rows[0].Height
+	}
+	clampPos := func(x, y float64) (float64, float64) {
+		return geom.Clamp(x, r.XL, r.XH-c.W), geom.Clamp(y, r.YL, r.YH-c.H)
+	}
+	ok := func(x, y float64) bool {
+		rect := geom.Rect{XL: x, YL: y, XH: x + c.W, YH: y + c.H}
+		if !r.ContainsRect(rect) {
+			return false
+		}
+		for _, ob := range obstacles {
+			if rect.Overlaps(ob) {
+				return false
+			}
+		}
+		return true
+	}
+	x0, y0 := clampPos(d.X[m], d.Y[m])
+	if ok(x0, y0) {
+		return geom.Point{X: x0, Y: y0}, true
+	}
+	// Spiral outward in rings of radius k*step.
+	maxRing := int(math.Ceil(math.Max(r.W(), r.H()) / step))
+	for k := 1; k <= maxRing; k++ {
+		rad := float64(k) * step
+		// Sample the ring perimeter at step resolution.
+		n := 8 * k
+		for s := 0; s < n; s++ {
+			ang := 2 * math.Pi * float64(s) / float64(n)
+			x, y := clampPos(x0+rad*math.Cos(ang), y0+rad*math.Sin(ang))
+			if ok(x, y) {
+				return geom.Point{X: x, Y: y}, true
+			}
+		}
+	}
+	return geom.Point{}, false
+}

@@ -1,0 +1,96 @@
+package legalize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/wirelength"
+)
+
+// Tetris is the classic greedy legalizer: cells are processed left to
+// right, each taking the best packed position across nearby rows. Faster
+// and cruder than Abacus; it serves as the reference-flow legalizer.
+func Tetris(d *netlist.Design) (*Result, error) {
+	if len(d.Rows) == 0 {
+		return nil, fmt.Errorf("legalize: design %q has no rows", d.Name)
+	}
+	obstacles, err := legalizeMacros(d)
+	if err != nil {
+		return nil, err
+	}
+	segs, rows, err := buildSegments(d, obstacles, false)
+	if err != nil {
+		return nil, err
+	}
+	// Fill pointers per segment.
+	fill := make([]float64, len(segs))
+	for i := range segs {
+		fill[i] = segs[i].xl
+	}
+
+	cells := []int{}
+	for _, c := range d.MovableIndices() {
+		if d.Cells[c].Kind == netlist.MovableMacro {
+			continue
+		}
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool { return d.X[cells[i]] < d.X[cells[j]] })
+
+	origX := append([]float64(nil), d.X...)
+	origY := append([]float64(nil), d.Y...)
+
+	for _, c := range cells {
+		w := d.Cells[c].W
+		xWant, yWant := d.X[c], d.Y[c]
+		best := math.Inf(1)
+		bestSeg := -1
+		bestX := 0.0
+		base := nearestRowIndex(rows, yWant)
+		tryRow := func(ri int) bool {
+			if ri < 0 || ri >= len(rows) {
+				return false
+			}
+			dy := math.Abs(rows[ri].y - yWant)
+			if dy >= best {
+				return false
+			}
+			for _, si := range rows[ri].segs {
+				if segs[si].xh-fill[si] < w-1e-9 {
+					continue
+				}
+				// Tetris packs strictly at the fill pointer; leaving a
+				// gap would strand capacity (cells are processed in
+				// ascending x, so nothing later reclaims it).
+				x := fill[si]
+				cost := math.Abs(x-xWant) + dy
+				if cost < best {
+					best = cost
+					bestSeg = si
+					bestX = x
+				}
+			}
+			return true
+		}
+		tryRow(base)
+		for off := 1; off < len(rows); off++ {
+			up := tryRow(base + off)
+			down := tryRow(base - off)
+			if !up && !down {
+				break
+			}
+		}
+		if bestSeg < 0 {
+			return nil, fmt.Errorf("legalize: tetris cannot place cell %d (w=%g)", c, w)
+		}
+		d.X[c] = bestX
+		d.Y[c] = segs[bestSeg].y
+		fill[bestSeg] = bestX + w
+	}
+
+	res := displacementStats(d, origX, origY)
+	res.HPWL = wirelength.TotalHPWL(d)
+	return res, nil
+}

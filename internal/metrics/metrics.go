@@ -1,0 +1,201 @@
+// Package metrics assembles and renders the paper-style comparison tables:
+// per-design LGWL/DPWL/runtime columns for several wirelength models plus
+// the "Avg. Ratio" row normalized to a reference model, exactly as Tables II
+// and III of the paper report them.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Cell is one (LGWL, DPWL, RT) triple of a comparison table.
+type Cell struct {
+	LGWL, DPWL, RT float64
+	// Missing marks absent data (rendered as "-").
+	Missing bool
+}
+
+// Table is a paper-style comparison table: rows are designs, column groups
+// are models.
+type Table struct {
+	Title  string
+	Models []string // column-group order
+	// Ref is the model ratios normalize to (the paper normalizes to
+	// "Ours", i.e. "ME").
+	Ref   string
+	rows  []string
+	cells map[string]map[string]Cell // design -> model -> cell
+}
+
+// NewTable creates an empty table with the model column order and the
+// ratio-reference model.
+func NewTable(title string, models []string, ref string) *Table {
+	return &Table{
+		Title:  title,
+		Models: models,
+		Ref:    ref,
+		cells:  map[string]map[string]Cell{},
+	}
+}
+
+// Set records the cell for (design, model).
+func (t *Table) Set(design, model string, c Cell) {
+	if _, ok := t.cells[design]; !ok {
+		t.cells[design] = map[string]Cell{}
+		t.rows = append(t.rows, design)
+	}
+	t.cells[design][model] = c
+}
+
+// Get returns the cell for (design, model).
+func (t *Table) Get(design, model string) (Cell, bool) {
+	m, ok := t.cells[design]
+	if !ok {
+		return Cell{}, false
+	}
+	c, ok := m[model]
+	return c, ok
+}
+
+// Designs returns the rows in insertion order.
+func (t *Table) Designs() []string { return t.rows }
+
+// AvgRatios returns, for each model, the arithmetic mean over designs of
+// value(model)/value(ref), separately for LGWL, DPWL and RT — the "Avg.
+// Ratio" row of the paper's tables. Designs lacking data for either model
+// are skipped.
+func (t *Table) AvgRatios() map[string][3]float64 {
+	out := map[string][3]float64{}
+	for _, model := range t.Models {
+		var sum [3]float64
+		n := 0
+		for _, d := range t.rows {
+			a, okA := t.Get(d, model)
+			r, okR := t.Get(d, t.Ref)
+			if !okA || !okR || a.Missing || r.Missing {
+				continue
+			}
+			if r.LGWL <= 0 || r.DPWL <= 0 || r.RT <= 0 {
+				continue
+			}
+			sum[0] += a.LGWL / r.LGWL
+			sum[1] += a.DPWL / r.DPWL
+			sum[2] += a.RT / r.RT
+			n++
+		}
+		if n > 0 {
+			out[model] = [3]float64{sum[0] / float64(n), sum[1] / float64(n), sum[2] / float64(n)}
+		}
+	}
+	return out
+}
+
+// fmtWL renders a wirelength in the paper's 10^6 units with adaptive
+// precision (small designs keep more digits, like ispd19_test1's 0.41036).
+func fmtWL(v float64) string {
+	m := v / 1e6
+	switch {
+	case m >= 100:
+		return fmt.Sprintf("%.2f", m)
+	case m >= 1:
+		return fmt.Sprintf("%.3f", m)
+	default:
+		return fmt.Sprintf("%.5f", m)
+	}
+}
+
+// Render prints the table as aligned text.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", t.Title)
+	header := []string{"Benchmark"}
+	for _, m := range t.Models {
+		header = append(header, m+".LGWL(1e6)", m+".DPWL(1e6)", m+".RT(s)")
+	}
+	rows := [][]string{header}
+	for _, d := range t.rows {
+		row := []string{d}
+		for _, m := range t.Models {
+			c, ok := t.Get(d, m)
+			if !ok || c.Missing {
+				row = append(row, "-", "-", "-")
+				continue
+			}
+			row = append(row, fmtWL(c.LGWL), fmtWL(c.DPWL), fmt.Sprintf("%.2f", c.RT))
+		}
+		rows = append(rows, row)
+	}
+	ratios := t.AvgRatios()
+	ratioRow := []string{"Avg.Ratio"}
+	for _, m := range t.Models {
+		r, ok := ratios[m]
+		if !ok {
+			ratioRow = append(ratioRow, "-", "-", "-")
+			continue
+		}
+		ratioRow = append(ratioRow, fmt.Sprintf("%.3f", r[0]), fmt.Sprintf("%.3f", r[1]), fmt.Sprintf("%.2f", r[2]))
+	}
+	rows = append(rows, ratioRow)
+
+	// Column widths.
+	width := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, cell := range row {
+			fmt.Fprintf(&sb, "%-*s", width[i]+2, cell)
+		}
+		sb.WriteByte('\n')
+		if ri == 0 {
+			total := 0
+			for _, w := range width {
+				total += w + 2
+			}
+			sb.WriteString(strings.Repeat("-", total))
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// Series is a named list of (x, y) points, used for figure data (Fig. 1 and
+// Fig. 3 curves).
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// RenderSeries prints the series as gnuplot-style blocks (each series has
+// its own x column; blocks are separated by blank lines).
+func RenderSeries(title, xLabel, yLabel string, series []Series) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s\n", title)
+	for _, s := range series {
+		fmt.Fprintf(&sb, "\n# series: %s\n# %-14s %-16s\n", s.Name, xLabel, yLabel)
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&sb, "  %-14.6g %-16.6g\n", s.X[i], s.Y[i])
+		}
+	}
+	return sb.String()
+}
+
+// SortedKeys returns map keys in sorted order (deterministic rendering).
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

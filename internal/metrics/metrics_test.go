@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+func sampleTable() *Table {
+	t := NewTable("Test Table", []string{"WA", "ME"}, "ME")
+	t.Set("alpha", "WA", Cell{LGWL: 110e6, DPWL: 105e6, RT: 10})
+	t.Set("alpha", "ME", Cell{LGWL: 100e6, DPWL: 100e6, RT: 20})
+	t.Set("beta", "WA", Cell{LGWL: 52.5e6, DPWL: 51e6, RT: 5})
+	t.Set("beta", "ME", Cell{LGWL: 50e6, DPWL: 50e6, RT: 10})
+	return t
+}
+
+func TestAvgRatios(t *testing.T) {
+	tbl := sampleTable()
+	r := tbl.AvgRatios()
+	wa := r["WA"]
+	// LGWL ratios: 1.10 and 1.05 -> mean 1.075.
+	if math.Abs(wa[0]-1.075) > 1e-12 {
+		t.Errorf("WA LGWL ratio = %g, want 1.075", wa[0])
+	}
+	// DPWL ratios: 1.05, 1.02 -> 1.035.
+	if math.Abs(wa[1]-1.035) > 1e-12 {
+		t.Errorf("WA DPWL ratio = %g", wa[1])
+	}
+	// RT ratios: 0.5, 0.5 -> 0.5.
+	if math.Abs(wa[2]-0.5) > 1e-12 {
+		t.Errorf("WA RT ratio = %g", wa[2])
+	}
+	me := r["ME"]
+	for i, v := range me {
+		if math.Abs(v-1) > 1e-12 {
+			t.Errorf("ME self ratio[%d] = %g, want 1", i, v)
+		}
+	}
+}
+
+func TestAvgRatiosSkipsMissing(t *testing.T) {
+	tbl := sampleTable()
+	tbl.Set("gamma", "WA", Cell{LGWL: 999e6, DPWL: 999e6, RT: 1})
+	// gamma has no ME cell; ratios must be unchanged.
+	r := tbl.AvgRatios()
+	if math.Abs(r["WA"][0]-1.075) > 1e-12 {
+		t.Errorf("missing-ref design leaked into ratios: %g", r["WA"][0])
+	}
+}
+
+func TestRenderContainsEverything(t *testing.T) {
+	out := sampleTable().Render()
+	for _, want := range []string{"Test Table", "alpha", "beta", "Avg.Ratio", "WA.LGWL", "ME.RT(s)", "1.075"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderMissingCell(t *testing.T) {
+	tbl := sampleTable()
+	tbl.Set("gamma", "ME", Cell{LGWL: 10e6, DPWL: 10e6, RT: 1})
+	out := tbl.Render()
+	if !strings.Contains(out, "-") {
+		t.Error("missing cells should render as -")
+	}
+}
+
+func TestFmtWLPrecision(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0.41036e6, "0.41036"},
+		{17.5e6, "17.500"},
+		{211.68e6, "211.68"},
+	}
+	for _, c := range cases {
+		if got := fmtWL(c.v); got != c.want {
+			t.Errorf("fmtWL(%g) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestDesignsOrderStable(t *testing.T) {
+	tbl := sampleTable()
+	d := tbl.Designs()
+	if len(d) != 2 || d[0] != "alpha" || d[1] != "beta" {
+		t.Errorf("Designs() = %v", d)
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	out := RenderSeries("Fig. X", "overflow", "hpwl", []Series{
+		{Name: "WA", X: []float64{0.9, 0.5}, Y: []float64{1, 2}},
+		{Name: "Ours", X: []float64{0.8}, Y: []float64{3}},
+	})
+	for _, want := range []string{"Fig. X", "series: WA", "series: Ours", "0.9", "overflow"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	k := SortedKeys(m)
+	if len(k) != 3 || k[0] != "a" || k[2] != "c" {
+		t.Errorf("SortedKeys = %v", k)
+	}
+}
+
+func TestTotalOverlap(t *testing.T) {
+	b := netlist.NewBuilder("ov")
+	b.SetRegion(geom.Rect{XL: 0, YL: 0, XH: 100, YH: 100})
+	// Two 4x4 cells overlapping in a 2x4 strip.
+	b.AddCell("a", netlist.Movable, 4, 4, 0, 0)
+	b.AddCell("b", netlist.Movable, 4, 4, 2, 0)
+	// A third far away.
+	b.AddCell("c", netlist.Movable, 4, 4, 50, 50)
+	// A fixed block overlapping c in a 1x4 strip.
+	b.AddCell("f", netlist.Fixed, 4, 4, 53, 50)
+	// A zero-area terminal never counts.
+	b.AddCell("p", netlist.Terminal, 0, 0, 1, 1)
+	d := b.MustBuild()
+	got := TotalOverlap(d)
+	want := 2.0*4 + 1.0*4
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("TotalOverlap = %g, want %g", got, want)
+	}
+}
+
+func TestTotalOverlapZeroWhenLegal(t *testing.T) {
+	b := netlist.NewBuilder("legal")
+	b.SetRegion(geom.Rect{XL: 0, YL: 0, XH: 100, YH: 100})
+	for i := 0; i < 10; i++ {
+		b.AddCell("", netlist.Movable, 4, 4, float64(i*5), 0)
+	}
+	d := b.MustBuild()
+	if got := TotalOverlap(d); got != 0 {
+		t.Errorf("overlap of abutting cells = %g, want 0", got)
+	}
+}
+
+func TestTotalOverlapMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := netlist.NewBuilder("bf")
+	b.SetRegion(geom.Rect{XL: 0, YL: 0, XH: 60, YH: 60})
+	n := 40
+	for i := 0; i < n; i++ {
+		w := 1 + rng.Float64()*8
+		h := 1 + rng.Float64()*8
+		b.AddCell("", netlist.Movable, w, h, rng.Float64()*50, rng.Float64()*50)
+	}
+	d := b.MustBuild()
+	want := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			want += d.CellRect(i).OverlapArea(d.CellRect(j))
+		}
+	}
+	got := TotalOverlap(d)
+	if math.Abs(got-want) > 1e-9*(1+want) {
+		t.Errorf("TotalOverlap = %g, brute force %g", got, want)
+	}
+}

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// TotalOverlap returns the total pairwise overlap area among movable cells
+// (and between movable and fixed cells) — the raw quantity the density
+// penalty drives to zero and legalization eliminates. Computed with a
+// sweep over x using an active interval list; O(n log n + k) for k
+// overlapping pairs.
+func TotalOverlap(d *netlist.Design) float64 {
+	type box struct {
+		xl, yl, xh, yh float64
+	}
+	boxes := make([]box, 0, d.NumCells())
+	for i, c := range d.Cells {
+		if c.Area() == 0 {
+			continue
+		}
+		if !c.Kind.Moves() && c.Kind != netlist.Fixed {
+			continue
+		}
+		r := d.CellRect(i)
+		boxes = append(boxes, box{r.XL, r.YL, r.XH, r.YH})
+	}
+	sort.Slice(boxes, func(a, b int) bool { return boxes[a].xl < boxes[b].xl })
+	total := 0.0
+	// Active set: boxes whose x-interval may still overlap upcoming boxes.
+	active := make([]int, 0, 64)
+	for i := range boxes {
+		b := boxes[i]
+		keep := active[:0]
+		for _, j := range active {
+			a := boxes[j]
+			if a.xh <= b.xl {
+				continue // expired in x
+			}
+			keep = append(keep, j)
+			ox := minF(a.xh, b.xh) - b.xl
+			oy := minF(a.yh, b.yh) - maxF(a.yl, b.yl)
+			if ox > 0 && oy > 0 {
+				total += ox * oy
+			}
+		}
+		active = append(keep, i)
+	}
+	return total
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

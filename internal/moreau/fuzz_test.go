@@ -1,0 +1,65 @@
+package moreau
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzEnvelopeInvariants drives the envelope/prox/gradient pipeline with
+// arbitrary 4-pin coordinates and smoothing values, asserting the paper's
+// structural invariants. Under plain `go test` this exercises the seed
+// corpus; `go test -fuzz=FuzzEnvelopeInvariants` explores further.
+func FuzzEnvelopeInvariants(f *testing.F) {
+	f.Add(0.0, 1.0, 2.0, 3.0, 1.0)
+	f.Add(-100.0, 100.0, 0.0, 0.0, 0.01)
+	f.Add(5.0, 5.0, 5.0, 5.0, 10.0)
+	f.Add(1e6, -1e6, 3.0, -7.0, 1e3)
+	f.Fuzz(func(t *testing.T, a, b, c, d, tt float64) {
+		for _, v := range []float64{a, b, c, d, tt} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip()
+			}
+		}
+		if tt <= 0 || tt > 1e9 {
+			t.Skip()
+		}
+		if math.Abs(a) > 1e9 || math.Abs(b) > 1e9 || math.Abs(c) > 1e9 || math.Abs(d) > 1e9 {
+			t.Skip()
+		}
+		x := []float64{a, b, c, d}
+		g := make([]float64, 4)
+		u := make([]float64, 4)
+		r := EnvelopeGrad(x, tt, g)
+		Prox(x, tt, u)
+
+		w := HPWL1D(x)
+		// Theorem 2 band: W - t <= W^t <= W (n_max, n_min >= 1).
+		if r.Value > w+1e-6*(1+w) {
+			t.Fatalf("envelope %g above HPWL %g", r.Value, w)
+		}
+		if r.Value < w-tt-1e-6*(1+w+tt) {
+			t.Fatalf("envelope %g below W-t %g", r.Value, w-tt)
+		}
+		// Gradient sums to zero; components bounded by 1 in magnitude.
+		sum, scale := 0.0, 0.0
+		for _, gv := range g {
+			sum += gv
+			scale += math.Abs(gv)
+			if math.Abs(gv) > 1+1e-9 {
+				t.Fatalf("gradient component %g beyond [-1,1]", gv)
+			}
+		}
+		if math.Abs(sum) > 1e-6*(1+scale) {
+			t.Fatalf("gradient sum %g != 0", sum)
+		}
+		// Envelope consistency with the prox point.
+		ss := 0.0
+		for i := range x {
+			dd := u[i] - x[i]
+			ss += dd * dd
+		}
+		if want := HPWL1D(u) + ss/(2*tt); math.Abs(r.Value-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("envelope %g inconsistent with prox %g", r.Value, want)
+		}
+	})
+}

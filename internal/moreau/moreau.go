@@ -1,0 +1,317 @@
+// Package moreau implements the paper's core contribution: the Moreau
+// envelope of the per-net half-perimeter wirelength (HPWL) function,
+//
+//	W_e(x) = max_i x_i - min_i x_i,
+//
+// together with its proximal mapping and exact gradient.
+//
+// For a smoothing parameter t > 0 the Moreau envelope is
+//
+//	W_e^t(x) = min_u W_e(u) + ||u - x||^2 / (2t),
+//
+// which is convex, everywhere differentiable, and satisfies
+// W_e(x) - t/2*(1/n_max + 1/n_min) <= W_e^t(x) <= W_e(x) (Theorem 2).
+//
+// Theorem 1 of the paper gives the proximal mapping in closed form up to two
+// water levels tau1 <= tau2 solving
+//
+//	sum_i (x_i - tau2)^+ = sum_i (tau1 - x_i)^+ = t,
+//
+// each of which is found by the linear-time water-filling sweep of
+// Algorithm 2 over the sorted coordinates. When the water levels cross
+// (tau1 > tau2, i.e. t is large relative to the net's spread) the proximal
+// point collapses to the mean coordinate and the envelope becomes the
+// quadratic t-scaled variance (the degenerate branch of Theorem 1).
+//
+// The gradient follows from the envelope theorem (Corollary 1):
+//
+//	g_i = (x_i - tau2)/t  if x_i > tau2,
+//	      0               if tau1 <= x_i <= tau2,
+//	      (x_i - tau1)/t  if x_i < tau1,
+//
+// or g_i = (x_i - mean)/t in the degenerate case.
+//
+// All functions operate on one axis; horizontal and vertical parts of HPWL
+// are symmetric and evaluated independently by the wirelength layer.
+package moreau
+
+import (
+	"math"
+	"sort"
+)
+
+// Result describes one envelope/prox evaluation of a net.
+type Result struct {
+	// Value is the Moreau envelope W_e^t(x).
+	Value float64
+	// Tau1, Tau2 are the water levels of Theorem 1. In the degenerate
+	// case both equal the mean coordinate.
+	Tau1, Tau2 float64
+	// Degenerate reports whether the water levels crossed and the
+	// proximal point collapsed to the mean.
+	Degenerate bool
+}
+
+// WaterFillLower solves sum_i (tau - x_i)^+ = t for tau given coordinates
+// sorted in ascending order, using the single-sweep water-filling of
+// Algorithm 2. It runs in O(n) and requires len(sorted) >= 1 and t >= 0.
+//
+// Intuitively: pour an amount t of water into a reservoir whose bottom
+// heights are the sorted coordinates; the returned tau is the final level.
+func WaterFillLower(sorted []float64, t float64) float64 {
+	n := len(sorted)
+	q := 0.0 // water used to reach level sorted[k-1]
+	for k := 1; k < n; k++ {
+		dq := float64(k) * (sorted[k] - sorted[k-1])
+		if q+dq > t {
+			// Level lands between sorted[k-1] and sorted[k].
+			return sorted[k] - (q+dq-t)/float64(k)
+		}
+		q += dq
+	}
+	// All bottoms submerged: the remaining water spreads over n columns.
+	return sorted[n-1] + (t-q)/float64(n)
+}
+
+// WaterFillUpper solves sum_i (x_i - tau)^+ = t for tau given coordinates
+// sorted in ascending order. It is the mirror image of WaterFillLower,
+// sweeping down from the maximum coordinate.
+func WaterFillUpper(sorted []float64, t float64) float64 {
+	n := len(sorted)
+	q := 0.0
+	for k := 1; k < n; k++ {
+		dq := float64(k) * (sorted[n-k] - sorted[n-k-1])
+		if q+dq > t {
+			return sorted[n-k-1] + (q+dq-t)/float64(k)
+		}
+		q += dq
+	}
+	return sorted[0] - (t-q)/float64(n)
+}
+
+// Levels computes the water levels (tau1, tau2) of Theorem 1 for the sorted
+// coordinates and smoothing parameter t > 0, resolving the degenerate case
+// to the mean coordinate as Algorithm 1 prescribes.
+func Levels(sorted []float64, t float64) Result {
+	tau1 := WaterFillLower(sorted, t)
+	tau2 := WaterFillUpper(sorted, t)
+	if tau1 > tau2 {
+		mean := 0.0
+		for _, v := range sorted {
+			mean += v
+		}
+		mean /= float64(len(sorted))
+		return Result{Tau1: mean, Tau2: mean, Degenerate: true}
+	}
+	return Result{Tau1: tau1, Tau2: tau2}
+}
+
+// mean returns the arithmetic mean of x (len(x) > 0).
+func mean(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// envelopeFromLevels finishes the envelope value given resolved levels.
+func envelopeFromLevels(x []float64, t float64, r *Result) {
+	if r.Degenerate {
+		// prox = mean vector; W_e(mean vector) = 0.
+		m := r.Tau1
+		ss := 0.0
+		for _, v := range x {
+			d := v - m
+			ss += d * d
+		}
+		r.Value = ss / (2 * t)
+		return
+	}
+	ss := 0.0
+	for _, v := range x {
+		if v > r.Tau2 {
+			d := v - r.Tau2
+			ss += d * d
+		} else if v < r.Tau1 {
+			d := r.Tau1 - v
+			ss += d * d
+		}
+	}
+	r.Value = (r.Tau2 - r.Tau1) + ss/(2*t)
+}
+
+// Evaluator computes envelopes, proximal points, and gradients for many
+// nets while reusing one sort scratch buffer. It is not safe for concurrent
+// use; create one Evaluator per worker goroutine.
+type Evaluator struct {
+	scratch []float64
+}
+
+// NewEvaluator returns an Evaluator whose scratch buffer is pre-sized for
+// nets of up to maxDegree pins (it grows on demand if exceeded).
+func NewEvaluator(maxDegree int) *Evaluator {
+	return &Evaluator{scratch: make([]float64, 0, maxDegree)}
+}
+
+// sortedCopy copies x into the scratch buffer and sorts it ascending.
+// Small nets (the overwhelming majority in real netlists) use insertion
+// sort; larger nets fall back to the standard library sort.
+func (ev *Evaluator) sortedCopy(x []float64) []float64 {
+	s := append(ev.scratch[:0], x...)
+	ev.scratch = s[:0]
+	if len(s) <= 32 {
+		for i := 1; i < len(s); i++ {
+			v := s[i]
+			j := i - 1
+			for j >= 0 && s[j] > v {
+				s[j+1] = s[j]
+				j--
+			}
+			s[j+1] = v
+		}
+	} else {
+		sort.Float64s(s)
+	}
+	return s
+}
+
+// checkArgs panics on invalid inputs; these are programming errors, not
+// runtime conditions.
+func checkArgs(x []float64, t float64) {
+	if len(x) == 0 {
+		panic("moreau: empty coordinate slice")
+	}
+	if !(t > 0) || math.IsInf(t, 0) {
+		panic("moreau: smoothing parameter t must be positive and finite")
+	}
+}
+
+// Envelope returns the Moreau envelope W_e^t(x) of the net HPWL at the
+// (unsorted) coordinates x.
+func (ev *Evaluator) Envelope(x []float64, t float64) float64 {
+	checkArgs(x, t)
+	if len(x) == 1 {
+		return 0
+	}
+	s := ev.sortedCopy(x)
+	r := Levels(s, t)
+	envelopeFromLevels(x, t, &r)
+	return r.Value
+}
+
+// EnvelopeGrad computes the envelope value and, when grad is non-nil, writes
+// dW_e^t/dx_i into grad[i] (grad must have len(x) entries). It returns the
+// full Result including the water levels.
+func (ev *Evaluator) EnvelopeGrad(x []float64, t float64, grad []float64) Result {
+	checkArgs(x, t)
+	if len(x) == 1 {
+		if grad != nil {
+			grad[0] = 0
+		}
+		return Result{Tau1: x[0], Tau2: x[0], Degenerate: true}
+	}
+	s := ev.sortedCopy(x)
+	r := Levels(s, t)
+	envelopeFromLevels(x, t, &r)
+	if grad != nil {
+		if r.Degenerate {
+			m := r.Tau1
+			inv := 1 / t
+			for i, v := range x {
+				grad[i] = (v - m) * inv
+			}
+		} else {
+			inv := 1 / t
+			for i, v := range x {
+				switch {
+				case v > r.Tau2:
+					grad[i] = (v - r.Tau2) * inv
+				case v < r.Tau1:
+					grad[i] = (v - r.Tau1) * inv
+				default:
+					grad[i] = 0
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Prox computes prox_{tW_e}(x), writing the proximal point into u (which
+// must have len(x) entries), and returns the evaluation Result.
+func (ev *Evaluator) Prox(x []float64, t float64, u []float64) Result {
+	checkArgs(x, t)
+	if len(u) != len(x) {
+		panic("moreau: prox output length mismatch")
+	}
+	if len(x) == 1 {
+		u[0] = x[0]
+		return Result{Tau1: x[0], Tau2: x[0], Degenerate: true}
+	}
+	s := ev.sortedCopy(x)
+	r := Levels(s, t)
+	envelopeFromLevels(x, t, &r)
+	if r.Degenerate {
+		for i := range u {
+			u[i] = r.Tau1
+		}
+		return r
+	}
+	for i, v := range x {
+		switch {
+		case v > r.Tau2:
+			u[i] = r.Tau2
+		case v < r.Tau1:
+			u[i] = r.Tau1
+		default:
+			u[i] = v
+		}
+	}
+	return r
+}
+
+// Package-level conveniences backed by a throwaway evaluator. Prefer an
+// Evaluator in hot loops to avoid per-call allocation.
+
+// Envelope returns W_e^t(x).
+func Envelope(x []float64, t float64) float64 {
+	var ev Evaluator
+	return ev.Envelope(x, t)
+}
+
+// EnvelopeGrad returns W_e^t(x) and fills grad if non-nil.
+func EnvelopeGrad(x []float64, t float64, grad []float64) Result {
+	var ev Evaluator
+	return ev.EnvelopeGrad(x, t, grad)
+}
+
+// Prox fills u with prox_{tW_e}(x) and returns the evaluation Result.
+func Prox(x []float64, t float64, u []float64) Result {
+	var ev Evaluator
+	return ev.Prox(x, t, u)
+}
+
+// HPWL1D returns the exact one-dimensional net HPWL max(x)-min(x).
+func HPWL1D(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	lo, hi := x[0], x[0]
+	for _, v := range x[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+// Wirelength returns the paper's approximated wirelength model W_e^t(x) + t.
+// The +t offset compensates the envelope's downward bias (Theorem 2) so the
+// reported objective tracks HPWL more closely; it does not affect gradients.
+func Wirelength(x []float64, t float64) float64 {
+	return Envelope(x, t) + t
+}

@@ -1,0 +1,668 @@
+package moreau
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// --- water-filling ---
+
+func TestWaterFillLowerHandExamples(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	cases := []struct{ t, want float64 }{
+		{0.5, 0.5}, // level inside first gap
+		{1, 1},     // level exactly at x[1]
+		{2, 1.5},   // between x[1] and x[2]: 2 columns -> 1 + 1/2
+		{6, 3},     // exactly submerges everything
+		{10, 4},    // 4 extra spread over 4 columns
+	}
+	for _, c := range cases {
+		got := WaterFillLower(x, c.t)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("WaterFillLower(t=%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+}
+
+func TestWaterFillUpperHandExamples(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	cases := []struct{ t, want float64 }{
+		{0.5, 2.5},
+		{1, 2},
+		{2, 1.5},
+		{6, 0},
+		{10, -1},
+	}
+	for _, c := range cases {
+		got := WaterFillUpper(x, c.t)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("WaterFillUpper(t=%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+}
+
+func TestWaterFillSinglePin(t *testing.T) {
+	if got := WaterFillLower([]float64{5}, 2); got != 7 {
+		t.Errorf("lower single pin = %g, want 7", got)
+	}
+	if got := WaterFillUpper([]float64{5}, 2); got != 3 {
+		t.Errorf("upper single pin = %g, want 3", got)
+	}
+}
+
+func TestWaterFillWithDuplicates(t *testing.T) {
+	x := []float64{1, 1, 1, 4}
+	// Filling 3 equal bottoms: tau = 1 + t/3 for t <= 9.
+	got := WaterFillLower(x, 1.5)
+	if math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("WaterFillLower dup = %g, want 1.5", got)
+	}
+}
+
+// residualLower computes sum (tau - x_i)^+ for unsorted x.
+func residualLower(x []float64, tau float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		if tau > v {
+			s += tau - v
+		}
+	}
+	return s
+}
+
+func residualUpper(x []float64, tau float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		if v > tau {
+			s += v - tau
+		}
+	}
+	return s
+}
+
+// Property: the water level exactly absorbs the requested volume.
+func TestWaterFillResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 2000; iter++ {
+		n := 1 + rng.Intn(12)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 100
+		}
+		var ev Evaluator
+		s := ev.sortedCopy(x)
+		tt := rng.Float64()*500 + 1e-6
+		tau1 := WaterFillLower(s, tt)
+		tau2 := WaterFillUpper(s, tt)
+		if r := residualLower(x, tau1); math.Abs(r-tt) > 1e-7*(1+tt) {
+			t.Fatalf("iter %d: lower residual %g != t %g (x=%v)", iter, r, tt, x)
+		}
+		if r := residualUpper(x, tau2); math.Abs(r-tt) > 1e-7*(1+tt) {
+			t.Fatalf("iter %d: upper residual %g != t %g (x=%v)", iter, r, tt, x)
+		}
+	}
+}
+
+// --- proximal mapping and envelope ---
+
+// bruteForceEnvelope2 minimizes W(u)+||u-x||^2/(2t) for a 2-pin net by grid
+// search followed by local refinement.
+func bruteForceEnvelope2(x [2]float64, t float64) float64 {
+	H := func(u1, u2 float64) float64 {
+		return math.Abs(u1-u2) + ((u1-x[0])*(u1-x[0])+(u2-x[1])*(u2-x[1]))/(2*t)
+	}
+	lo := math.Min(x[0], x[1]) - 1
+	hi := math.Max(x[0], x[1]) + 1
+	best := math.Inf(1)
+	const N = 400
+	for i := 0; i <= N; i++ {
+		for j := 0; j <= N; j++ {
+			u1 := lo + (hi-lo)*float64(i)/N
+			u2 := lo + (hi-lo)*float64(j)/N
+			if v := H(u1, u2); v < best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+func TestEnvelopeMatchesBruteForce2Pin(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 20; iter++ {
+		x := [2]float64{rng.Float64() * 10, rng.Float64() * 10}
+		tt := 0.1 + rng.Float64()*5
+		got := Envelope(x[:], tt)
+		want := bruteForceEnvelope2(x, tt)
+		// Grid resolution limits accuracy.
+		if math.Abs(got-want) > 2e-3*(1+want) {
+			t.Errorf("Envelope(%v, t=%g) = %g, brute force %g", x, tt, got, want)
+		}
+		if got > want+1e-9 {
+			t.Errorf("analytic envelope above brute-force minimum: %g > %g", got, want)
+		}
+	}
+}
+
+// For a 2-pin net the Moreau envelope has the closed Huber form:
+// with d = |x1-x2|, W^t = d^2/(4t) if d <= 2t, else d - t.
+func TestEnvelope2PinHuberForm(t *testing.T) {
+	cases := []struct{ x1, x2, t float64 }{
+		{0, 1, 0.49},  // d > 2t: linear branch
+		{0, 1, 0.5},   // boundary
+		{0, 1, 3},     // quadratic branch
+		{5, 5, 1},     // zero spread
+		{-3, 7, 0.01}, // tiny t
+	}
+	for _, c := range cases {
+		d := math.Abs(c.x1 - c.x2)
+		var want float64
+		if d <= 2*c.t {
+			want = d * d / (4 * c.t)
+		} else {
+			want = d - c.t
+		}
+		got := Envelope([]float64{c.x1, c.x2}, c.t)
+		if math.Abs(got-want) > 1e-10*(1+want) {
+			t.Errorf("2-pin envelope(%g,%g,t=%g) = %g, want Huber %g", c.x1, c.x2, c.t, got, want)
+		}
+	}
+}
+
+func TestProxSatisfiesTheorem1Structure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 500; iter++ {
+		n := 2 + rng.Intn(10)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 50
+		}
+		tt := 0.01 + rng.Float64()*20
+		u := make([]float64, n)
+		r := Prox(x, tt, u)
+		if r.Degenerate {
+			m := mean(x)
+			for i := range u {
+				if math.Abs(u[i]-m) > 1e-9 {
+					t.Fatalf("degenerate prox not at mean: u=%v mean=%g", u, m)
+				}
+			}
+			continue
+		}
+		if r.Tau1 > r.Tau2 {
+			t.Fatalf("non-degenerate result with tau1 %g > tau2 %g", r.Tau1, r.Tau2)
+		}
+		for i, v := range x {
+			var want float64
+			switch {
+			case v > r.Tau2:
+				want = r.Tau2
+			case v < r.Tau1:
+				want = r.Tau1
+			default:
+				want = v
+			}
+			if math.Abs(u[i]-want) > 1e-12 {
+				t.Fatalf("prox[%d] = %g, want clamp %g", i, u[i], want)
+			}
+		}
+	}
+}
+
+// The envelope definition must be internally consistent with the prox:
+// W^t(x) = W(prox) + ||prox - x||^2/(2t).
+func TestEnvelopeConsistentWithProx(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 500; iter++ {
+		n := 1 + rng.Intn(15)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 100
+		}
+		tt := 0.01 + rng.Float64()*50
+		u := make([]float64, n)
+		Prox(x, tt, u)
+		val := Envelope(x, tt)
+		ss := 0.0
+		for i := range x {
+			d := u[i] - x[i]
+			ss += d * d
+		}
+		want := HPWL1D(u) + ss/(2*tt)
+		if math.Abs(val-want) > 1e-8*(1+math.Abs(want)) {
+			t.Fatalf("envelope %g != W(prox)+dist %g (x=%v t=%g)", val, want, x, tt)
+		}
+	}
+}
+
+// Prox must beat random nearby candidates (first-order optimality probe).
+func TestProxIsMinimizer(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	H := func(u, x []float64, tt float64) float64 {
+		ss := 0.0
+		for i := range u {
+			d := u[i] - x[i]
+			ss += d * d
+		}
+		return HPWL1D(u) + ss/(2*tt)
+	}
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + rng.Intn(8)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 20
+		}
+		tt := 0.05 + rng.Float64()*10
+		u := make([]float64, n)
+		Prox(x, tt, u)
+		h0 := H(u, x, tt)
+		cand := make([]float64, n)
+		for trial := 0; trial < 50; trial++ {
+			for i := range cand {
+				cand[i] = u[i] + rng.NormFloat64()*0.5
+			}
+			if h := H(cand, x, tt); h < h0-1e-9 {
+				t.Fatalf("found better point: H=%g < prox H=%g (x=%v, t=%g)", h, h0, x, tt)
+			}
+		}
+	}
+}
+
+// --- gradient (Corollary 1) ---
+
+func TestGradientMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + rng.Intn(8)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 30
+		}
+		tt := 0.1 + rng.Float64()*10
+		g := make([]float64, n)
+		EnvelopeGrad(x, tt, g)
+		const h = 1e-5
+		for i := range x {
+			xp := append([]float64(nil), x...)
+			xm := append([]float64(nil), x...)
+			xp[i] += h
+			xm[i] -= h
+			fd := (Envelope(xp, tt) - Envelope(xm, tt)) / (2 * h)
+			if math.Abs(fd-g[i]) > 1e-4*(1+math.Abs(fd)) {
+				t.Fatalf("grad[%d] = %g, finite diff %g (x=%v, t=%g)", i, g[i], fd, x, tt)
+			}
+		}
+	}
+}
+
+// Corollary 3: gradient components sum to zero.
+func TestGradientSumsToZero(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 1000
+		}
+		tt := 1e-3 + rng.Float64()*100
+		g := make([]float64, n)
+		EnvelopeGrad(x, tt, g)
+		s, scale := 0.0, 0.0
+		for _, v := range g {
+			s += v
+			scale += math.Abs(v)
+		}
+		return math.Abs(s) <= 1e-9*(1+scale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 6: gradients above tau2 sum to +1, below tau1 sum to -1.
+func TestGradientPartialSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 300; iter++ {
+		n := 2 + rng.Intn(12)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 100
+		}
+		tt := 0.01 + rng.Float64()*5
+		g := make([]float64, n)
+		r := EnvelopeGrad(x, tt, g)
+		if r.Degenerate {
+			continue
+		}
+		up, down := 0.0, 0.0
+		for i, v := range x {
+			if v > r.Tau2 {
+				up += g[i]
+			}
+			if v < r.Tau1 {
+				down += g[i]
+			}
+		}
+		if math.Abs(up-1) > 1e-9 {
+			t.Fatalf("sum of upper gradients = %g, want 1 (x=%v, t=%g)", up, x, tt)
+		}
+		if math.Abs(down+1) > 1e-9 {
+			t.Fatalf("sum of lower gradients = %g, want -1", down)
+		}
+	}
+}
+
+// Theorem 2: -t/2*(1/n_max + 1/n_min) <= W^t - W <= 0.
+func TestApproximationBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 1000; iter++ {
+		n := 1 + rng.Intn(10)
+		x := make([]float64, n)
+		for i := range x {
+			// Quantize to create coordinate ties with positive probability.
+			x[i] = math.Round(rng.NormFloat64() * 3)
+		}
+		tt := 1e-3 + rng.Float64()*10
+		w := HPWL1D(x)
+		wt := Envelope(x, tt)
+		if wt > w+1e-9 {
+			t.Fatalf("W^t %g > W %g (x=%v t=%g)", wt, w, x, tt)
+		}
+		// Count ties at extremes for the bound.
+		lo, hi := x[0], x[0]
+		for _, v := range x {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		nmin, nmax := 0, 0
+		for _, v := range x {
+			if v == lo {
+				nmin++
+			}
+			if v == hi {
+				nmax++
+			}
+		}
+		bound := tt / 2 * (1/float64(nmax) + 1/float64(nmin))
+		if wt-w < -bound-1e-9 {
+			t.Fatalf("W^t-W = %g below bound -%g (x=%v, t=%g)", wt-w, bound, x, tt)
+		}
+	}
+}
+
+// Theorem 4 / Eq. 17: for t small enough the gradient is the canonical HPWL
+// subgradient 1/n_max at maxima, -1/n_min at minima, 0 elsewhere.
+func TestGradientLimitSmallT(t *testing.T) {
+	x := []float64{0, 0, 3, 7, 7, 7} // n_min = 2 at 0, n_max = 3 at 7
+	g := make([]float64, len(x))
+	EnvelopeGrad(x, 1e-4, g)
+	want := []float64{-0.5, -0.5, 0, 1.0 / 3, 1.0 / 3, 1.0 / 3}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-9 {
+			t.Errorf("g[%d] = %g, want %g", i, g[i], want[i])
+		}
+	}
+}
+
+// Convexity: W^t must be convex along arbitrary segments (unlike WA).
+func TestEnvelopeConvexAlongSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 500; iter++ {
+		n := 2 + rng.Intn(8)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		m := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64() * 50
+			b[i] = rng.NormFloat64() * 50
+		}
+		tt := 0.05 + rng.Float64()*20
+		th := rng.Float64()
+		for i := range m {
+			m[i] = th*a[i] + (1-th)*b[i]
+		}
+		fa := Envelope(a, tt)
+		fb := Envelope(b, tt)
+		fm := Envelope(m, tt)
+		if fm > th*fa+(1-th)*fb+1e-8*(1+fa+fb) {
+			t.Fatalf("convexity violated: f(mid)=%g > %g (t=%g)", fm, th*fa+(1-th)*fb, tt)
+		}
+	}
+}
+
+// The envelope is non-increasing in t and converges to HPWL as t -> 0+.
+func TestEnvelopeMonotoneInT(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + rng.Intn(8)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 100
+		}
+		prev := HPWL1D(x)
+		for _, tt := range []float64{1e-6, 1e-3, 0.1, 1, 10, 100} {
+			v := Envelope(x, tt)
+			if v > prev+1e-9*(1+prev) {
+				t.Fatalf("envelope not non-increasing in t: %g at t=%g after %g", v, tt, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestEnvelopeConvergesToHPWL(t *testing.T) {
+	x := []float64{-5, 1, 2, 9}
+	w := HPWL1D(x)
+	for _, tt := range []float64{1, 0.1, 0.01, 0.001} {
+		if diff := w - Envelope(x, tt); diff > tt*(1+1e-9) {
+			t.Errorf("t=%g: gap %g exceeds t", tt, diff)
+		}
+	}
+}
+
+// Translation invariance: shifting all coordinates leaves the value and
+// gradient unchanged.
+func TestTranslationInvariance(t *testing.T) {
+	x := []float64{0, 2, 5, 9}
+	g1 := make([]float64, 4)
+	g2 := make([]float64, 4)
+	v1 := Envelope(x, 1.3)
+	EnvelopeGrad(x, 1.3, g1)
+	shifted := make([]float64, 4)
+	for i := range x {
+		shifted[i] = x[i] + 1234.5
+	}
+	v2 := Envelope(shifted, 1.3)
+	EnvelopeGrad(shifted, 1.3, g2)
+	if math.Abs(v1-v2) > 1e-8 {
+		t.Errorf("value changed under translation: %g vs %g", v1, v2)
+	}
+	for i := range g1 {
+		if math.Abs(g1[i]-g2[i]) > 1e-8 {
+			t.Errorf("grad[%d] changed under translation: %g vs %g", i, g1[i], g2[i])
+		}
+	}
+}
+
+func TestDegenerateCases(t *testing.T) {
+	// All-equal coordinates: spread 0, degenerate, value 0, grad 0.
+	x := []float64{4, 4, 4}
+	g := make([]float64, 3)
+	r := EnvelopeGrad(x, 1, g)
+	if !r.Degenerate {
+		t.Error("all-equal net should be degenerate")
+	}
+	if r.Value != 0 {
+		t.Errorf("value = %g, want 0", r.Value)
+	}
+	for i, v := range g {
+		if v != 0 {
+			t.Errorf("g[%d] = %g, want 0", i, v)
+		}
+	}
+	// Two pins with t >= spread/2: levels cross.
+	r2 := EnvelopeGrad([]float64{0, 1}, 1, g[:2])
+	if !r2.Degenerate {
+		t.Error("2-pin with large t should be degenerate")
+	}
+	// Mean-based gradient: (x_i - 0.5)/t.
+	if math.Abs(g[0]+0.5) > 1e-12 || math.Abs(g[1]-0.5) > 1e-12 {
+		t.Errorf("degenerate grads = %v, want [-0.5, 0.5]", g[:2])
+	}
+}
+
+func TestSinglePinNet(t *testing.T) {
+	g := make([]float64, 1)
+	r := EnvelopeGrad([]float64{42}, 0.5, g)
+	if r.Value != 0 || g[0] != 0 {
+		t.Errorf("single pin: value=%g grad=%g", r.Value, g[0])
+	}
+	if Wirelength([]float64{42}, 0.5) != 0.5 {
+		t.Error("Wirelength should be envelope + t")
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty", func() { Envelope(nil, 1) })
+	mustPanic("zero t", func() { Envelope([]float64{1, 2}, 0) })
+	mustPanic("negative t", func() { Envelope([]float64{1, 2}, -1) })
+	mustPanic("prox len", func() { Prox([]float64{1, 2}, 1, make([]float64, 1)) })
+}
+
+func TestEvaluatorMatchesPackageFunctions(t *testing.T) {
+	ev := NewEvaluator(16)
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 100; iter++ {
+		n := 1 + rng.Intn(40) // exercises both insertion sort and sort.Float64s
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		tt := 0.1 + rng.Float64()
+		if a, b := ev.Envelope(x, tt), Envelope(x, tt); a != b {
+			t.Fatalf("evaluator envelope %g != %g", a, b)
+		}
+	}
+}
+
+func TestHPWL1D(t *testing.T) {
+	if HPWL1D(nil) != 0 {
+		t.Error("empty HPWL should be 0")
+	}
+	if got := HPWL1D([]float64{3, -1, 7, 2}); got != 8 {
+		t.Errorf("HPWL1D = %g, want 8", got)
+	}
+}
+
+// --- benchmarks (per-net kernel costs) ---
+
+func benchmarkEnvelopeGrad(b *testing.B, degree int) {
+	rng := rand.New(rand.NewSource(42))
+	x := make([]float64, degree)
+	for i := range x {
+		x[i] = rng.Float64() * 1000
+	}
+	g := make([]float64, degree)
+	ev := NewEvaluator(degree)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.EnvelopeGrad(x, 4.0, g)
+	}
+}
+
+func BenchmarkEnvelopeGradDegree2(b *testing.B)  { benchmarkEnvelopeGrad(b, 2) }
+func BenchmarkEnvelopeGradDegree4(b *testing.B)  { benchmarkEnvelopeGrad(b, 4) }
+func BenchmarkEnvelopeGradDegree16(b *testing.B) { benchmarkEnvelopeGrad(b, 16) }
+func BenchmarkEnvelopeGradDegree128(b *testing.B) {
+	benchmarkEnvelopeGrad(b, 128)
+}
+
+// The proximal mapping of a convex function is firmly nonexpansive:
+// ||prox(x) - prox(y)|| <= ||x - y||.
+func TestProxNonexpansive(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 300; iter++ {
+		n := 2 + rng.Intn(10)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 50
+			y[i] = rng.NormFloat64() * 50
+		}
+		tt := 0.05 + rng.Float64()*20
+		px := make([]float64, n)
+		py := make([]float64, n)
+		Prox(x, tt, px)
+		Prox(y, tt, py)
+		var dxy, dpq float64
+		for i := range x {
+			d := x[i] - y[i]
+			dxy += d * d
+			e := px[i] - py[i]
+			dpq += e * e
+		}
+		if dpq > dxy*(1+1e-9) {
+			t.Fatalf("prox expansive: %g > %g", math.Sqrt(dpq), math.Sqrt(dxy))
+		}
+	}
+}
+
+// The envelope gradient is 1/t-Lipschitz:
+// ||grad(x) - grad(y)|| <= ||x - y|| / t.
+func TestGradientLipschitz(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for iter := 0; iter < 300; iter++ {
+		n := 2 + rng.Intn(10)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 30
+			y[i] = rng.NormFloat64() * 30
+		}
+		tt := 0.05 + rng.Float64()*10
+		gx := make([]float64, n)
+		gy := make([]float64, n)
+		EnvelopeGrad(x, tt, gx)
+		EnvelopeGrad(y, tt, gy)
+		var dxy, dg float64
+		for i := range x {
+			d := x[i] - y[i]
+			dxy += d * d
+			e := gx[i] - gy[i]
+			dg += e * e
+		}
+		if math.Sqrt(dg) > math.Sqrt(dxy)/tt*(1+1e-9) {
+			t.Fatalf("gradient not 1/t-Lipschitz: %g > %g", math.Sqrt(dg), math.Sqrt(dxy)/tt)
+		}
+	}
+}
+
+// quick.Check form: envelope values are finite and non-negative for any
+// real inputs and positive t.
+func TestEnvelopeAlwaysFiniteNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(16)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(6)))
+		}
+		tt := math.Pow(10, -3+6*rng.Float64())
+		v := Envelope(x, tt)
+		return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,266 @@
+package netlist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// buildTiny constructs a 4-cell, 2-net design used across tests:
+//
+//	c0 (movable 2x1), c1 (movable 2x1), f0 (fixed 4x4), p0 (terminal 0x0)
+//	net0: c0, c1, f0    net1: c1, p0
+func buildTiny(t testing.TB) *Design {
+	t.Helper()
+	b := NewBuilder("tiny")
+	b.SetRegion(geom.Rect{XL: 0, YL: 0, XH: 100, YH: 100})
+	c0 := b.AddCell("c0", Movable, 2, 1, 10, 10)
+	c1 := b.AddCell("c1", Movable, 2, 1, 20, 20)
+	f0 := b.AddCell("f0", Fixed, 4, 4, 50, 50)
+	p0 := b.AddCell("p0", Terminal, 0, 0, 0, 100)
+	n0 := b.AddNet("n0", 1)
+	n1 := b.AddNet("n1", 1)
+	b.AddPin(n0, c0, 1, 0.5)
+	b.AddPin(n0, c1, 0, 0)
+	b.AddPin(n0, f0, 2, 2)
+	b.AddPin(n1, c1, 2, 1)
+	b.AddPin(n1, p0, 0, 0)
+	d, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return d
+}
+
+func TestBuilderProducesValidDesign(t *testing.T) {
+	d := buildTiny(t)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if d.NumCells() != 4 || d.NumNets() != 2 || d.NumPins() != 5 {
+		t.Errorf("counts = %d cells, %d nets, %d pins", d.NumCells(), d.NumNets(), d.NumPins())
+	}
+}
+
+func TestNetPinAccess(t *testing.T) {
+	d := buildTiny(t)
+	if got := d.NetDegree(0); got != 3 {
+		t.Errorf("NetDegree(0) = %d, want 3", got)
+	}
+	if got := d.NetDegree(1); got != 2 {
+		t.Errorf("NetDegree(1) = %d, want 2", got)
+	}
+	ps := d.NetPins(1)
+	if len(ps) != 2 || ps[0].Cell != 1 || ps[1].Cell != 3 {
+		t.Errorf("NetPins(1) = %+v", ps)
+	}
+}
+
+func TestCellPinTranspose(t *testing.T) {
+	d := buildTiny(t)
+	// c1 appears on both nets.
+	pins := d.PinsOfCell(1)
+	if len(pins) != 2 {
+		t.Fatalf("PinsOfCell(1) has %d pins, want 2", len(pins))
+	}
+	nets := map[int32]bool{}
+	for _, pi := range pins {
+		nets[d.Pins[pi].Net] = true
+	}
+	if !nets[0] || !nets[1] {
+		t.Errorf("cell 1 pins cover nets %v, want {0,1}", nets)
+	}
+	// Terminal p0 has exactly one pin.
+	if len(d.PinsOfCell(3)) != 1 {
+		t.Errorf("PinsOfCell(3) = %v", d.PinsOfCell(3))
+	}
+}
+
+func TestPinPosAppliesOffsets(t *testing.T) {
+	d := buildTiny(t)
+	p := d.NetPins(0)[0] // pin on c0 at offset (1, 0.5); c0 at (10,10)
+	got := d.PinPos(p)
+	if got != (geom.Point{X: 11, Y: 10.5}) {
+		t.Errorf("PinPos = %v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := buildTiny(t)
+	s := d.ComputeStats()
+	if s.NumMovable != 2 || s.NumFixed != 2 {
+		t.Errorf("movable/fixed = %d/%d", s.NumMovable, s.NumFixed)
+	}
+	if s.NumNets != 2 || s.NumPins != 5 {
+		t.Errorf("nets/pins = %d/%d", s.NumNets, s.NumPins)
+	}
+	if s.MovableArea != 4 { // two 2x1 cells
+		t.Errorf("MovableArea = %g", s.MovableArea)
+	}
+	if s.FixedArea != 16 { // the 4x4 fixed block; terminal has zero area
+		t.Errorf("FixedArea = %g", s.FixedArea)
+	}
+	if s.MaxDegree != 3 {
+		t.Errorf("MaxDegree = %d", s.MaxDegree)
+	}
+	if math.Abs(s.AvgDegree-2.5) > 1e-12 {
+		t.Errorf("AvgDegree = %g", s.AvgDegree)
+	}
+	wantUtil := 4.0 / (100*100 - 16)
+	if math.Abs(s.Utilization-wantUtil) > 1e-12 {
+		t.Errorf("Utilization = %g, want %g", s.Utilization, wantUtil)
+	}
+}
+
+func TestCellKindMoves(t *testing.T) {
+	if !Movable.Moves() || !MovableMacro.Moves() {
+		t.Error("movable kinds should move")
+	}
+	if Fixed.Moves() || Terminal.Moves() {
+		t.Error("fixed kinds should not move")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := buildTiny(t)
+	c := d.Clone()
+	c.X[0] = 999
+	c.Cells[0].W = 42
+	if d.X[0] == 999 || d.Cells[0].W == 42 {
+		t.Error("Clone shares state with original")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("clone invalid: %v", err)
+	}
+}
+
+func TestCenterHelpers(t *testing.T) {
+	d := buildTiny(t)
+	d.SetCenter(0, 30, 40)
+	if d.X[0] != 29 || d.Y[0] != 39.5 {
+		t.Errorf("SetCenter placed lower-left at (%g,%g)", d.X[0], d.Y[0])
+	}
+	if d.CenterX(0) != 30 || d.CenterY(0) != 40 {
+		t.Errorf("Center = (%g,%g)", d.CenterX(0), d.CenterY(0))
+	}
+}
+
+func TestClampToRegion(t *testing.T) {
+	d := buildTiny(t)
+	d.X[0], d.Y[0] = -50, 200 // way outside
+	d.X[2], d.Y[2] = -50, 200 // fixed: must NOT be clamped
+	d.ClampToRegion()
+	if d.X[0] != 0 || d.Y[0] != 99 { // region 100 high, cell 1 tall
+		t.Errorf("movable clamped to (%g,%g)", d.X[0], d.Y[0])
+	}
+	if d.X[2] != -50 || d.Y[2] != 200 {
+		t.Error("fixed cell was moved by ClampToRegion")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name   string
+		break_ func(*Design)
+	}{
+		{"coord length", func(d *Design) { d.X = d.X[:1] }},
+		{"netstart span", func(d *Design) { d.NetStart[len(d.NetStart)-1]++ }},
+		{"pin cell range", func(d *Design) { d.Pins[0].Cell = 99 }},
+		{"pin net range", func(d *Design) { d.Pins[0].Net = -1 }},
+		{"nan offset", func(d *Design) { d.Pins[0].Dx = math.NaN() }},
+		{"negative size", func(d *Design) { d.Cells[0].W = -1 }},
+		{"nan position", func(d *Design) { d.X[0] = math.NaN() }},
+		{"empty region", func(d *Design) { d.Region = geom.Rect{} }},
+		{"cellpin mismatch", func(d *Design) { d.CellPins[0] = 4 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := buildTiny(t)
+			tc.break_(d)
+			if err := d.Validate(); err == nil {
+				t.Errorf("Validate accepted corrupted design (%s)", tc.name)
+			}
+		})
+	}
+}
+
+func TestBuilderCellIndexLookup(t *testing.T) {
+	b := NewBuilder("x")
+	b.SetRegion(geom.Rect{XH: 1, YH: 1})
+	i := b.AddCell("alpha", Movable, 1, 1, 0, 0)
+	j, ok := b.CellIndex("alpha")
+	if !ok || j != i {
+		t.Errorf("CellIndex = %d,%v", j, ok)
+	}
+	if _, ok := b.CellIndex("nope"); ok {
+		t.Error("CellIndex found nonexistent cell")
+	}
+}
+
+func TestRowSites(t *testing.T) {
+	r := Row{XL: 0, XH: 10, SiteW: 3}
+	if r.Sites() != 3 {
+		t.Errorf("Sites = %d", r.Sites())
+	}
+	if (Row{}).Sites() != 0 {
+		t.Error("zero row should have 0 sites")
+	}
+}
+
+func TestMovableIndices(t *testing.T) {
+	d := buildTiny(t)
+	idx := d.MovableIndices()
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 1 {
+		t.Errorf("MovableIndices = %v", idx)
+	}
+}
+
+func TestCellKindString(t *testing.T) {
+	cases := map[CellKind]string{
+		Movable:      "movable",
+		Fixed:        "fixed",
+		Terminal:     "terminal",
+		MovableMacro: "movable-macro",
+		CellKind(9):  "CellKind(9)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestCellArea(t *testing.T) {
+	c := Cell{W: 3, H: 2}
+	if c.Area() != 6 {
+		t.Errorf("Area = %g", c.Area())
+	}
+}
+
+func TestCopyPositionsFrom(t *testing.T) {
+	d := buildTiny(t)
+	c := d.Clone()
+	c.X[0], c.Y[0] = 77, 88
+	d.CopyPositionsFrom(c)
+	if d.X[0] != 77 || d.Y[0] != 88 {
+		t.Error("positions not copied")
+	}
+}
+
+func TestCellRect(t *testing.T) {
+	d := buildTiny(t)
+	r := d.CellRect(0) // 2x1 at (10,10)
+	if r.XL != 10 || r.YL != 10 || r.XH != 12 || r.YH != 11 {
+		t.Errorf("CellRect = %v", r)
+	}
+}
+
+func TestValidateNetStartPinConsistency(t *testing.T) {
+	d := buildTiny(t)
+	// Shift the boundary so net 0's range swallows one of net 1's pins.
+	d.NetStart[1] = 4
+	if err := d.Validate(); err == nil {
+		t.Error("net range / pin.Net mismatch accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package placer
+
+import (
+	"testing"
+
+	"repro/internal/congestion"
+	"repro/internal/wirelength"
+)
+
+func TestInflateCongestedGrowsHotCells(t *testing.T) {
+	d := testDesign(t, 400, 0)
+	// Cluster everything so the center bins are congested.
+	c := d.Region.Center()
+	for _, i := range d.MovableIndices() {
+		d.SetCenter(i, c.X, c.Y)
+	}
+	origArea := 0.0
+	for _, i := range d.MovableIndices() {
+		origArea += d.Cells[i].Area()
+	}
+	origW, res, err := InflateCongested(d, InflateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inflated == 0 {
+		t.Fatal("clustered placement inflated nothing")
+	}
+	if res.AreaRatio <= 1 {
+		t.Errorf("area ratio = %g, want > 1", res.AreaRatio)
+	}
+	// Restore brings sizes back exactly.
+	RestoreSizes(d, origW)
+	area := 0.0
+	for _, i := range d.MovableIndices() {
+		area += d.Cells[i].Area()
+	}
+	if area != origArea {
+		t.Errorf("RestoreSizes: area %g, want %g", area, origArea)
+	}
+}
+
+func TestPlaceRoutabilityImprovesCongestion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("routability loop in -short mode")
+	}
+	d := testDesign(t, 500, 0)
+	m, _ := wirelength.ByName("ME")
+	cfg := fastConfig(m)
+	cfg.MaxIters = 300
+
+	base := d.Clone()
+	if _, err := Place(base, cfg); err != nil {
+		t.Fatal(err)
+	}
+	baseMap, _ := congestion.RUDY(base, 32, 32)
+	basePeak := baseMap.ComputeStats().Peak
+
+	res, info, err := PlaceRoutability(d, cfg, 2, InflateOptions{Threshold: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.HPWL <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	routMap, _ := congestion.RUDY(d, 32, 32)
+	routPeak := routMap.ComputeStats().Peak
+	// Either nothing was congested enough to inflate, or the peak should
+	// not get meaningfully worse (it usually improves).
+	if info != nil && info.Inflated > 0 && routPeak > basePeak*1.15 {
+		t.Errorf("routability mode worsened peak congestion: %g -> %g", basePeak, routPeak)
+	}
+	// Cell sizes restored.
+	for _, i := range d.MovableIndices() {
+		if d.Cells[i].W != base.Cells[i].W {
+			t.Fatalf("cell %d width not restored: %g vs %g", i, d.Cells[i].W, base.Cells[i].W)
+		}
+	}
+}

@@ -1,0 +1,513 @@
+// Package placer implements ePlace-style analytical global placement: the
+// wirelength model (pluggable; the paper compares LSE, WA, BiG and its
+// Moreau-envelope model) plus the electrostatic density penalty, minimized
+// by Nesterov's method with Barzilai-Borwein step prediction.
+//
+// The objective is Eq. (1) of the paper,
+//
+//	min_{x,y}  sum_e W_e(x, y) + lambda * D(x, y),
+//
+// with the smoothing parameter driven by the density overflow (the ePlace
+// gamma schedule for exponential models, the paper's tangent t schedule for
+// the Moreau model) and lambda driven by Eq. (15).
+package placer
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/density"
+	"repro/internal/netlist"
+	"repro/internal/optimizer"
+	"repro/internal/quadratic"
+	"repro/internal/wirelength"
+)
+
+// Config controls a global placement run.
+type Config struct {
+	// Model is the differentiable wirelength model (required).
+	Model wirelength.Model
+	// GridX, GridY are the density grid dimensions (powers of two);
+	// zero selects them automatically from the design size.
+	GridX, GridY int
+	// TargetDensity overrides the design's bin density target when > 0.
+	TargetDensity float64
+	// MaxIters caps global placement iterations (default 1000).
+	MaxIters int
+	// StopOverflow ends global placement once the density overflow drops
+	// below it (default 0.07, the usual ePlace target).
+	StopOverflow float64
+	// Gamma0 is the base multiplier of the ePlace gamma schedule
+	// (default 4.0); used by LSE/WA/BiG.
+	Gamma0 float64
+	// T0 and Delta parameterize the paper's tangent t schedule (Eq. 14);
+	// defaults 4.0 and 1e-4.
+	T0, Delta float64
+	// NoFillers disables whitespace filler cell insertion (fillers are
+	// on by default).
+	NoFillers bool
+	// Seed randomizes the initial placement jitter.
+	Seed int64
+	// RecordEvery records a trajectory point (exact HPWL vs overflow)
+	// every that many iterations; 0 disables recording.
+	RecordEvery int
+	// KeepPositions starts from the design's input placement instead of
+	// the default ePlace center-with-jitter initialization.
+	KeepPositions bool
+	// Init selects the initial placement explicitly and overrides
+	// KeepPositions: "center" (ePlace default), "keep" (input positions),
+	// or "quadratic" (Bound2Bound quadratic placement, Kraftwerk2-style).
+	Init string
+	// Optimizer selects the first-order method: "nesterov" (default),
+	// "adam", or "momentum" (ablation study).
+	Optimizer string
+	// Schedule overrides the smoothing-parameter schedule: "" picks by
+	// the model's ParamKind, "gamma" forces the ePlace schedule,
+	// "tangent" forces the paper's Eq. 14 schedule (ablation study).
+	Schedule string
+	// Precondition divides each cell's gradient by (#pins + lambda*area),
+	// the DREAMPlace Jacobi preconditioner, equalizing step scales
+	// between hub cells and leaf cells.
+	Precondition bool
+	// WLWorkers > 1 evaluates the wirelength model with that many
+	// goroutines (the model must be one of the named models).
+	WLWorkers int
+}
+
+// DefaultConfig returns the standard configuration for a model.
+func DefaultConfig(m wirelength.Model) Config {
+	return Config{
+		Model:        m,
+		MaxIters:     1000,
+		StopOverflow: 0.07,
+		Gamma0:       4.0,
+		T0:           4.0,
+		Delta:        1e-4,
+		Seed:         1,
+	}
+}
+
+// TrajectoryPoint is one sample of the Fig. 3 curve: exact HPWL against
+// density overflow during global placement.
+type TrajectoryPoint struct {
+	Iter      int
+	Overflow  float64
+	HPWL      float64
+	Objective float64
+	Param     float64 // smoothing parameter (gamma or t) at this iteration
+	Lambda    float64
+}
+
+// Result summarizes a global placement run.
+type Result struct {
+	HPWL        float64 // exact HPWL of the final placement
+	Overflow    float64 // final density overflow
+	Iterations  int
+	Evaluations int // objective/gradient evaluations (incl. backtracking)
+	Seconds     float64
+	Trajectory  []TrajectoryPoint
+}
+
+// engine carries the mutable state of one global placement run.
+type engine struct {
+	d   *netlist.Design
+	cfg Config
+	mov []int // movable cell indices
+
+	grid *density.Grid
+	elec *density.Electro
+
+	// Filler cells: anonymous movable whitespace charges.
+	fillerW, fillerH float64
+	numFillers       int
+
+	// Per-position-entry half-dimensions for projection and stamping:
+	// entries 0..n-1 are cells (in mov order), n..n+numFillers-1 fillers.
+	halfW, halfH []float64
+
+	wgx, wgy []float64 // per-cell wirelength gradient scratch
+
+	movableArea   float64
+	targetDensity float64
+
+	param    float64 // current smoothing parameter
+	lambda   float64
+	overflow float64
+
+	lastEnergy float64
+}
+
+// autoGrid picks a power-of-two grid dimension from the design size.
+func autoGrid(numMovable int) int {
+	g := 32
+	for g*g < numMovable && g < 512 {
+		g *= 2
+	}
+	return g
+}
+
+// Place runs global placement on d (in place) and returns the result.
+func Place(d *netlist.Design, cfg Config) (*Result, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("placer: config has no wirelength model")
+	}
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = 1000
+	}
+	if cfg.StopOverflow <= 0 {
+		cfg.StopOverflow = 0.07
+	}
+	if cfg.Gamma0 <= 0 {
+		cfg.Gamma0 = 4.0
+	}
+	if cfg.T0 <= 0 {
+		cfg.T0 = 4.0
+	}
+	if cfg.Delta <= 0 {
+		cfg.Delta = 1e-4
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("placer: %w", err)
+	}
+	if cfg.WLWorkers > 1 {
+		pm, err := wirelength.ParallelByName(cfg.Model.Name(), cfg.WLWorkers)
+		if err != nil {
+			return nil, fmt.Errorf("placer: parallel wirelength: %w", err)
+		}
+		cfg.Model = pm
+	}
+
+	start := time.Now()
+	en := &engine{d: d, cfg: cfg, mov: d.MovableIndices()}
+	if len(en.mov) == 0 {
+		return nil, fmt.Errorf("placer: design %q has no movable cells", d.Name)
+	}
+
+	gx, gy := cfg.GridX, cfg.GridY
+	if gx == 0 {
+		gx = autoGrid(len(en.mov))
+	}
+	if gy == 0 {
+		gy = gx
+	}
+	en.grid = density.NewGrid(d.Region, gx, gy)
+	en.elec = density.NewElectro(en.grid)
+
+	en.targetDensity = d.TargetDensity
+	if cfg.TargetDensity > 0 {
+		en.targetDensity = cfg.TargetDensity
+	}
+	if en.targetDensity <= 0 || en.targetDensity > 1 {
+		en.targetDensity = 1
+	}
+
+	for _, c := range en.mov {
+		en.movableArea += d.Cells[c].Area()
+	}
+	// Stamp fixed cells once.
+	for i, c := range d.Cells {
+		if c.Kind.Moves() || c.Area() == 0 {
+			continue
+		}
+		r := d.CellRect(i)
+		en.grid.StampFixedRect(r.XL, r.YL, r.XH, r.YH, 1)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	en.setupFillers(rng)
+
+	n := len(en.mov) + en.numFillers
+	pos := make([]float64, 2*n)
+	en.halfW = make([]float64, n)
+	en.halfH = make([]float64, n)
+	for i, c := range en.mov {
+		en.halfW[i] = d.Cells[c].W / 2
+		en.halfH[i] = d.Cells[c].H / 2
+	}
+	for f := 0; f < en.numFillers; f++ {
+		en.halfW[len(en.mov)+f] = en.fillerW / 2
+		en.halfH[len(en.mov)+f] = en.fillerH / 2
+	}
+
+	// Initial placement.
+	initMode := cfg.Init
+	if initMode == "" {
+		if cfg.KeepPositions {
+			initMode = "keep"
+		} else {
+			initMode = "center"
+		}
+	}
+	switch initMode {
+	case "center", "keep":
+	case "quadratic":
+		if err := quadratic.PlaceB2B(d, quadratic.B2BOptions{}); err != nil {
+			return nil, fmt.Errorf("placer: quadratic init: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("placer: unknown init %q (want center, keep, or quadratic)", cfg.Init)
+	}
+	cx, cy := d.Region.Center().X, d.Region.Center().Y
+	jx := d.Region.W() * 0.001
+	jy := d.Region.H() * 0.001
+	for i, c := range en.mov {
+		if initMode == "center" {
+			pos[i] = cx + rng.NormFloat64()*jx
+			pos[n+i] = cy + rng.NormFloat64()*jy
+		} else {
+			pos[i] = d.CenterX(c)
+			pos[n+i] = d.CenterY(c)
+		}
+	}
+	for f := 0; f < en.numFillers; f++ {
+		i := len(en.mov) + f
+		pos[i] = cx + rng.NormFloat64()*jx
+		pos[n+i] = cy + rng.NormFloat64()*jy
+	}
+
+	project := func(p []float64) {
+		r := d.Region
+		for i := 0; i < n; i++ {
+			lo, hi := r.XL+en.halfW[i], r.XH-en.halfW[i]
+			if hi < lo {
+				lo, hi = (r.XL+r.XH)/2, (r.XL+r.XH)/2
+			}
+			if p[i] < lo {
+				p[i] = lo
+			} else if p[i] > hi {
+				p[i] = hi
+			}
+			lo, hi = r.YL+en.halfH[i], r.YH-en.halfH[i]
+			if hi < lo {
+				lo, hi = (r.YL+r.YH)/2, (r.YL+r.YH)/2
+			}
+			if p[n+i] < lo {
+				p[n+i] = lo
+			} else if p[n+i] > hi {
+				p[n+i] = hi
+			}
+		}
+	}
+	project(pos)
+
+	en.wgx = make([]float64, d.NumCells())
+	en.wgy = make([]float64, d.NumCells())
+
+	gammaSched := GammaSchedule{Gamma0: cfg.Gamma0, BinW: en.grid.BinW, BinH: en.grid.BinH}
+	tSched := TSchedule{T0: cfg.T0, Delta: cfg.Delta, BinW: en.grid.BinW, BinH: en.grid.BinH}
+	useTangent := cfg.Model.ParamKind() == wirelength.ParamMoreauT
+	switch cfg.Schedule {
+	case "":
+	case "gamma":
+		useTangent = false
+	case "tangent":
+		useTangent = true
+	default:
+		return nil, fmt.Errorf("placer: unknown schedule %q (want gamma or tangent)", cfg.Schedule)
+	}
+	schedule := func(phi float64) float64 {
+		if useTangent {
+			return tSched.At(phi)
+		}
+		return gammaSched.At(phi)
+	}
+
+	// Measure the initial overflow and calibrate lambda0 from the ratio of
+	// wirelength to density gradient magnitudes (ePlace).
+	en.unpack(pos)
+	en.overflow = en.stampAndOverflow(pos)
+	en.param = schedule(en.overflow)
+	en.elec.SolveFromGrid()
+	lambda0 := en.calibrateLambda0(pos)
+	lu := NewLambdaUpdater()
+	lu.Prime(lambda0, en.elec.Energy())
+	en.lambda = lu.Lambda()
+
+	var opt optimizer.Optimizer
+	binScale := en.grid.BinW + en.grid.BinH
+	switch cfg.Optimizer {
+	case "", "nesterov":
+		opt = optimizer.NewNesterov(pos, 1e-3*binScale, project)
+	case "adam":
+		// Adam's normalized step moves each coordinate by up to LR per
+		// iteration; half a bin keeps spreading stable.
+		opt = optimizer.NewAdam(pos, 0.25*binScale, project)
+	case "momentum":
+		opt = optimizer.NewMomentum(pos, 1e-2*binScale, 0.9, project)
+	default:
+		return nil, fmt.Errorf("placer: unknown optimizer %q (want nesterov, adam, or momentum)", cfg.Optimizer)
+	}
+
+	res := &Result{}
+	for k := 0; k < cfg.MaxIters; k++ {
+		en.param = schedule(en.overflow)
+		obj := opt.Step(en.eval)
+		en.lambda = lu.Update(en.lastEnergy)
+		res.Iterations = k + 1
+
+		if cfg.RecordEvery > 0 && k%cfg.RecordEvery == 0 {
+			en.unpack(opt.Pos())
+			res.Trajectory = append(res.Trajectory, TrajectoryPoint{
+				Iter:      k,
+				Overflow:  en.overflow,
+				HPWL:      wirelength.TotalHPWL(d),
+				Objective: obj,
+				Param:     en.param,
+				Lambda:    en.lambda,
+			})
+		}
+		if en.overflow < cfg.StopOverflow {
+			break
+		}
+	}
+
+	en.unpack(opt.Pos())
+	d.ClampToRegion()
+	res.HPWL = wirelength.TotalHPWL(d)
+	res.Overflow = en.overflow
+	if nes, ok := opt.(*optimizer.Nesterov); ok {
+		res.Evaluations = nes.EvalCount()
+	} else {
+		res.Evaluations = res.Iterations
+	}
+	res.Seconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+// setupFillers computes filler dimensions and count from the whitespace
+// budget: fillerArea = targetDensity*freeArea - movableArea.
+func (en *engine) setupFillers(rng *rand.Rand) {
+	if en.cfg.NoFillers {
+		return
+	}
+	d := en.d
+	fixedArea := 0.0
+	for i, c := range d.Cells {
+		if !c.Kind.Moves() {
+			fixedArea += d.CellRect(i).Intersect(d.Region).Area()
+		}
+	}
+	free := d.Region.Area() - fixedArea
+	budget := en.targetDensity*free - en.movableArea
+	if budget <= 0 {
+		return
+	}
+	// Filler size: the average movable standard-cell size (macros skew the
+	// mean, so use the median-ish harmonic of small cells).
+	var wSum, hSum float64
+	var cnt int
+	for _, c := range en.mov {
+		cell := d.Cells[c]
+		if cell.Kind == netlist.MovableMacro {
+			continue
+		}
+		wSum += cell.W
+		hSum += cell.H
+		cnt++
+	}
+	if cnt == 0 {
+		return
+	}
+	en.fillerW = wSum / float64(cnt)
+	en.fillerH = hSum / float64(cnt)
+	if en.fillerW <= 0 || en.fillerH <= 0 {
+		return
+	}
+	en.numFillers = int(budget / (en.fillerW * en.fillerH))
+	// Cap fillers to keep the optimization vector bounded.
+	if max := 4 * len(en.mov); en.numFillers > max {
+		scale := math.Sqrt(budget / (float64(max) * en.fillerW * en.fillerH))
+		en.fillerW *= scale
+		en.fillerH *= scale
+		en.numFillers = max
+	}
+	_ = rng
+}
+
+// unpack writes the position vector back into the design's movable cells.
+// Filler positions live only in the vector itself.
+func (en *engine) unpack(pos []float64) {
+	n := len(en.mov) + en.numFillers
+	for i, c := range en.mov {
+		en.d.SetCenter(c, pos[i], pos[n+i])
+	}
+}
+
+// stampAndOverflow stamps movable cells, measures overflow, then stamps the
+// fillers on top (ready for the field solve) and returns the overflow.
+func (en *engine) stampAndOverflow(pos []float64) float64 {
+	n := len(en.mov) + en.numFillers
+	en.grid.Clear()
+	for i := range en.mov {
+		en.grid.StampSmoothed(pos[i], pos[n+i], 2*en.halfW[i], 2*en.halfH[i])
+	}
+	phi := en.grid.Overflow(en.targetDensity, en.movableArea)
+	for f := 0; f < en.numFillers; f++ {
+		i := len(en.mov) + f
+		en.grid.StampSmoothed(pos[i], pos[n+i], en.fillerW, en.fillerH)
+	}
+	return phi
+}
+
+// calibrateLambda0 returns the ePlace initial density weight: the ratio of
+// the wirelength gradient L1 norm to the density gradient L1 norm at the
+// initial placement. The field must already be solved.
+func (en *engine) calibrateLambda0(pos []float64) float64 {
+	d := en.d
+	en.cfg.Model.WirelengthGrad(d, en.param, en.wgx, en.wgy)
+	var wlNorm, denNorm float64
+	n := len(en.mov) + en.numFillers
+	for i, c := range en.mov {
+		wlNorm += math.Abs(en.wgx[c]) + math.Abs(en.wgy[c])
+		fx, fy := en.grid.SampleSmoothed(en.elec.Ex, en.elec.Ey, pos[i], pos[n+i], 2*en.halfW[i], 2*en.halfH[i])
+		denNorm += math.Abs(fx) + math.Abs(fy)
+	}
+	if denNorm <= 0 {
+		return 1e-4
+	}
+	return wlNorm / denNorm
+}
+
+// eval is the full objective W + lambda*D with gradient, used by the
+// optimizer (including its backtracking trials).
+func (en *engine) eval(pos, grad []float64) float64 {
+	d := en.d
+	en.unpack(pos)
+	w := en.cfg.Model.WirelengthGrad(d, en.param, en.wgx, en.wgy)
+
+	en.overflow = en.stampAndOverflow(pos)
+	en.elec.SolveFromGrid()
+	energy := en.elec.Energy()
+	en.lastEnergy = energy
+
+	n := len(en.mov) + en.numFillers
+	for i, c := range en.mov {
+		fx, fy := en.grid.SampleSmoothed(en.elec.Ex, en.elec.Ey, pos[i], pos[n+i], 2*en.halfW[i], 2*en.halfH[i])
+		grad[i] = en.wgx[c] - en.lambda*fx
+		grad[n+i] = en.wgy[c] - en.lambda*fy
+		if en.cfg.Precondition {
+			p := float64(len(d.PinsOfCell(c))) + en.lambda*d.Cells[c].Area()
+			if p < 1 {
+				p = 1
+			}
+			grad[i] /= p
+			grad[n+i] /= p
+		}
+	}
+	fillerPre := 1.0
+	if en.cfg.Precondition {
+		fillerPre = en.lambda * en.fillerW * en.fillerH
+		if fillerPre < 1 {
+			fillerPre = 1
+		}
+	}
+	for f := 0; f < en.numFillers; f++ {
+		i := len(en.mov) + f
+		fx, fy := en.grid.SampleSmoothed(en.elec.Ex, en.elec.Ey, pos[i], pos[n+i], en.fillerW, en.fillerH)
+		grad[i] = -en.lambda * fx / fillerPre
+		grad[n+i] = -en.lambda * fy / fillerPre
+	}
+	return w + en.lambda*energy
+}

@@ -1,0 +1,100 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// PlacementSVG renders the design's current placement: standard cells in
+// blue, movable macros in orange, fixed obstacles in gray, terminals as
+// black dots. maxPx bounds the longer image side (default 900).
+func PlacementSVG(w io.Writer, d *netlist.Design, maxPx int) error {
+	if d.Region.Empty() {
+		return fmt.Errorf("plot: design has an empty region")
+	}
+	if maxPx <= 0 {
+		maxPx = 900
+	}
+	scale := float64(maxPx) / math.Max(d.Region.W(), d.Region.H())
+	imgW := int(d.Region.W()*scale) + 2
+	imgH := int(d.Region.H()*scale) + 2
+	// SVG y grows downward; placement y grows upward.
+	px := func(x float64) float64 { return (x - d.Region.XL) * scale }
+	py := func(y float64) float64 { return float64(imgH) - (y-d.Region.YL)*scale }
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		imgW, imgH, imgW, imgH)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&sb, `<rect x="%g" y="%g" width="%g" height="%g" fill="none" stroke="#333"/>`+"\n",
+		px(d.Region.XL), py(d.Region.YH), d.Region.W()*scale, d.Region.H()*scale)
+
+	emit := func(i int, fill, stroke string, opacity float64) {
+		r := d.CellRect(i)
+		fmt.Fprintf(&sb, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" fill-opacity="%.2f" stroke="%s" stroke-width="0.3"/>`+"\n",
+			px(r.XL), py(r.YH), r.W()*scale, r.H()*scale, fill, opacity, stroke)
+	}
+	// Draw fixed first so movables are visible on top.
+	for i, c := range d.Cells {
+		switch {
+		case c.Kind == netlist.Fixed && c.Area() > 0:
+			emit(i, "#999999", "#666666", 0.9)
+		case c.Kind == netlist.Terminal:
+			fmt.Fprintf(&sb, `<circle cx="%.2f" cy="%.2f" r="2" fill="black"/>`+"\n",
+				px(d.X[i]), py(d.Y[i]))
+		}
+	}
+	for i, c := range d.Cells {
+		switch c.Kind {
+		case netlist.Movable:
+			emit(i, "#3b76c4", "#1f4e8c", 0.6)
+		case netlist.MovableMacro:
+			emit(i, "#e88a2d", "#a85e12", 0.8)
+		}
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// HeatmapSVG renders a row-major nx-by-ny grid of values as a heatmap
+// (white = min, dark red = max). Used for density and RUDY congestion maps.
+func HeatmapSVG(w io.Writer, values []float64, nx, ny int, title string) error {
+	if nx <= 0 || ny <= 0 || len(values) != nx*ny {
+		return fmt.Errorf("plot: heatmap grid %dx%d does not match %d values", nx, ny, len(values))
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	const cell = 8
+	imgW := nx * cell
+	imgH := ny*cell + 24
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		imgW, imgH, imgW, imgH)
+	fmt.Fprintf(&sb, `<text x="4" y="14" font-family="sans-serif" font-size="12">%s (min %.3g, max %.3g)</text>`+"\n",
+		escape(title), lo, hi)
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			t := (values[iy*nx+ix] - lo) / (hi - lo)
+			// White -> yellow -> red ramp.
+			r, g, b := 255, int(255*(1-t*t)), int(255*(1-t))
+			// Grid row 0 is the bottom of the region: flip vertically.
+			y := 24 + (ny-1-iy)*cell
+			fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="rgb(%d,%d,%d)"/>`+"\n",
+				ix*cell, y, cell, cell, r, g, b)
+		}
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

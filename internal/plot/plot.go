@@ -1,0 +1,174 @@
+// Package plot renders simple line charts as standalone SVG documents using
+// only the standard library. The experiment harness uses it to produce
+// graphical versions of the paper's figures (Fig. 1(a), Fig. 1(b), Fig. 3)
+// next to their plain-text data blocks.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Chart describes one line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX/LogY plot the axis on a log10 scale (points must be > 0).
+	LogX, LogY bool
+	// Width, Height are the SVG pixel dimensions (defaults 720x480).
+	Width, Height int
+	Series        []metrics.Series
+}
+
+// palette holds distinguishable line colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf",
+}
+
+const (
+	marginL = 70.0
+	marginR = 20.0
+	marginT = 40.0
+	marginB = 55.0
+)
+
+// Render writes the chart as an SVG document.
+func (c *Chart) Render(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	if c.Width <= 0 {
+		c.Width = 720
+	}
+	if c.Height <= 0 {
+		c.Height = 480
+	}
+	tx := func(v float64) (float64, error) { return v, nil }
+	ty := tx
+	if c.LogX {
+		tx = logT("x")
+	}
+	if c.LogY {
+		ty = logT("y")
+	}
+
+	// Data bounds in (possibly transformed) coordinates.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has mismatched lengths %d/%d", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			x, err := tx(s.X[i])
+			if err != nil {
+				return err
+			}
+			y, err := ty(s.Y[i])
+			if err != nil {
+				return err
+			}
+			minX = math.Min(minX, x)
+			maxX = math.Max(maxX, x)
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// A little headroom.
+	padY := (maxY - minY) * 0.05
+	minY -= padY
+	maxY += padY
+
+	plotW := float64(c.Width) - marginL - marginR
+	plotH := float64(c.Height) - marginT - marginB
+	px := func(x float64) float64 { return marginL + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return marginT + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		c.Width, c.Height, c.Width, c.Height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	// Title and axis labels.
+	fmt.Fprintf(&sb, `<text x="%g" y="24" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n",
+		float64(c.Width)/2, escape(c.Title))
+	fmt.Fprintf(&sb, `<text x="%g" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, c.Height-10, escape(c.XLabel))
+	fmt.Fprintf(&sb, `<text x="16" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, escape(c.YLabel))
+
+	// Frame.
+	fmt.Fprintf(&sb, `<rect x="%g" y="%g" width="%g" height="%g" fill="none" stroke="#444"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+
+	// Ticks: 5 per axis with grid lines.
+	for i := 0; i <= 5; i++ {
+		fx := minX + (maxX-minX)*float64(i)/5
+		fy := minY + (maxY-minY)*float64(i)/5
+		X := px(fx)
+		Y := py(fy)
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n", X, marginT, X, marginT+plotH)
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n", marginL, Y, marginL+plotW, Y)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			X, marginT+plotH+16, tickLabel(fx, c.LogX))
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginL-6, Y+4, tickLabel(fy, c.LogY))
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			x, _ := tx(s.X[i])
+			y, _ := ty(s.Y[i])
+			pts = append(pts, fmt.Sprintf("%.2f,%.2f", px(x), py(y)))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.Join(pts, " "), color)
+		// Legend entry.
+		ly := marginT + 14 + float64(si)*16
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			marginL+8, ly, marginL+30, ly, color)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			marginL+36, ly+4, escape(s.Name))
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// logT returns a log10 transform that rejects non-positive values.
+func logT(axis string) func(float64) (float64, error) {
+	return func(v float64) (float64, error) {
+		if v <= 0 {
+			return 0, fmt.Errorf("plot: log %s axis requires positive values, got %g", axis, v)
+		}
+		return math.Log10(v), nil
+	}
+}
+
+// tickLabel formats a tick value, undoing the log transform for display.
+func tickLabel(v float64, logScale bool) string {
+	if logScale {
+		return fmt.Sprintf("%.3g", math.Pow(10, v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}

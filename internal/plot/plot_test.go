@@ -1,0 +1,163 @@
+package plot
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/synth"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "Test <Chart>",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []metrics.Series{
+			{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}},
+			{Name: "b", X: []float64{0, 1, 2}, Y: []float64{4, 1, 0}},
+		},
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", ">a</text>", ">b</text>", "Test &lt;Chart&gt;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+}
+
+func TestRenderLogAxis(t *testing.T) {
+	c := sampleChart()
+	c.LogX = true
+	c.Series[0].X = []float64{0.01, 1, 100}
+	c.Series[1].X = []float64{0.01, 1, 100}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Log axis rejects non-positive values.
+	c.Series[0].X[0] = 0
+	if err := c.Render(&buf); err == nil {
+		t.Error("log axis accepted zero")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	c := &Chart{Title: "empty"}
+	if err := c.Render(&buf); err == nil {
+		t.Error("empty chart accepted")
+	}
+	c = sampleChart()
+	c.Series[0].Y = c.Series[0].Y[:1]
+	if err := c.Render(&buf); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate (flat) data must not divide by zero.
+	c := &Chart{
+		Title: "flat",
+		Series: []metrics.Series{
+			{Name: "c", X: []float64{1, 1}, Y: []float64{2, 2}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Error("SVG contains NaN coordinates")
+	}
+}
+
+func TestRenderCoordinatesInsideViewBox(t *testing.T) {
+	var buf bytes.Buffer
+	c := sampleChart()
+	c.Width, c.Height = 400, 300
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Crude but effective: every polyline coordinate should be a small
+	// positive number (no wild out-of-range projections).
+	start := strings.Index(out, "<polyline points=\"")
+	end := strings.Index(out[start+18:], "\"")
+	coords := out[start+18 : start+18+end]
+	for _, pair := range strings.Fields(coords) {
+		parts := strings.Split(pair, ",")
+		if len(parts) != 2 {
+			t.Fatalf("bad coordinate %q", pair)
+		}
+		x, err1 := strconv.ParseFloat(parts[0], 64)
+		y, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad coordinate %q", pair)
+		}
+		if x < 0 || x > 400 || y < 0 || y > 300 {
+			t.Fatalf("coordinate %q outside 400x300 viewbox", pair)
+		}
+	}
+}
+
+func TestPlacementSVG(t *testing.T) {
+	d, err := synth.Generate(synth.Spec{
+		Name: "viz", NumMovable: 50, NumMacros: 1, NumPads: 4, NumFixedBlocks: 1,
+		NumNets: 55, AvgDegree: 3, Utilization: 0.6, TargetDensity: 1, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := PlacementSVG(&buf, d, 400); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// 50 std cells + 1 macro + 1 fixed block as rects, 4 terminals as circles.
+	if got := strings.Count(out, "<rect"); got < 52 {
+		t.Errorf("only %d rects", got)
+	}
+	if got := strings.Count(out, "<circle"); got != 4 {
+		t.Errorf("%d circles, want 4", got)
+	}
+	for _, color := range []string{"#3b76c4", "#e88a2d", "#999999"} {
+		if !strings.Contains(out, color) {
+			t.Errorf("missing %s cells", color)
+		}
+	}
+}
+
+func TestHeatmapSVG(t *testing.T) {
+	var buf bytes.Buffer
+	vals := []float64{0, 1, 2, 3, 4, 5}
+	if err := HeatmapSVG(&buf, vals, 3, 2, "demo & test"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "<rect"); got != 6 {
+		t.Errorf("%d cells, want 6", got)
+	}
+	if !strings.Contains(out, "demo &amp; test") {
+		t.Error("title not escaped")
+	}
+	// Constant map must not divide by zero.
+	if err := HeatmapSVG(&buf, []float64{1, 1}, 2, 1, "flat"); err != nil {
+		t.Fatal(err)
+	}
+	if err := HeatmapSVG(&buf, vals, 2, 2, "bad"); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}

@@ -1,0 +1,234 @@
+package quadratic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/wirelength"
+)
+
+// --- sparse / CG ---
+
+func TestBuilderSumsDuplicates(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddDiag(0, 2)
+	b.AddSym(0, 1, -1)
+	b.AddSym(0, 1, -0.5) // duplicate entry must sum
+	b.AddDiag(1, 2)
+	b.AddDiag(2, 1)
+	m := b.Build()
+	x := []float64{1, 2, 3}
+	y := make([]float64, 3)
+	m.MulVec(y, x)
+	// Row 0: 2*1 + (-1.5)*2 = -1 ; row 1: -1.5*1 + 2*2 = 2.5 ; row 2: 3.
+	want := []float64{-1, 2.5, 3}
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-12 {
+			t.Errorf("MulVec[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+}
+
+// laplacian1D builds the SPD system of a 1-D chain with anchored ends.
+func laplacian1D(n int) (*SymCSR, []float64) {
+	b := NewBuilder(n)
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		b.AddDiag(i, 2)
+		if i+1 < n {
+			b.AddSym(i, i+1, -1)
+		}
+	}
+	// Boundary conditions: ends pulled to 0 and 1.
+	rhs[n-1] = 1
+	return b.Build(), rhs
+}
+
+func TestSolveCGLaplacian(t *testing.T) {
+	n := 100
+	m, rhs := laplacian1D(n)
+	x := make([]float64, n)
+	iters, res, err := m.SolveCG(x, rhs, CGOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res > 1e-9 {
+		t.Errorf("residual %g after %d iters", res, iters)
+	}
+	// Solution is the linear ramp x_i = (i+1)/(n+1).
+	for i := 0; i < n; i++ {
+		want := float64(i+1) / float64(n+1)
+		if math.Abs(x[i]-want) > 1e-7 {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], want)
+		}
+	}
+}
+
+func TestSolveCGRandomSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 60
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddDiag(i, 4+rng.Float64())
+	}
+	for k := 0; k < 150; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		// Diagonally dominant: small off-diagonals.
+		b.AddSym(i, j, -0.02*rng.Float64())
+	}
+	m := b.Build()
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	rhs := make([]float64, n)
+	m.MulVec(rhs, want)
+	x := make([]float64, n)
+	if _, _, err := m.SolveCG(x, rhs, CGOptions{Tol: 1e-12, MaxIters: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-6 {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveCGWarmStart(t *testing.T) {
+	n := 50
+	m, rhs := laplacian1D(n)
+	x := make([]float64, n)
+	m.SolveCG(x, rhs, CGOptions{Tol: 1e-12})
+	// Warm-started solve from the solution should converge immediately.
+	iters, _, err := m.SolveCG(x, rhs, CGOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters > 1 {
+		t.Errorf("warm start took %d iterations", iters)
+	}
+}
+
+func TestSolveCGRejectsBadDiagonal(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddDiag(0, 1) // diag[1] stays zero
+	m := b.Build()
+	x := make([]float64, 2)
+	if _, _, err := m.SolveCG(x, []float64{1, 1}, CGOptions{}); err == nil {
+		t.Error("zero diagonal accepted")
+	}
+	if _, _, err := m.SolveCG(x, []float64{1}, CGOptions{}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+// --- B2B placement ---
+
+func TestPlaceB2BReducesHPWL(t *testing.T) {
+	d, err := synth.Generate(synth.Spec{
+		Name: "b2b", NumMovable: 800, NumPads: 12, NumNets: 900,
+		AvgDegree: 3.7, Utilization: 0.7, TargetDensity: 1, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := wirelength.TotalHPWL(d)
+	if err := PlaceB2B(d, B2BOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	after := wirelength.TotalHPWL(d)
+	// Quadratic placement from a random start should slash wirelength.
+	if after > before/2 {
+		t.Errorf("B2B barely improved HPWL: %g -> %g", before, after)
+	}
+	// Everything stays in the region.
+	for _, c := range d.MovableIndices() {
+		if !d.Region.ContainsRect(d.CellRect(c)) {
+			t.Fatalf("cell %d left the region", c)
+		}
+	}
+	// Fixed cells stay put (pads on the periphery anchor the system).
+	for i, cell := range d.Cells {
+		if !cell.Kind.Moves() && (d.X[i] < d.Region.XL-1 || d.X[i] > d.Region.XH+1) {
+			t.Fatalf("fixed cell %d moved", i)
+		}
+	}
+}
+
+func TestPlaceB2BDeterministic(t *testing.T) {
+	spec := synth.Spec{
+		Name: "b2bdet", NumMovable: 200, NumPads: 8, NumNets: 220,
+		AvgDegree: 3.5, Utilization: 0.7, TargetDensity: 1, Seed: 5,
+	}
+	d1, _ := synth.Generate(spec)
+	d2, _ := synth.Generate(spec)
+	if err := PlaceB2B(d1, B2BOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := PlaceB2B(d2, B2BOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.X {
+		if d1.X[i] != d2.X[i] || d1.Y[i] != d2.Y[i] {
+			t.Fatalf("nondeterministic B2B at cell %d", i)
+		}
+	}
+}
+
+func TestPlaceB2BRequiresMovables(t *testing.T) {
+	d, _ := synth.Generate(synth.Spec{
+		Name: "nm", NumMovable: 10, NumPads: 2, NumNets: 10,
+		AvgDegree: 2, Utilization: 0.5, TargetDensity: 1, Seed: 1,
+	})
+	for i := range d.Cells {
+		d.Cells[i].Kind = 1 // Fixed
+	}
+	if err := PlaceB2B(d, B2BOptions{}); err == nil {
+		t.Error("B2B accepted design without movables")
+	}
+}
+
+// B2B rounds should be (weakly) converging: more rounds never blow up the
+// wirelength.
+func TestPlaceB2BMoreRoundsStable(t *testing.T) {
+	spec := synth.Spec{
+		Name: "rounds", NumMovable: 400, NumPads: 8, NumNets: 450,
+		AvgDegree: 3.6, Utilization: 0.7, TargetDensity: 1, Seed: 6,
+	}
+	d2, _ := synth.Generate(spec)
+	d8, _ := synth.Generate(spec)
+	if err := PlaceB2B(d2, B2BOptions{Rounds: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := PlaceB2B(d8, B2BOptions{Rounds: 8}); err != nil {
+		t.Fatal(err)
+	}
+	w2 := wirelength.TotalHPWL(d2)
+	w8 := wirelength.TotalHPWL(d8)
+	if w8 > w2*1.05 {
+		t.Errorf("8 rounds (%g) much worse than 2 rounds (%g)", w8, w2)
+	}
+}
+
+func BenchmarkPlaceB2B(b *testing.B) {
+	d, err := synth.Generate(synth.Spec{
+		Name: "bench", NumMovable: 2000, NumPads: 16, NumNets: 2200,
+		AvgDegree: 3.8, Utilization: 0.7, TargetDensity: 1, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dd := d.Clone()
+		if err := PlaceB2B(dd, B2BOptions{Rounds: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func smallSpec() Spec {
+	return Spec{
+		Name:           "unit",
+		NumMovable:     500,
+		NumMacros:      2,
+		NumPads:        8,
+		NumFixedBlocks: 3,
+		NumNets:        520,
+		AvgDegree:      3.8,
+		Utilization:    0.7,
+		TargetDensity:  1.0,
+		Seed:           7,
+	}
+}
+
+func TestGenerateValidDesign(t *testing.T) {
+	d, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("generated design invalid: %v", err)
+	}
+	s := d.ComputeStats()
+	if s.NumMovable != 502 { // cells + macros
+		t.Errorf("movable = %d, want 502", s.NumMovable)
+	}
+	if s.NumFixed != 11 { // pads + blocks
+		t.Errorf("fixed = %d, want 11", s.NumFixed)
+	}
+	if s.NumNets != 520 {
+		t.Errorf("nets = %d, want 520", s.NumNets)
+	}
+	if s.NumMacros != 2 {
+		t.Errorf("macros = %d, want 2", s.NumMacros)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumPins() != b.NumPins() {
+		t.Fatalf("pin counts differ: %d vs %d", a.NumPins(), b.NumPins())
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] || a.Y[i] != b.Y[i] {
+			t.Fatalf("positions differ at cell %d", i)
+		}
+	}
+	for i := range a.Pins {
+		if a.Pins[i] != b.Pins[i] {
+			t.Fatalf("pins differ at %d", i)
+		}
+	}
+}
+
+func TestGenerateAvgDegreeApproximatelyMatches(t *testing.T) {
+	spec := smallSpec()
+	spec.NumNets = 5000
+	spec.NumMovable = 4000
+	d, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(d.NumPins()) / float64(d.NumNets())
+	if math.Abs(got-spec.AvgDegree) > 0.4 {
+		t.Errorf("avg degree = %g, want ~%g", got, spec.AvgDegree)
+	}
+}
+
+func TestGenerateUtilization(t *testing.T) {
+	d, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.ComputeStats()
+	if math.Abs(s.Utilization-0.7) > 0.1 {
+		t.Errorf("utilization = %g, want ~0.7", s.Utilization)
+	}
+}
+
+func TestGenerateNoOrphanMovables(t *testing.T) {
+	d, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range d.MovableIndices() {
+		if len(d.PinsOfCell(c)) == 0 {
+			t.Fatalf("cell %d has no pins", c)
+		}
+	}
+}
+
+func TestGenerateRowsCoverRegion(t *testing.T) {
+	d, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) == 0 {
+		t.Fatal("no rows generated")
+	}
+	var rowArea float64
+	for _, r := range d.Rows {
+		rowArea += (r.XH - r.XL) * r.Height
+	}
+	if math.Abs(rowArea-d.Region.Area()) > 1e-6*d.Region.Area() {
+		t.Errorf("row area %g != region area %g", rowArea, d.Region.Area())
+	}
+}
+
+func TestGeneratePinOffsetsInsideCells(t *testing.T) {
+	d, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range d.Pins {
+		c := d.Cells[p.Cell]
+		if p.Dx < 0 || p.Dx > c.W || p.Dy < 0 || p.Dy > c.H {
+			t.Fatalf("pin %d offset (%g,%g) outside cell %gx%g", i, p.Dx, p.Dy, c.W, c.H)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{Name: "a", NumMovable: 0, NumNets: 1, AvgDegree: 2, Utilization: 0.5},
+		{Name: "b", NumMovable: 1, NumNets: 0, AvgDegree: 2, Utilization: 0.5},
+		{Name: "c", NumMovable: 1, NumNets: 1, AvgDegree: 1.5, Utilization: 0.5},
+		{Name: "d", NumMovable: 1, NumNets: 1, AvgDegree: 2, Utilization: 0},
+		{Name: "e", NumMovable: 1, NumNets: 1, AvgDegree: 2, Utilization: 1.5},
+	}
+	for _, s := range bad {
+		if _, err := Generate(s); err == nil {
+			t.Errorf("spec %s accepted", s.Name)
+		}
+	}
+}
+
+func TestContestTables(t *testing.T) {
+	if len(ISPD2006) != 8 {
+		t.Errorf("ISPD2006 has %d designs, want 8", len(ISPD2006))
+	}
+	if len(ISPD2019) != 10 {
+		t.Errorf("ISPD2019 has %d designs, want 10", len(ISPD2019))
+	}
+	// Spot checks against Table I.
+	if ISPD2006[1].Name != "newblue1" || ISPD2006[1].Movable != 330137 {
+		t.Error("newblue1 row mismatch")
+	}
+	if ISPD2019[9].Pins != 3957499 {
+		t.Error("ispd19_test10 pins mismatch")
+	}
+	if d := ISPD2019[0].AvgDegree(); math.Abs(d-5.456) > 0.01 {
+		t.Errorf("test1 avg degree = %g", d)
+	}
+}
+
+func TestSpecFromContestRatios(t *testing.T) {
+	spec := SpecFromContest(ISPD2006[1], Scale2006) // newblue1
+	if spec.NumMovable != 3301 {
+		t.Errorf("scaled movable = %d, want 3301", spec.NumMovable)
+	}
+	if spec.NumMacros == 0 {
+		t.Error("newblue1-like spec must keep movable macros")
+	}
+	if math.Abs(spec.AvgDegree-ISPD2006[1].AvgDegree()) > 1e-9 {
+		t.Error("avg degree must carry over unchanged")
+	}
+	// 2019 suite gets routability-style utilization.
+	s19 := SpecFromContest(ISPD2019[4], Scale2019)
+	if s19.Utilization != 0.55 || s19.TargetDensity != 0.90 {
+		t.Errorf("2019 util/td = %g/%g", s19.Utilization, s19.TargetDensity)
+	}
+}
+
+func TestSuitesGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite generation in -short mode")
+	}
+	// Generate the smallest member of each suite end to end.
+	spec := SpecFromContest(ISPD2019[0], Scale2019)
+	d, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SuiteScaled("bogus", 1); err == nil {
+		t.Error("unknown suite accepted")
+	}
+	specs, err := SuiteScaled("ispd2006", 0.001)
+	if err != nil || len(specs) != 8 {
+		t.Errorf("SuiteScaled: %v, %d specs", err, len(specs))
+	}
+}
+
+func TestMacroAreaSignificant(t *testing.T) {
+	spec := smallSpec()
+	d, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var macroArea, stdArea float64
+	for _, c := range d.Cells {
+		switch c.Kind {
+		case netlist.MovableMacro:
+			macroArea += c.Area()
+		case netlist.Movable:
+			stdArea += c.Area()
+		}
+	}
+	if macroArea <= 0.01*stdArea {
+		t.Errorf("macros too small to matter: %g vs std %g", macroArea, stdArea)
+	}
+}
+
+func BenchmarkGenerate10k(b *testing.B) {
+	spec := Spec{
+		Name: "bench", NumMovable: 10000, NumMacros: 4, NumPads: 32,
+		NumFixedBlocks: 4, NumNets: 11000, AvgDegree: 3.9,
+		Utilization: 0.7, TargetDensity: 1, Seed: 3,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

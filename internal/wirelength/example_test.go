@@ -1,0 +1,26 @@
+package wirelength_test
+
+import (
+	"fmt"
+
+	"repro/internal/wirelength"
+)
+
+// ExampleByName compares the four differentiable models on one net at equal
+// smoothing. LSE and BiG over-approximate the true span of 10; WA
+// under-approximates; the paper's Moreau model (envelope + t) is nearly
+// exact.
+func ExampleByName() {
+	x := []float64{0, 2, 5, 10}
+	fmt.Printf("HPWL %.3f\n", wirelength.NetHPWL(x, 0, nil))
+	fmt.Printf("LSE  %.3f\n", wirelength.NetLSE(x, 0.5, nil))
+	fmt.Printf("WA   %.3f\n", wirelength.NetWA(x, 0.5, nil))
+	fmt.Printf("BiG  %.3f\n", wirelength.NetBiGCHKS(x, 0.5, nil))
+	fmt.Printf("ME   %.3f\n", wirelength.NetMoreau(x, 0.5, nil))
+	// Output:
+	// HPWL 10.000
+	// LSE  10.009
+	// WA   9.964
+	// BiG  10.241
+	// ME   10.000
+}

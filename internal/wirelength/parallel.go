@@ -1,0 +1,173 @@
+package wirelength
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/netlist"
+)
+
+// parallelModel evaluates a kernel model with a pool of goroutines, one
+// kernel instance and one gradient accumulator per worker, reduced after the
+// barrier. Results are bit-identical to the sequential evaluator up to
+// floating-point addition order within a cell's accumulator (workers own
+// disjoint net ranges but cells are shared, so per-worker partial gradients
+// are summed deterministically worker-by-worker).
+type parallelModel struct {
+	name    string
+	kind    ParamKind
+	workers int
+	kernels []Kernel
+
+	mu       sync.Mutex
+	gxs, gys [][]float64
+}
+
+// Parallelize wraps a kernel-backed model (anything built by
+// NewKernelModel, which includes every model ByName returns) in a
+// fixed-size worker pool. workers <= 1 returns the model unchanged.
+func Parallelize(m Model, workers int, factory func() Kernel) (Model, error) {
+	if workers <= 1 {
+		return m, nil
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("wirelength: Parallelize needs a kernel factory")
+	}
+	p := &parallelModel{
+		name:    m.Name(),
+		kind:    m.ParamKind(),
+		workers: workers,
+	}
+	for w := 0; w < workers; w++ {
+		p.kernels = append(p.kernels, factory())
+	}
+	return p, nil
+}
+
+// ParallelByName builds a parallel version of a named model.
+func ParallelByName(name string, workers int) (Model, error) {
+	base, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	var factory func() Kernel
+	switch name {
+	case "LSE", "lse":
+		factory = func() Kernel { return NetLSE }
+	case "WA", "wa":
+		factory = func() Kernel { return NetWA }
+	case "BiG_CHKS", "big_chks", "BIG_CHKS", "big":
+		factory = NewBiGKernel
+	case "BiG_WA", "big_wa", "BIG_WA":
+		factory = NewBiGWAKernel
+	case "ME", "me", "moreau", "Moreau":
+		factory = NewMoreauKernel
+	case "HPWL", "hpwl":
+		factory = func() Kernel { return NetHPWL }
+	}
+	return Parallelize(base, workers, factory)
+}
+
+func (m *parallelModel) Name() string         { return m.name }
+func (m *parallelModel) ParamKind() ParamKind { return m.kind }
+
+func (m *parallelModel) WirelengthGrad(d *netlist.Design, p float64, gradX, gradY []float64) float64 {
+	n := d.NumCells()
+	needGrad := gradX != nil
+	m.mu.Lock()
+	if needGrad && (len(m.gxs) != m.workers || len(m.gxs[0]) != n) {
+		m.gxs = make([][]float64, m.workers)
+		m.gys = make([][]float64, m.workers)
+		for w := range m.gxs {
+			m.gxs[w] = make([]float64, n)
+			m.gys[w] = make([]float64, n)
+		}
+	}
+	m.mu.Unlock()
+
+	numNets := d.NumNets()
+	chunk := (numNets + m.workers - 1) / m.workers
+	totals := make([]float64, m.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < m.workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > numNets {
+			hi = numNets
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			kernel := m.kernels[w]
+			var coord, pg []float64
+			var gx, gy []float64
+			if needGrad {
+				gx, gy = m.gxs[w], m.gys[w]
+				for i := range gx {
+					gx[i] = 0
+					gy[i] = 0
+				}
+			}
+			sum := 0.0
+			for e := lo; e < hi; e++ {
+				pins := d.NetPins(e)
+				np := len(pins)
+				if np == 0 {
+					continue
+				}
+				if cap(coord) < np {
+					coord = make([]float64, np)
+					pg = make([]float64, np)
+				}
+				c := coord[:np]
+				var g []float64
+				if needGrad {
+					g = pg[:np]
+				}
+				wgt := d.Nets[e].Weight
+				for i, pin := range pins {
+					c[i] = d.X[pin.Cell] + pin.Dx
+				}
+				sum += wgt * kernel(c, p, g)
+				if needGrad {
+					for i, pin := range pins {
+						gx[pin.Cell] += wgt * g[i]
+					}
+				}
+				for i, pin := range pins {
+					c[i] = d.Y[pin.Cell] + pin.Dy
+				}
+				sum += wgt * kernel(c, p, g)
+				if needGrad {
+					for i, pin := range pins {
+						gy[pin.Cell] += wgt * g[i]
+					}
+				}
+			}
+			totals[w] = sum
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	total := 0.0
+	for _, t := range totals {
+		total += t
+	}
+	if needGrad {
+		for i := range gradX {
+			gradX[i] = 0
+			gradY[i] = 0
+		}
+		for w := 0; w < m.workers; w++ {
+			gx, gy := m.gxs[w], m.gys[w]
+			for i := 0; i < n; i++ {
+				gradX[i] += gx[i]
+				gradY[i] += gy[i]
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,89 @@
+package wirelength
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	d, err := synth.Generate(synth.Spec{
+		Name: "par", NumMovable: 600, NumPads: 8, NumNets: 700,
+		AvgDegree: 3.9, Utilization: 0.7, TargetDensity: 1, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range append(AllModelNames(), "BiG_WA", "HPWL") {
+		seq, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := ParallelByName(name, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Name() != seq.Name() || par.ParamKind() != seq.ParamKind() {
+			t.Errorf("%s: metadata mismatch", name)
+		}
+		n := d.NumCells()
+		gxS := make([]float64, n)
+		gyS := make([]float64, n)
+		gxP := make([]float64, n)
+		gyP := make([]float64, n)
+		p := 2.5
+		vS := seq.WirelengthGrad(d, p, gxS, gyS)
+		vP := par.WirelengthGrad(d, p, gxP, gyP)
+		if math.Abs(vS-vP) > 1e-9*(1+math.Abs(vS)) {
+			t.Errorf("%s: value %g vs parallel %g", name, vS, vP)
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(gxS[i]-gxP[i]) > 1e-9*(1+math.Abs(gxS[i])) ||
+				math.Abs(gyS[i]-gyP[i]) > 1e-9*(1+math.Abs(gyS[i])) {
+				t.Fatalf("%s: grad mismatch at cell %d", name, i)
+			}
+		}
+		// Value-only call (nil gradients) must also work.
+		if v := par.WirelengthGrad(d, p, nil, nil); math.Abs(v-vS) > 1e-9*(1+math.Abs(vS)) {
+			t.Errorf("%s: value-only parallel %g vs %g", name, v, vS)
+		}
+	}
+}
+
+func TestParallelizeOneWorkerPassthrough(t *testing.T) {
+	base, _ := ByName("WA")
+	m, err := Parallelize(base, 1, nil)
+	if err != nil || m != base {
+		t.Errorf("workers=1 should return the base model unchanged: %v %v", m, err)
+	}
+	if _, err := Parallelize(base, 4, nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if _, err := ParallelByName("nope", 4); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestParallelRepeatedCallsStable(t *testing.T) {
+	d, err := synth.Generate(synth.Spec{
+		Name: "rep", NumMovable: 200, NumPads: 4, NumNets: 220,
+		AvgDegree: 3.5, Utilization: 0.7, TargetDensity: 1, Seed: 18,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ParallelByName("ME", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.NumCells()
+	gx := make([]float64, n)
+	gy := make([]float64, n)
+	v1 := par.WirelengthGrad(d, 1.5, gx, gy)
+	g0 := gx[0]
+	v2 := par.WirelengthGrad(d, 1.5, gx, gy)
+	if v1 != v2 || gx[0] != g0 {
+		t.Errorf("repeated parallel calls differ: %g vs %g", v1, v2)
+	}
+}

@@ -1,0 +1,252 @@
+// Package wirelength implements the wirelength models compared in the paper
+// behind a single interface: the exact (non-differentiable) HPWL, the
+// log-sum-exp (LSE) model, the weighted-average (WA) model, the bivariate
+// gradient-based BiG model with the CHKS smoothing function, and the paper's
+// Moreau-envelope model.
+//
+// Every model exposes the same two views:
+//
+//   - a per-net, one-dimensional kernel operating on raw pin coordinates
+//     (used by the toy studies of Fig. 1 and by unit tests), and
+//   - a whole-design evaluator that assembles pin coordinates from cell
+//     positions plus pin offsets, evaluates both axes, and scatters the
+//     gradient back onto cells (used by the global placer).
+//
+// The smoothing parameter has a per-model meaning (gamma for the
+// exponential models, t for the Moreau envelope); ParamKind tells the placer
+// which update schedule applies.
+package wirelength
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// ParamKind selects the smoothing-parameter schedule a model requires.
+type ParamKind int
+
+const (
+	// ParamGamma marks exponential models driven by the ePlace
+	// gamma(overflow) schedule.
+	ParamGamma ParamKind = iota
+	// ParamMoreauT marks the Moreau-envelope model driven by the paper's
+	// tangent t(overflow) schedule (Eq. 14).
+	ParamMoreauT
+)
+
+// Kernel is a one-dimensional per-net wirelength approximation: it returns
+// the approximate span of the coordinates x under smoothing parameter p and,
+// when grad is non-nil, writes the partial derivatives into grad (len(x)).
+// Kernels must accept len(x) >= 1.
+type Kernel func(x []float64, p float64, grad []float64) float64
+
+// Model is a differentiable wirelength approximation over a whole design.
+type Model interface {
+	// Name identifies the model in tables ("WA", "LSE", "BiG_CHKS", "ME").
+	Name() string
+	// ParamKind reports which smoothing schedule the model uses.
+	ParamKind() ParamKind
+	// WirelengthGrad returns the total weighted approximate wirelength of
+	// the design under smoothing parameter p and, when gradX/gradY are
+	// non-nil, overwrites them with the objective's gradient w.r.t. each
+	// cell's position. gradX and gradY must have d.NumCells() entries.
+	WirelengthGrad(d *netlist.Design, p float64, gradX, gradY []float64) float64
+}
+
+// TotalHPWL returns the exact total weighted half-perimeter wirelength of
+// the design at its current placement. This is the evaluation metric used in
+// every table of the paper.
+func TotalHPWL(d *netlist.Design) float64 {
+	total := 0.0
+	for e := range d.Nets {
+		pins := d.NetPins(e)
+		if len(pins) == 0 {
+			continue
+		}
+		p0 := d.PinPos(pins[0])
+		xl, xh, yl, yh := p0.X, p0.X, p0.Y, p0.Y
+		for _, p := range pins[1:] {
+			pt := d.PinPos(p)
+			if pt.X < xl {
+				xl = pt.X
+			}
+			if pt.X > xh {
+				xh = pt.X
+			}
+			if pt.Y < yl {
+				yl = pt.Y
+			}
+			if pt.Y > yh {
+				yh = pt.Y
+			}
+		}
+		total += d.Nets[e].Weight * ((xh - xl) + (yh - yl))
+	}
+	return total
+}
+
+// NetHPWL is the exact span kernel max(x)-min(x). Its grad output is a
+// canonical subgradient (Eq. 17 of the paper): 1/n_max at maxima, -1/n_min
+// at minima. Provided for reference flows and tests.
+func NetHPWL(x []float64, _ float64, grad []float64) float64 {
+	lo, hi := x[0], x[0]
+	for _, v := range x[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if grad != nil {
+		nmin, nmax := 0, 0
+		for _, v := range x {
+			if v == lo {
+				nmin++
+			}
+			if v == hi {
+				nmax++
+			}
+		}
+		for i, v := range x {
+			g := 0.0
+			if v == hi {
+				g += 1 / float64(nmax)
+			}
+			if v == lo {
+				g -= 1 / float64(nmin)
+			}
+			grad[i] = g
+		}
+	}
+	return hi - lo
+}
+
+// kernelModel adapts a per-net Kernel into a whole-design Model.
+type kernelModel struct {
+	name   string
+	kind   ParamKind
+	kernel Kernel
+	// scratch buffers sized to the design's maximum net degree.
+	coord, pg []float64
+}
+
+// NewKernelModel wraps a one-dimensional kernel as a full-design Model.
+func NewKernelModel(name string, kind ParamKind, k Kernel) Model {
+	return &kernelModel{name: name, kind: kind, kernel: k}
+}
+
+func (m *kernelModel) Name() string         { return m.name }
+func (m *kernelModel) ParamKind() ParamKind { return m.kind }
+
+func (m *kernelModel) WirelengthGrad(d *netlist.Design, p float64, gradX, gradY []float64) float64 {
+	if gradX != nil {
+		for i := range gradX {
+			gradX[i] = 0
+		}
+		for i := range gradY {
+			gradY[i] = 0
+		}
+	}
+	total := 0.0
+	for e := range d.Nets {
+		pins := d.NetPins(e)
+		n := len(pins)
+		if n == 0 {
+			continue
+		}
+		if cap(m.coord) < n {
+			m.coord = make([]float64, n)
+			m.pg = make([]float64, n)
+		}
+		coord := m.coord[:n]
+		var pg []float64
+		if gradX != nil {
+			pg = m.pg[:n]
+		}
+		w := d.Nets[e].Weight
+
+		// Horizontal axis.
+		for i, pin := range pins {
+			coord[i] = d.X[pin.Cell] + pin.Dx
+		}
+		total += w * m.kernel(coord, p, pg)
+		if gradX != nil {
+			for i, pin := range pins {
+				gradX[pin.Cell] += w * pg[i]
+			}
+		}
+
+		// Vertical axis.
+		for i, pin := range pins {
+			coord[i] = d.Y[pin.Cell] + pin.Dy
+		}
+		total += w * m.kernel(coord, p, pg)
+		if gradY != nil {
+			for i, pin := range pins {
+				gradY[pin.Cell] += w * pg[i]
+			}
+		}
+	}
+	return total
+}
+
+// ByName constructs one of the comparison models used in the paper's tables:
+// "LSE", "WA", "BiG_CHKS", "ME" (ours), or "HPWL" (exact subgradient
+// reference). The lookup is case-insensitive on these exact names.
+func ByName(name string) (Model, error) {
+	switch name {
+	case "LSE", "lse":
+		return NewLSE(), nil
+	case "WA", "wa":
+		return NewWA(), nil
+	case "BiG_CHKS", "big_chks", "BIG_CHKS", "big":
+		return NewBiGCHKS(), nil
+	case "BiG_WA", "big_wa", "BIG_WA":
+		return NewBiGWA(), nil
+	case "ME", "me", "moreau", "Moreau":
+		return NewMoreau(), nil
+	case "HPWL", "hpwl":
+		return NewKernelModel("HPWL", ParamGamma, NetHPWL), nil
+	}
+	return nil, fmt.Errorf("wirelength: unknown model %q (want LSE, WA, BiG_CHKS, BiG_WA, ME, or HPWL)", name)
+}
+
+// AllModelNames lists the models compared in Tables II/III, in table order.
+func AllModelNames() []string { return []string{"BiG_CHKS", "LSE", "WA", "ME"} }
+
+// spanExtremes returns min, max of x.
+func spanExtremes(x []float64) (lo, hi float64) {
+	lo, hi = x[0], x[0]
+	for _, v := range x[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// sortedCoords returns a sorted copy of x (test/analysis helper).
+func sortedCoords(x []float64) []float64 {
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	return s
+}
+
+var _ = sortedCoords // referenced by analysis tests
+
+// checkKernelArgs validates common kernel preconditions.
+func checkKernelArgs(x []float64, p float64) {
+	if len(x) == 0 {
+		panic("wirelength: empty coordinate slice")
+	}
+	if !(p > 0) || math.IsInf(p, 0) {
+		panic("wirelength: smoothing parameter must be positive and finite")
+	}
+}
