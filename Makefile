@@ -1,0 +1,29 @@
+# Standard verify entrypoint: `make check` is what CI (and humans) run.
+GO ?= go
+
+.PHONY: check fmt vet build test race placerd
+
+check: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The job manager, telemetry, and engine cancellation paths must be clean
+# under the race detector.
+race:
+	$(GO) test -race ./internal/service/... ./internal/placer/...
+
+placerd:
+	$(GO) build -o bin/placerd ./cmd/placerd

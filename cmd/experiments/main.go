@@ -12,11 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"repro/internal/experiments"
 	"repro/internal/plot"
@@ -36,12 +39,17 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C / SIGTERM cancels in-flight flows at the next GP iteration.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	o := experiments.Options{
 		Scale2006:    *scale2006,
 		Scale2019:    *scale2019,
 		MaxIters:     *iters,
 		StopOverflow: *overflow,
 		Workers:      *workers,
+		Ctx:          ctx,
 	}
 	if !*quiet {
 		o.Progress = os.Stderr

@@ -13,10 +13,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"repro/internal/bookshelf"
 	"repro/internal/congestion"
@@ -69,8 +73,15 @@ func main() {
 	cfg.DP.UseISM = *useISM
 	cfg.RoutabilityRounds = *routab
 
-	res, err := core.RunFlow(d, cfg)
+	// Ctrl-C / SIGTERM cancels the flow at the next placement iteration.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := core.RunFlowContext(ctx, d, cfg)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "placer: interrupted, placement abandoned")
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "placer: %v\n", err)
 		os.Exit(1)
 	}

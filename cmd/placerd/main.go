@@ -1,0 +1,82 @@
+// Command placerd serves placement as a service: a JSON HTTP API over the
+// internal/service job manager, running ePlace-style global placement (with
+// any wirelength model, including the paper's Moreau-envelope model) on a
+// bounded worker pool with cancellation, live progress, and Prometheus
+// metrics.
+//
+// Usage:
+//
+//	placerd [-addr :8080] [-workers 2] [-queue 16] [-retention 64]
+//	        [-timeout 0] [-aux-root dir]
+//
+// Endpoints: POST /jobs, GET /jobs, GET /jobs/{id},
+// GET /jobs/{id}/trajectory, DELETE /jobs/{id}, GET /metrics, GET /healthz.
+// SIGINT/SIGTERM drains gracefully: running jobs finish (up to -drain), then
+// remaining jobs are cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 2, "concurrent placement workers")
+		queue     = flag.Int("queue", 16, "max queued jobs (submits beyond this get 429)")
+		retention = flag.Int("retention", 64, "finished jobs kept for inspection")
+		timeout   = flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
+		auxRoot   = flag.String("aux-root", "", "directory Bookshelf aux jobs may read from (empty disables them)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown budget before cancelling jobs")
+	)
+	flag.Parse()
+
+	mgr := service.NewManager(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		Retention:      *retention,
+		DefaultTimeout: *timeout,
+		AuxRoot:        *auxRoot,
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(mgr),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("placerd listening on %s (workers=%d queue=%d)", *addr, *workers, *queue)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("placerd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("placerd: draining (budget %s)...", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("placerd: http shutdown: %v", err)
+	}
+	if err := mgr.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("placerd: manager shutdown: %v", err)
+	}
+	fmt.Println("placerd: bye")
+}

@@ -1,0 +1,251 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// jobView mirrors the subset of the JSON job snapshot the test needs.
+type jobView struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Progress *struct {
+		Iteration int     `json:"iteration"`
+		HPWL      float64 `json:"hpwl"`
+		Overflow  float64 `json:"overflow"`
+	} `json:"progress"`
+	Result *struct {
+		DPWL float64 `json:"DPWL"`
+	} `json:"result"`
+}
+
+func postJob(t *testing.T, base string, spec string) jobView {
+	t.Helper()
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader([]byte(spec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /jobs status = %d (%s), want 202", resp.StatusCode, body)
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func getJob(t *testing.T, base, id string) jobView {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s status = %d, want 200", id, resp.StatusCode)
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func pollUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// slowJob runs effectively forever (GP only, unreachable stop overflow) so
+// the test controls its lifetime via DELETE.
+const slowJob = `{
+  "design": {"synth": {"cells": 64, "seed": 1}},
+  "model": "WA",
+  "placer": {"max_iters": 1048576, "stop_overflow": 1e-9, "grid_x": 16, "grid_y": 16},
+  "flow": {"gp_only": true}
+}`
+
+const fastJob = `{
+  "design": {"synth": {"cells": 64, "seed": 2}},
+  "model": "WA",
+  "placer": {"max_iters": 25, "stop_overflow": 1e-9, "grid_x": 16, "grid_y": 16},
+  "flow": {"gp_only": true}
+}`
+
+// TestPlacerdFullLifecycle drives the daemon's handler end-to-end exactly as
+// main wires it: submit a synthetic-design job and watch its iteration count
+// advance, cancel a queued job and a running job, complete a third job, read
+// its trajectory, and scrape /metrics for non-zero job counters.
+func TestPlacerdFullLifecycle(t *testing.T) {
+	mgr := service.NewManager(service.Config{Workers: 1, QueueDepth: 4})
+	srv := httptest.NewServer(service.NewHandler(mgr))
+	defer srv.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		mgr.Shutdown(ctx) //nolint:errcheck // test teardown
+	}()
+
+	// Submit job A and observe it running with an advancing iteration count.
+	a := postJob(t, srv.URL, slowJob)
+	var firstIter int
+	pollUntil(t, "job A running with progress", func() bool {
+		v := getJob(t, srv.URL, a.ID)
+		if v.State == "running" && v.Progress != nil && v.Progress.Iteration > 0 {
+			firstIter = v.Progress.Iteration
+			return true
+		}
+		return false
+	})
+	pollUntil(t, "job A iteration count to advance", func() bool {
+		v := getJob(t, srv.URL, a.ID)
+		return v.Progress != nil && v.Progress.Iteration > firstIter
+	})
+
+	// Job B sits in the queue behind A; cancelling it is immediate.
+	b := postJob(t, srv.URL, slowJob)
+	if v := getJob(t, srv.URL, b.ID); v.State != "queued" {
+		t.Fatalf("job B state = %s, want queued", v.State)
+	}
+	if v := deleteJob(t, srv.URL, b.ID); v.State != "cancelled" {
+		t.Fatalf("cancelled queued job B state = %s, want cancelled", v.State)
+	}
+
+	// Cancel the running job A; the engine notices within one iteration.
+	deleteJob(t, srv.URL, a.ID)
+	pollUntil(t, "job A cancelled", func() bool {
+		return getJob(t, srv.URL, a.ID).State == "cancelled"
+	})
+
+	// Job C runs to completion and yields a result plus a trajectory.
+	c := postJob(t, srv.URL, fastJob)
+	pollUntil(t, "job C done", func() bool {
+		return getJob(t, srv.URL, c.ID).State == "done"
+	})
+	cv := getJob(t, srv.URL, c.ID)
+	if cv.Result == nil || cv.Result.DPWL <= 0 {
+		t.Errorf("job C finished without a usable result: %+v", cv.Result)
+	}
+	var traj struct {
+		Trajectory []struct {
+			Iter int     `json:"iter"`
+			HPWL float64 `json:"hpwl"`
+		} `json:"trajectory"`
+	}
+	getJSON(t, srv.URL+"/jobs/"+c.ID+"/trajectory", &traj)
+	if len(traj.Trajectory) == 0 {
+		t.Error("job C has an empty trajectory")
+	}
+
+	// All three jobs are listed.
+	var list struct {
+		Jobs []jobView `json:"jobs"`
+	}
+	getJSON(t, srv.URL+"/jobs", &list)
+	if len(list.Jobs) != 3 {
+		t.Errorf("GET /jobs returned %d jobs, want 3", len(list.Jobs))
+	}
+
+	// The metrics scrape reflects the lifecycle: counter increments happen
+	// on the worker goroutine, so poll until they settle.
+	pollUntil(t, "metrics to reflect job outcomes", func() bool {
+		m := scrapeMetrics(t, srv.URL)
+		return m["placerd_jobs_submitted_total"] == 3 &&
+			m[`placerd_jobs_finished_total{state="done"}`] == 1 &&
+			m[`placerd_jobs_finished_total{state="cancelled"}`] == 2 &&
+			m["placerd_gp_iterations_total"] > 0
+	})
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func deleteJob(t *testing.T, base, id string) jobView {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodDelete, base+"/jobs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE /jobs/%s status = %d, want 200", id, resp.StatusCode)
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s status = %d, want 200", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var metricLine = regexp.MustCompile(`(?m)^([a-z_]+(?:\{[^}]*\})?) ([0-9.eE+-]+)$`)
+
+// scrapeMetrics fetches /metrics and returns metric name (with labels) -> value.
+func scrapeMetrics(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics status = %d, want 200", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64)
+	for _, m := range metricLine.FindAllStringSubmatch(string(body), -1) {
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		out[m[1]] = v
+	}
+	if len(out) == 0 {
+		t.Fatalf("no metrics parsed from scrape:\n%s", body)
+	}
+	return out
+}

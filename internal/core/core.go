@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -29,6 +30,9 @@ type FlowConfig struct {
 	UseTetris bool
 	// SkipDetailed stops after legalization.
 	SkipDetailed bool
+	// GPOnly stops after global placement (no legalization or detailed
+	// placement); LGWL/DPWL then repeat GPWL and no legality check runs.
+	GPOnly bool
 	// DP overrides detailed placement options.
 	DP detailed.Options
 	// RoutabilityRounds > 0 enables congestion-driven cell inflation
@@ -55,8 +59,11 @@ type FlowResult struct {
 	Overflow float64
 	// GPIters counts global placement iterations.
 	GPIters int
-	// GPSeconds, LGSeconds, DPSeconds, TotalSeconds are stage runtimes.
+	// GPSeconds, LGSeconds, DPSeconds, TotalSeconds are stage runtimes
+	// (monotonic-clock durations); GPSetupSeconds and GPLoopSeconds split
+	// the global placement stage into setup and main-loop time.
 	GPSeconds, LGSeconds, DPSeconds, TotalSeconds float64
+	GPSetupSeconds, GPLoopSeconds                 float64
 	// Trajectory is the recorded HPWL-vs-overflow curve (Fig. 3) when
 	// GP.RecordEvery was set.
 	Trajectory []placer.TrajectoryPoint
@@ -68,6 +75,13 @@ type FlowResult struct {
 // RunFlow executes global placement, legalization, and detailed placement
 // on d (in place) and returns the stage metrics.
 func RunFlow(d *netlist.Design, cfg FlowConfig) (*FlowResult, error) {
+	return RunFlowContext(context.Background(), d, cfg)
+}
+
+// RunFlowContext is RunFlow with cancellation: the context is threaded into
+// global placement (checked every iteration) and re-checked between stages,
+// so a cancelled flow returns ctx.Err() promptly.
+func RunFlowContext(ctx context.Context, d *netlist.Design, cfg FlowConfig) (*FlowResult, error) {
 	start := time.Now()
 	gpCfg := cfg.GP
 	if gpCfg.Model == nil {
@@ -86,9 +100,9 @@ func RunFlow(d *netlist.Design, cfg FlowConfig) (*FlowResult, error) {
 	var gp *placer.Result
 	var err error
 	if cfg.RoutabilityRounds > 0 {
-		gp, _, err = placer.PlaceRoutability(d, gpCfg, cfg.RoutabilityRounds, cfg.Inflate)
+		gp, _, err = placer.PlaceRoutabilityContext(ctx, d, gpCfg, cfg.RoutabilityRounds, cfg.Inflate)
 	} else {
-		gp, err = placer.Place(d, gpCfg)
+		gp, err = placer.PlaceContext(ctx, d, gpCfg)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: global placement: %w", err)
@@ -97,7 +111,19 @@ func RunFlow(d *netlist.Design, cfg FlowConfig) (*FlowResult, error) {
 	res.Overflow = gp.Overflow
 	res.GPIters = gp.Iterations
 	res.GPSeconds = gp.Seconds
+	res.GPSetupSeconds = gp.SetupSeconds
+	res.GPLoopSeconds = gp.LoopSeconds
 	res.Trajectory = gp.Trajectory
+
+	if cfg.GPOnly {
+		res.LGWL = gp.HPWL
+		res.DPWL = gp.HPWL
+		res.TotalSeconds = time.Since(start).Seconds()
+		return res, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: cancelled before legalization: %w", err)
+	}
 
 	lgStart := time.Now()
 	if cfg.UseTetris {
@@ -118,6 +144,9 @@ func RunFlow(d *netlist.Design, cfg FlowConfig) (*FlowResult, error) {
 	if cfg.SkipDetailed {
 		res.DPWL = res.LGWL
 	} else {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: cancelled before detailed placement: %w", err)
+		}
 		dpStart := time.Now()
 		dp, err := detailed.Place(d, cfg.DP)
 		if err != nil {

@@ -64,7 +64,7 @@ func Ablation(w io.Writer, o Options) ([]AblationRow, error) {
 	for _, v := range AblationVariants() {
 		cfg := o.flowConfig(v.Model)
 		v.Mutate(&cfg)
-		res, err := core.RunFlow(d.Clone(), cfg)
+		res, err := core.RunFlowContext(o.ctx(), d.Clone(), cfg)
 		if err != nil {
 			return nil, fmt.Errorf("ablation %s: %w", v.Name, err)
 		}

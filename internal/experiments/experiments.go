@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -39,6 +40,17 @@ type Options struct {
 	Workers int
 	// Progress, when non-nil, receives one line per completed flow.
 	Progress io.Writer
+	// Ctx, when non-nil, cancels in-flight flows (checked every global
+	// placement iteration); a cancelled experiment returns ctx.Err().
+	Ctx context.Context
+}
+
+// ctx returns the run context, defaulting to context.Background().
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o Options) withDefaults() Options {
@@ -95,7 +107,7 @@ func runModelOnDesign(d *netlist.Design, model string, o Options) (*core.FlowRes
 	} else {
 		cfg = o.flowConfig(model)
 	}
-	res, err := core.RunFlow(dd, cfg)
+	res, err := core.RunFlowContext(o.ctx(), dd, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s on %s: %w", model, d.Name, err)
 	}

@@ -149,7 +149,7 @@ func Fig3(w io.Writer, o Options) ([]FigureBlock, error) {
 			cfg := o.flowConfig(model)
 			cfg.GP.RecordEvery = 5
 			cfg.SkipDetailed = true
-			res, err := core.RunFlow(d.Clone(), cfg)
+			res, err := core.RunFlowContext(o.ctx(), d.Clone(), cfg)
 			if err != nil {
 				return nil, err
 			}

@@ -38,7 +38,7 @@ func SeedStudy(w io.Writer, o Options, seeds []int64) ([]SeedStats, error) {
 		for _, seed := range seeds {
 			cfg := o.flowConfig(model)
 			cfg.GP.Seed = seed
-			res, err := core.RunFlow(d.Clone(), cfg)
+			res, err := core.RunFlowContext(o.ctx(), d.Clone(), cfg)
 			if err != nil {
 				return nil, fmt.Errorf("seed study %s seed %d: %w", model, seed, err)
 			}

@@ -1,6 +1,7 @@
 package placer
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/congestion"
@@ -106,10 +107,16 @@ func RestoreSizes(d *netlist.Design, origW []float64) {
 // incremental re-placement from the previous solution, and finally restores
 // true cell sizes. The returned result is the last placement's.
 func PlaceRoutability(d *netlist.Design, cfg Config, rounds int, inflate InflateOptions) (*Result, *InflationResult, error) {
+	return PlaceRoutabilityContext(context.Background(), d, cfg, rounds, inflate)
+}
+
+// PlaceRoutabilityContext is PlaceRoutability with per-iteration context
+// cancellation (see PlaceContext).
+func PlaceRoutabilityContext(ctx context.Context, d *netlist.Design, cfg Config, rounds int, inflate InflateOptions) (*Result, *InflationResult, error) {
 	if rounds <= 0 {
 		rounds = 1
 	}
-	res, err := Place(d, cfg)
+	res, err := PlaceContext(ctx, d, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -131,7 +138,7 @@ func PlaceRoutability(d *netlist.Design, cfg Config, rounds int, inflate Inflate
 		if incr.MaxIters == 0 || incr.MaxIters > 300 {
 			incr.MaxIters = 300
 		}
-		res, err = Place(d, incr)
+		res, err = PlaceContext(ctx, d, incr)
 		RestoreSizes(d, origW)
 		if err != nil {
 			return nil, nil, err

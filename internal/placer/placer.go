@@ -13,6 +13,7 @@
 package placer
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -74,6 +75,12 @@ type Config struct {
 	// WLWorkers > 1 evaluates the wirelength model with that many
 	// goroutines (the model must be one of the named models).
 	WLWorkers int
+	// OnIteration, when non-nil, is invoked after every optimizer
+	// iteration with the current trajectory sample (exact HPWL included).
+	// Returning false stops the run early; the partial result is returned
+	// with a nil error and Result.Stopped set. The hook is called from the
+	// placement goroutine, so it must be fast and must not block.
+	OnIteration func(TrajectoryPoint) bool
 }
 
 // DefaultConfig returns the standard configuration for a model.
@@ -100,14 +107,23 @@ type TrajectoryPoint struct {
 	Lambda    float64
 }
 
-// Result summarizes a global placement run.
+// Result summarizes a global placement run. All durations are measured with
+// the monotonic clock (time.Since on a single start reading), so they stay
+// correct across wall-clock adjustments.
 type Result struct {
 	HPWL        float64 // exact HPWL of the final placement
 	Overflow    float64 // final density overflow
 	Iterations  int
 	Evaluations int // objective/gradient evaluations (incl. backtracking)
-	Seconds     float64
-	Trajectory  []TrajectoryPoint
+	// Seconds is the total runtime; SetupSeconds covers everything before
+	// the first optimizer iteration (grid, fillers, initial placement,
+	// lambda calibration) and LoopSeconds the main Nesterov loop.
+	Seconds      float64
+	SetupSeconds float64
+	LoopSeconds  float64
+	// Stopped reports that the OnIteration hook ended the run early.
+	Stopped    bool
+	Trajectory []TrajectoryPoint
 }
 
 // engine carries the mutable state of one global placement run.
@@ -148,10 +164,51 @@ func autoGrid(numMovable int) int {
 	return g
 }
 
+// isPow2 reports whether n is a positive power of two.
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Validate checks cfg for errors that would otherwise surface as panics or
+// late failures deep inside a run: a nil model, grid dimensions the spectral
+// density solver cannot handle, and unknown enum strings.
+func (cfg *Config) Validate() error {
+	if cfg.Model == nil {
+		return fmt.Errorf("placer: config has no wirelength model")
+	}
+	if cfg.GridX != 0 && !isPow2(cfg.GridX) {
+		return fmt.Errorf("placer: GridX %d must be a positive power of two (or 0 for auto)", cfg.GridX)
+	}
+	if cfg.GridY != 0 && !isPow2(cfg.GridY) {
+		return fmt.Errorf("placer: GridY %d must be a positive power of two (or 0 for auto)", cfg.GridY)
+	}
+	switch cfg.Optimizer {
+	case "", "nesterov", "adam", "momentum":
+	default:
+		return fmt.Errorf("placer: unknown optimizer %q (want nesterov, adam, or momentum)", cfg.Optimizer)
+	}
+	switch cfg.Init {
+	case "", "center", "keep", "quadratic":
+	default:
+		return fmt.Errorf("placer: unknown init %q (want center, keep, or quadratic)", cfg.Init)
+	}
+	switch cfg.Schedule {
+	case "", "gamma", "tangent":
+	default:
+		return fmt.Errorf("placer: unknown schedule %q (want gamma or tangent)", cfg.Schedule)
+	}
+	return nil
+}
+
 // Place runs global placement on d (in place) and returns the result.
 func Place(d *netlist.Design, cfg Config) (*Result, error) {
-	if cfg.Model == nil {
-		return nil, fmt.Errorf("placer: config has no wirelength model")
+	return PlaceContext(context.Background(), d, cfg)
+}
+
+// PlaceContext is Place with cancellation: the context is checked once per
+// optimizer iteration, and when it is cancelled (or its deadline passes) the
+// run stops promptly, returning the partial Result alongside ctx.Err().
+func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.MaxIters <= 0 {
 		cfg.MaxIters = 1000
@@ -341,38 +398,60 @@ func Place(d *netlist.Design, cfg Config) (*Result, error) {
 	}
 
 	res := &Result{}
+	res.SetupSeconds = time.Since(start).Seconds()
+	loopStart := time.Now()
+	// finalize writes the (possibly partial) placement back into the design
+	// and fills the result metrics; used on every exit path so a cancelled
+	// run still reports a usable partial Result.
+	finalize := func() {
+		en.unpack(opt.Pos())
+		d.ClampToRegion()
+		res.HPWL = wirelength.TotalHPWL(d)
+		res.Overflow = en.overflow
+		if nes, ok := opt.(*optimizer.Nesterov); ok {
+			res.Evaluations = nes.EvalCount()
+		} else {
+			res.Evaluations = res.Iterations
+		}
+		res.LoopSeconds = time.Since(loopStart).Seconds()
+		res.Seconds = time.Since(start).Seconds()
+	}
+
 	for k := 0; k < cfg.MaxIters; k++ {
+		if err := ctx.Err(); err != nil {
+			finalize()
+			return res, err
+		}
 		en.param = schedule(en.overflow)
 		obj := opt.Step(en.eval)
 		en.lambda = lu.Update(en.lastEnergy)
 		res.Iterations = k + 1
 
-		if cfg.RecordEvery > 0 && k%cfg.RecordEvery == 0 {
+		record := cfg.RecordEvery > 0 && k%cfg.RecordEvery == 0
+		if record || cfg.OnIteration != nil {
 			en.unpack(opt.Pos())
-			res.Trajectory = append(res.Trajectory, TrajectoryPoint{
+			pt := TrajectoryPoint{
 				Iter:      k,
 				Overflow:  en.overflow,
 				HPWL:      wirelength.TotalHPWL(d),
 				Objective: obj,
 				Param:     en.param,
 				Lambda:    en.lambda,
-			})
+			}
+			if record {
+				res.Trajectory = append(res.Trajectory, pt)
+			}
+			if cfg.OnIteration != nil && !cfg.OnIteration(pt) {
+				res.Stopped = true
+				break
+			}
 		}
 		if en.overflow < cfg.StopOverflow {
 			break
 		}
 	}
 
-	en.unpack(opt.Pos())
-	d.ClampToRegion()
-	res.HPWL = wirelength.TotalHPWL(d)
-	res.Overflow = en.overflow
-	if nes, ok := opt.(*optimizer.Nesterov); ok {
-		res.Evaluations = nes.EvalCount()
-	} else {
-		res.Evaluations = res.Iterations
-	}
-	res.Seconds = time.Since(start).Seconds()
+	finalize()
 	return res, nil
 }
 

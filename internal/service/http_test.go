@@ -1,0 +1,172 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Manager) {
+	t.Helper()
+	m := newTestManager(t, cfg)
+	srv := httptest.NewServer(NewHandler(m))
+	t.Cleanup(srv.Close)
+	return srv, m
+}
+
+func decodeJob(t *testing.T, resp *http.Response) JobView {
+	t.Helper()
+	defer resp.Body.Close()
+	var v JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode job view: %v", err)
+	}
+	return v
+}
+
+func TestHandlerSubmitAndStatus(t *testing.T) {
+	srv, m := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	body, _ := json.Marshal(synthSpec(20))
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs status = %d, want 202", resp.StatusCode)
+	}
+	v := decodeJob(t, resp)
+	if v.ID == "" || v.State != StateQueued {
+		t.Fatalf("unexpected submit response: %+v", v)
+	}
+	waitState(t, m, v.ID, StateDone)
+
+	resp, err = http.Get(srv.URL + "/jobs/" + v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/{id} status = %d, want 200", resp.StatusCode)
+	}
+	got := decodeJob(t, resp)
+	if got.State != StateDone || got.Result == nil {
+		t.Errorf("job view after completion: %+v", got)
+	}
+}
+
+func TestHandlerErrorMapping(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	// Malformed JSON -> 400.
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status = %d, want 400", resp.StatusCode)
+	}
+
+	// Unknown JSON field -> 400 (DisallowUnknownFields).
+	resp, err = http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"design":{"synth":{"cells":10}},"bogus":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field status = %d, want 400", resp.StatusCode)
+	}
+
+	// Invalid spec -> 400.
+	resp, err = http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"design":{"synth":{"cells":10}},"model":"nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid spec status = %d, want 400", resp.StatusCode)
+	}
+
+	// Unknown job -> 404 on status, trajectory, and cancel.
+	for _, req := range []struct{ method, path string }{
+		{http.MethodGet, "/jobs/job-999999"},
+		{http.MethodGet, "/jobs/job-999999/trajectory"},
+		{http.MethodDelete, "/jobs/job-999999"},
+	} {
+		r, _ := http.NewRequest(req.method, srv.URL+req.path, nil)
+		resp, err := http.DefaultClient.Do(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s %s status = %d, want 404", req.method, req.path, resp.StatusCode)
+		}
+	}
+}
+
+func TestHandlerQueueFullIs429(t *testing.T) {
+	srv, m := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	blocker, err := m.Submit(synthSpec(slowIters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, blocker.ID, StateRunning)
+	if _, err := m.Submit(synthSpec(slowIters)); err != nil { // fills the queue
+		t.Fatal(err)
+	}
+
+	body, _ := json.Marshal(synthSpec(slowIters))
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("queue-full submit status = %d, want 429", resp.StatusCode)
+	}
+}
+
+func TestHandlerHealthAndMetrics(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status = %d, want 200", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type = %q, want text/plain", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"placerd_jobs_submitted_total",
+		"placerd_queue_depth",
+		"placerd_gp_iterations_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/placer"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Progress is the live view of a running job, updated from the placement
+// engine's OnIteration hook.
+type Progress struct {
+	Iteration int     `json:"iteration"`
+	Overflow  float64 `json:"overflow"`
+	HPWL      float64 `json:"hpwl"`
+	Lambda    float64 `json:"lambda,omitempty"`
+	Param     float64 `json:"param,omitempty"`
+}
+
+// JobView is the JSON snapshot served by GET /jobs and GET /jobs/{id}.
+type JobView struct {
+	ID          string           `json:"id"`
+	State       State            `json:"state"`
+	Design      string           `json:"design,omitempty"`
+	Model       string           `json:"model"`
+	SubmittedAt time.Time        `json:"submitted_at"`
+	StartedAt   *time.Time       `json:"started_at,omitempty"`
+	FinishedAt  *time.Time       `json:"finished_at,omitempty"`
+	QueueWait   float64          `json:"queue_wait_seconds,omitempty"`
+	RunSeconds  float64          `json:"run_seconds,omitempty"`
+	Error       string           `json:"error,omitempty"`
+	Progress    *Progress        `json:"progress,omitempty"`
+	Result      *core.FlowResult `json:"result,omitempty"`
+}
+
+// maxTrajectoryPoints bounds the per-job live trajectory buffer; beyond it
+// the buffer keeps every other point (repeatedly), preserving shape without
+// unbounded growth on very long runs.
+const maxTrajectoryPoints = 2048
+
+// job is the manager's internal record. All mutable fields are guarded by
+// mu; the context/cancel pair is immutable after creation.
+type job struct {
+	id   string
+	seq  int64
+	spec JobSpec
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	state  State
+	design string
+	model  string
+	// submitted/started/finished are time.Now() readings taken in-process,
+	// so Sub between them uses the embedded monotonic clock.
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	err        string
+	progress   Progress
+	hasProg    bool
+	result     *core.FlowResult
+	traj       []placer.TrajectoryPoint
+	trajStride int // current sampling stride for the live buffer
+}
+
+// view snapshots the job for JSON serialization.
+func (j *job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:          j.id,
+		State:       j.state,
+		Design:      j.design,
+		Model:       j.model,
+		SubmittedAt: j.submitted,
+		Error:       j.err,
+		Result:      j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+		v.QueueWait = j.started.Sub(j.submitted).Seconds()
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+		if !j.started.IsZero() { // cancelled-while-queued jobs never ran
+			v.RunSeconds = j.finished.Sub(j.started).Seconds()
+		}
+	} else if j.state == StateRunning {
+		v.RunSeconds = time.Since(j.started).Seconds()
+	}
+	if j.hasProg {
+		p := j.progress
+		v.Progress = &p
+	}
+	return v
+}
+
+// trajectory returns a copy of the live trajectory buffer.
+func (j *job) trajectory() []placer.TrajectoryPoint {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]placer.TrajectoryPoint, len(j.traj))
+	copy(out, j.traj)
+	return out
+}
+
+// recordIteration updates live progress and the bounded trajectory buffer.
+func (j *job) recordIteration(pt placer.TrajectoryPoint) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.progress = Progress{
+		Iteration: pt.Iter + 1,
+		Overflow:  pt.Overflow,
+		HPWL:      pt.HPWL,
+		Lambda:    pt.Lambda,
+		Param:     pt.Param,
+	}
+	j.hasProg = true
+	if j.trajStride == 0 {
+		j.trajStride = 1
+	}
+	if pt.Iter%j.trajStride != 0 {
+		return
+	}
+	if len(j.traj) >= maxTrajectoryPoints {
+		// Thin in place: drop every other point and double the stride.
+		kept := j.traj[:0]
+		for i, p := range j.traj {
+			if i%2 == 0 {
+				kept = append(kept, p)
+			}
+		}
+		j.traj = kept
+		j.trajStride *= 2
+		if pt.Iter%j.trajStride != 0 {
+			return
+		}
+	}
+	j.traj = append(j.traj, pt)
+}
+
+// markRunning transitions queued -> running; returns false if the job was
+// cancelled while queued (the worker then skips it).
+func (j *job) markRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// markCancelledIfQueued flips a still-queued job straight to cancelled.
+func (j *job) markCancelledIfQueued() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateCancelled
+	j.finished = time.Now()
+	return true
+}
+
+// finish records the terminal state of a run.
+func (j *job) finish(state State, res *core.FlowResult, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.finished = time.Now()
+	j.result = res
+	j.err = errMsg
+}
+
+func (j *job) currentState() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}

@@ -1,0 +1,358 @@
+// Package service turns the batch placement flow into a long-running
+// placement service: a job manager with a bounded FIFO queue and a worker
+// pool executes placement flows (internal/core) with per-job cancellation
+// and deadlines, streams live progress through the engine's OnIteration
+// hook, and exports metrics via internal/service/telemetry. The HTTP layer
+// in http.go exposes it as the placerd JSON API.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/placer"
+	"repro/internal/service/telemetry"
+)
+
+// Errors returned by Submit and Cancel; the HTTP layer maps them to status
+// codes (429, 404, 409, 503).
+var (
+	ErrQueueFull    = errors.New("service: job queue is full")
+	ErrDraining     = errors.New("service: manager is shutting down")
+	ErrUnknownJob   = errors.New("service: unknown job")
+	ErrJobFinished  = errors.New("service: job already finished")
+	ErrSpecRejected = errors.New("service: invalid job spec")
+)
+
+// Config tunes the job manager.
+type Config struct {
+	// Workers is the number of concurrent placement workers (default 2).
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running) jobs;
+	// submits beyond it fail with ErrQueueFull (default 16).
+	QueueDepth int
+	// Retention caps how many finished jobs are kept for inspection;
+	// older ones are garbage-collected FIFO (default 64).
+	Retention int
+	// DefaultTimeout bounds jobs that do not set timeout_seconds
+	// themselves; 0 means no default deadline.
+	DefaultTimeout time.Duration
+	// AuxRoot, when non-empty, allows Bookshelf aux jobs restricted to
+	// paths under this directory. Empty disables aux jobs.
+	AuxRoot string
+	// Telemetry receives metrics; nil allocates a private collector.
+	Telemetry *telemetry.Collector
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.Retention <= 0 {
+		c.Retention = 64
+	}
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.NewCollector()
+	}
+	return c
+}
+
+// Manager owns the job queue, worker pool, and job table.
+type Manager struct {
+	cfg Config
+	tel *telemetry.Collector
+
+	queue chan *job
+
+	baseCtx    context.Context // parent of every job context
+	baseCancel context.CancelFunc
+
+	wg sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []*job // submission order, for listing and retention GC
+	seq      int64
+	draining bool
+}
+
+// NewManager starts a manager with cfg.Workers worker goroutines.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		tel:        cfg.Telemetry,
+		queue:      make(chan *job, cfg.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Telemetry returns the manager's metrics collector.
+func (m *Manager) Telemetry() *telemetry.Collector { return m.tel }
+
+// Submit validates the spec and enqueues a job, returning its snapshot.
+// Fails fast with ErrQueueFull when the queue is at capacity and
+// ErrDraining after Shutdown has begun.
+func (m *Manager) Submit(spec JobSpec) (JobView, error) {
+	if err := spec.Validate(m.cfg.AuxRoot); err != nil {
+		m.tel.JobsRejected.Inc()
+		return JobView{}, fmt.Errorf("%w: %v", ErrSpecRejected, err)
+	}
+
+	timeout := m.cfg.DefaultTimeout
+	if spec.TimeoutSeconds > 0 {
+		timeout = time.Duration(spec.TimeoutSeconds * float64(time.Second))
+	}
+	var jctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		jctx, cancel = context.WithTimeout(m.baseCtx, timeout)
+	} else {
+		jctx, cancel = context.WithCancel(m.baseCtx)
+	}
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		cancel()
+		m.tel.JobsRejected.Inc()
+		return JobView{}, ErrDraining
+	}
+	m.seq++
+	j := &job{
+		id:        fmt.Sprintf("job-%06d", m.seq),
+		seq:       m.seq,
+		spec:      spec,
+		ctx:       jctx,
+		cancel:    cancel,
+		state:     StateQueued,
+		model:     spec.modelName(),
+		design:    spec.designLabel(),
+		submitted: time.Now(),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		cancel()
+		m.tel.JobsRejected.Inc()
+		return JobView{}, ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j)
+	m.mu.Unlock()
+
+	m.tel.JobsSubmitted.Inc()
+	m.tel.QueueDepth.Add(1)
+	return j.view(), nil
+}
+
+// Get returns the snapshot of one job.
+func (m *Manager) Get(id string) (JobView, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobView{}, ErrUnknownJob
+	}
+	return j.view(), nil
+}
+
+// Trajectory returns the live trajectory buffer of one job.
+func (m *Manager) Trajectory(id string) ([]JobTrajectoryPoint, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	pts := j.trajectory()
+	out := make([]JobTrajectoryPoint, len(pts))
+	for i, p := range pts {
+		out[i] = JobTrajectoryPoint{
+			Iter: p.Iter, Overflow: p.Overflow, HPWL: p.HPWL,
+			Objective: p.Objective, Param: p.Param, Lambda: p.Lambda,
+		}
+	}
+	return out, nil
+}
+
+// JobTrajectoryPoint is the JSON form of placer.TrajectoryPoint.
+type JobTrajectoryPoint struct {
+	Iter      int     `json:"iter"`
+	Overflow  float64 `json:"overflow"`
+	HPWL      float64 `json:"hpwl"`
+	Objective float64 `json:"objective"`
+	Param     float64 `json:"param"`
+	Lambda    float64 `json:"lambda"`
+}
+
+// List returns snapshots of all retained jobs in submission order.
+func (m *Manager) List() []JobView {
+	m.mu.Lock()
+	jobs := make([]*job, len(m.order))
+	copy(jobs, m.order)
+	m.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].seq < jobs[b].seq })
+	out := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.view()
+	}
+	return out
+}
+
+// Cancel cancels a queued or running job. Queued jobs flip to cancelled
+// immediately; running jobs get their context cancelled and transition once
+// the engine notices (within one placement iteration).
+func (m *Manager) Cancel(id string) (JobView, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobView{}, ErrUnknownJob
+	}
+	if j.currentState().Terminal() {
+		return j.view(), ErrJobFinished
+	}
+	if j.markCancelledIfQueued() {
+		// The worker will drain it from the queue and skip it.
+		j.cancel()
+		m.tel.QueueDepth.Add(-1)
+		m.tel.JobsCancelled.Inc()
+		m.pruneFinished()
+		return j.view(), nil
+	}
+	j.cancel() // running: the engine returns ctx.Err() at the next iteration
+	return j.view(), nil
+}
+
+// worker consumes the queue until Shutdown closes it.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		if !j.markRunning() {
+			continue // cancelled while queued
+		}
+		m.tel.QueueDepth.Add(-1)
+		m.tel.JobsRunning.Add(1)
+		v := j.view()
+		m.tel.QueueSeconds.Observe(v.QueueWait)
+		m.run(j)
+		m.tel.JobsRunning.Add(-1)
+		m.pruneFinished()
+	}
+}
+
+// run executes one job's placement flow and records its terminal state.
+func (m *Manager) run(j *job) {
+	d, err := j.spec.buildDesign(m.cfg.AuxRoot)
+	if err != nil {
+		j.finish(StateFailed, nil, err.Error())
+		m.tel.JobsFailed.Inc()
+		return
+	}
+	j.mu.Lock()
+	j.design = d.Name
+	j.mu.Unlock()
+
+	cfg := j.spec.flowConfig()
+	cfg.GP.OnIteration = func(pt placer.TrajectoryPoint) bool {
+		j.recordIteration(pt)
+		m.tel.Iterations.Inc()
+		return true
+	}
+
+	res, err := core.RunFlowContext(j.ctx, d, cfg)
+	switch {
+	case err == nil:
+		j.finish(StateDone, res, "")
+		m.tel.JobsDone.Inc()
+		m.tel.LastHPWL.Set(res.DPWL)
+		m.tel.LastOverflow.Set(res.Overflow)
+		m.tel.GPSeconds.Observe(res.GPSeconds)
+		m.tel.LGSeconds.Observe(res.LGSeconds)
+		m.tel.DPSeconds.Observe(res.DPSeconds)
+		m.tel.TotalSeconds.Observe(res.TotalSeconds)
+	case errors.Is(err, context.Canceled):
+		j.finish(StateCancelled, nil, "cancelled")
+		m.tel.JobsCancelled.Inc()
+	case errors.Is(err, context.DeadlineExceeded):
+		j.finish(StateFailed, nil, "deadline exceeded")
+		m.tel.JobsFailed.Inc()
+	default:
+		j.finish(StateFailed, nil, err.Error())
+		m.tel.JobsFailed.Inc()
+	}
+}
+
+// pruneFinished drops the oldest finished jobs beyond the retention cap.
+func (m *Manager) pruneFinished() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	finished := 0
+	for _, j := range m.order {
+		if j.currentState().Terminal() {
+			finished++
+		}
+	}
+	if finished <= m.cfg.Retention {
+		return
+	}
+	drop := finished - m.cfg.Retention
+	kept := m.order[:0]
+	for _, j := range m.order {
+		if drop > 0 && j.currentState().Terminal() {
+			delete(m.jobs, j.id)
+			drop--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	m.order = kept
+}
+
+// Shutdown drains the manager: no new submits are accepted, queued and
+// running jobs are allowed to finish until ctx expires, after which every
+// remaining job is cancelled. Blocks until all workers exit.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return ErrDraining
+	}
+	m.draining = true
+	close(m.queue) // Submit holds mu while sending, so no send can race this
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		m.baseCancel() // cancel every in-flight job, then wait for workers
+		<-done
+	}
+	m.baseCancel()
+	return err
+}

@@ -1,0 +1,248 @@
+package service
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bookshelf"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/placer"
+	"repro/internal/synth"
+	"repro/internal/wirelength"
+)
+
+// JobSpec is the JSON body of POST /jobs: a design source, a wirelength
+// model, and optional placer/flow tuning.
+type JobSpec struct {
+	Design DesignSpec `json:"design"`
+	// Model names the wirelength model (LSE, WA, BiG_CHKS, ME, HPWL);
+	// default "ME", the paper's Moreau-envelope model.
+	Model  string     `json:"model,omitempty"`
+	Placer PlacerSpec `json:"placer,omitempty"`
+	Flow   FlowSpec   `json:"flow,omitempty"`
+	// TimeoutSeconds bounds the job's run time; 0 uses the manager's
+	// default (which may be unlimited).
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// DesignSpec selects exactly one design source.
+type DesignSpec struct {
+	// Aux is a Bookshelf .aux path on the server (only allowed when the
+	// manager was configured with an AuxRoot sandbox directory).
+	Aux string `json:"aux,omitempty"`
+	// Suite/Name pick a design from a synthetic contest suite
+	// ("ispd2006" or "ispd2019"); Scale shrinks it (default suite scale).
+	Suite string  `json:"suite,omitempty"`
+	Name  string  `json:"name,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
+	// Synth generates an ad-hoc synthetic design inline.
+	Synth *SynthSpec `json:"synth,omitempty"`
+}
+
+// SynthSpec mirrors synth.Spec with JSON tags and service defaults.
+type SynthSpec struct {
+	Name          string  `json:"name,omitempty"`
+	Cells         int     `json:"cells"`
+	Macros        int     `json:"macros,omitempty"`
+	Pads          int     `json:"pads,omitempty"`
+	FixedBlocks   int     `json:"fixed_blocks,omitempty"`
+	Nets          int     `json:"nets,omitempty"`
+	AvgDegree     float64 `json:"avg_degree,omitempty"`
+	Utilization   float64 `json:"utilization,omitempty"`
+	TargetDensity float64 `json:"target_density,omitempty"`
+	Seed          int64   `json:"seed,omitempty"`
+}
+
+// PlacerSpec is the JSON view of the placer.Config knobs the service exposes.
+type PlacerSpec struct {
+	MaxIters     int     `json:"max_iters,omitempty"`
+	StopOverflow float64 `json:"stop_overflow,omitempty"`
+	GridX        int     `json:"grid_x,omitempty"`
+	GridY        int     `json:"grid_y,omitempty"`
+	Seed         int64   `json:"seed,omitempty"`
+	Optimizer    string  `json:"optimizer,omitempty"`
+	Init         string  `json:"init,omitempty"`
+	Schedule     string  `json:"schedule,omitempty"`
+	RecordEvery  int     `json:"record_every,omitempty"`
+	WLWorkers    int     `json:"wl_workers,omitempty"`
+	Precondition bool    `json:"precondition,omitempty"`
+}
+
+// FlowSpec selects which stages run after global placement.
+type FlowSpec struct {
+	// GPOnly stops after global placement (fastest; the usual service
+	// request shape).
+	GPOnly bool `json:"gp_only,omitempty"`
+	// SkipDetailed stops after legalization.
+	SkipDetailed bool `json:"skip_detailed,omitempty"`
+	// UseTetris swaps Abacus for the greedy Tetris legalizer.
+	UseTetris bool `json:"use_tetris,omitempty"`
+}
+
+// Validate checks the spec without doing any heavy work, so bad requests are
+// rejected at submit time rather than failing inside a worker.
+func (s *JobSpec) Validate(auxRoot string) error {
+	srcs := 0
+	if s.Design.Aux != "" {
+		srcs++
+		if auxRoot == "" {
+			return fmt.Errorf("aux jobs are disabled (daemon started without -aux-root)")
+		}
+		if _, err := s.auxPath(auxRoot); err != nil {
+			return err
+		}
+	}
+	if s.Design.Suite != "" || s.Design.Name != "" {
+		srcs++
+		if s.Design.Suite == "" || s.Design.Name == "" {
+			return fmt.Errorf("suite jobs need both design.suite and design.name")
+		}
+	}
+	if s.Design.Synth != nil {
+		srcs++
+		if s.Design.Synth.Cells <= 0 {
+			return fmt.Errorf("design.synth.cells must be positive")
+		}
+	}
+	if srcs != 1 {
+		return fmt.Errorf("design must give exactly one of aux, suite/name, or synth (got %d)", srcs)
+	}
+	m, err := wirelength.ByName(s.modelName())
+	if err != nil {
+		return err
+	}
+	cfg := s.placerConfig()
+	cfg.Model = m
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if s.TimeoutSeconds < 0 {
+		return fmt.Errorf("timeout_seconds must be >= 0")
+	}
+	return nil
+}
+
+// designLabel names the design source for job listings before the design is
+// actually built (the worker replaces it with the real design name).
+func (s *JobSpec) designLabel() string {
+	switch {
+	case s.Design.Aux != "":
+		return filepath.Base(s.Design.Aux)
+	case s.Design.Suite != "":
+		return s.Design.Suite + "/" + s.Design.Name
+	case s.Design.Synth != nil && s.Design.Synth.Name != "":
+		return s.Design.Synth.Name
+	case s.Design.Synth != nil:
+		return fmt.Sprintf("synth%d", s.Design.Synth.Cells)
+	}
+	return ""
+}
+
+func (s *JobSpec) modelName() string {
+	if s.Model == "" {
+		return "ME"
+	}
+	return s.Model
+}
+
+// auxPath resolves the aux file inside the sandbox root, rejecting escapes.
+func (s *JobSpec) auxPath(auxRoot string) (string, error) {
+	p := filepath.Join(auxRoot, filepath.Clean("/"+s.Design.Aux))
+	rel, err := filepath.Rel(auxRoot, p)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("aux path %q escapes the aux root", s.Design.Aux)
+	}
+	return p, nil
+}
+
+// placerConfig translates PlacerSpec into placer.Config (Model left nil).
+func (s *JobSpec) placerConfig() placer.Config {
+	p := s.Placer
+	return placer.Config{
+		MaxIters:     p.MaxIters,
+		StopOverflow: p.StopOverflow,
+		GridX:        p.GridX,
+		GridY:        p.GridY,
+		Seed:         p.Seed,
+		Optimizer:    p.Optimizer,
+		Init:         p.Init,
+		Schedule:     p.Schedule,
+		RecordEvery:  p.RecordEvery,
+		WLWorkers:    p.WLWorkers,
+		Precondition: p.Precondition,
+	}
+}
+
+// buildDesign materializes the design. Called inside a worker: generation of
+// large synthetic designs and Bookshelf parsing can be slow.
+func (s *JobSpec) buildDesign(auxRoot string) (*netlist.Design, error) {
+	d := s.Design
+	switch {
+	case d.Aux != "":
+		p, err := s.auxPath(auxRoot)
+		if err != nil {
+			return nil, err
+		}
+		return bookshelf.ReadDesign(p)
+	case d.Suite != "":
+		scale := d.Scale
+		if scale <= 0 {
+			scale = 0.01
+		}
+		specs, err := synth.SuiteScaled(d.Suite, scale)
+		if err != nil {
+			return nil, err
+		}
+		for _, sp := range specs {
+			if sp.Name == d.Name {
+				return synth.Generate(sp)
+			}
+		}
+		return nil, fmt.Errorf("design %q not in suite %s", d.Name, d.Suite)
+	default:
+		sp := d.Synth
+		spec := synth.Spec{
+			Name:           sp.Name,
+			NumMovable:     sp.Cells,
+			NumMacros:      sp.Macros,
+			NumPads:        sp.Pads,
+			NumFixedBlocks: sp.FixedBlocks,
+			NumNets:        sp.Nets,
+			AvgDegree:      sp.AvgDegree,
+			Utilization:    sp.Utilization,
+			TargetDensity:  sp.TargetDensity,
+			Seed:           sp.Seed,
+		}
+		if spec.Name == "" {
+			spec.Name = fmt.Sprintf("synth%d", sp.Cells)
+		}
+		if spec.NumPads <= 0 {
+			spec.NumPads = 8
+		}
+		if spec.NumNets <= 0 {
+			spec.NumNets = sp.Cells + sp.Cells/10
+		}
+		if spec.AvgDegree < 2 {
+			spec.AvgDegree = 3.9
+		}
+		if spec.Utilization <= 0 {
+			spec.Utilization = 0.7
+		}
+		if spec.TargetDensity <= 0 {
+			spec.TargetDensity = 1
+		}
+		return synth.Generate(spec)
+	}
+}
+
+// flowConfig builds the core.FlowConfig for this spec.
+func (s *JobSpec) flowConfig() core.FlowConfig {
+	cfg := core.DefaultFlowConfig(s.modelName())
+	cfg.GP = s.placerConfig()
+	cfg.GPOnly = s.Flow.GPOnly
+	cfg.SkipDetailed = s.Flow.SkipDetailed
+	cfg.UseTetris = s.Flow.UseTetris
+	return cfg
+}

@@ -1,0 +1,206 @@
+// Package telemetry collects service metrics — atomic counters, gauges, and
+// fixed-bucket histograms — and renders them in the Prometheus text
+// exposition format. Everything is stdlib-only and safe for concurrent use
+// from the job manager's worker goroutines and HTTP scrape handlers.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (n < 0 is ignored: counters never go down).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous integer value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value; Add adjusts it by delta (which may be negative).
+func (g *Gauge) Set(n int64)  { g.v.Store(n) }
+func (g *Gauge) Add(n int64)  { g.v.Add(n) }
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// FloatGauge is an atomic instantaneous float value (stored as bits).
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set stores the value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus style:
+// bucket i counts observations <= Bounds[i], plus an implicit +Inf bucket.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64  // float bits, CAS-updated
+	count  atomic.Int64
+}
+
+// NewHistogram creates a histogram with the given ascending upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// DurationBuckets are the default latency bounds in seconds.
+func DurationBuckets() []float64 {
+	return []float64{0.005, 0.02, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the running total of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Collector aggregates every metric the placement service exports.
+type Collector struct {
+	// Job lifecycle counters.
+	JobsSubmitted Counter // accepted into the queue
+	JobsRejected  Counter // refused (queue full or shutting down)
+	JobsDone      Counter
+	JobsFailed    Counter
+	JobsCancelled Counter
+
+	// Live gauges.
+	QueueDepth  Gauge
+	JobsRunning Gauge
+
+	// Engine throughput and quality.
+	Iterations   Counter    // global placement iterations across all jobs
+	LastHPWL     FloatGauge // exact HPWL of the most recently finished job
+	LastOverflow FloatGauge
+
+	// Stage latencies in seconds.
+	GPSeconds    *Histogram
+	LGSeconds    *Histogram
+	DPSeconds    *Histogram
+	TotalSeconds *Histogram
+	QueueSeconds *Histogram // time from submit to start
+}
+
+// NewCollector returns a Collector with default histogram buckets.
+func NewCollector() *Collector {
+	return &Collector{
+		GPSeconds:    NewHistogram(DurationBuckets()...),
+		LGSeconds:    NewHistogram(DurationBuckets()...),
+		DPSeconds:    NewHistogram(DurationBuckets()...),
+		TotalSeconds: NewHistogram(DurationBuckets()...),
+		QueueSeconds: NewHistogram(DurationBuckets()...),
+	}
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4).
+func (c *Collector) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, v)
+	}
+
+	counter("placerd_jobs_submitted_total", "Jobs accepted into the queue.", c.JobsSubmitted.Value())
+	counter("placerd_jobs_rejected_total", "Jobs rejected at submit (queue full or draining).", c.JobsRejected.Value())
+
+	fmt.Fprintf(w, "# HELP placerd_jobs_finished_total Jobs that reached a terminal state.\n")
+	fmt.Fprintf(w, "# TYPE placerd_jobs_finished_total counter\n")
+	fmt.Fprintf(w, "placerd_jobs_finished_total{state=\"done\"} %d\n", c.JobsDone.Value())
+	fmt.Fprintf(w, "placerd_jobs_finished_total{state=\"failed\"} %d\n", c.JobsFailed.Value())
+	fmt.Fprintf(w, "placerd_jobs_finished_total{state=\"cancelled\"} %d\n", c.JobsCancelled.Value())
+
+	gauge("placerd_queue_depth", "Jobs waiting in the queue.", fmt.Sprintf("%d", c.QueueDepth.Value()))
+	gauge("placerd_jobs_running", "Jobs currently placing.", fmt.Sprintf("%d", c.JobsRunning.Value()))
+
+	counter("placerd_gp_iterations_total", "Global placement iterations across all jobs.", c.Iterations.Value())
+	gauge("placerd_last_hpwl", "Exact HPWL of the most recently finished job.", formatFloat(c.LastHPWL.Value()))
+	gauge("placerd_last_overflow", "Final density overflow of the most recently finished job.", formatFloat(c.LastOverflow.Value()))
+
+	c.writeHistogram(w, "placerd_stage_seconds", "Per-stage wall-clock latency in seconds.", map[string]*Histogram{
+		"gp": c.GPSeconds, "lg": c.LGSeconds, "dp": c.DPSeconds,
+	})
+	c.writeHistogram(w, "placerd_job_seconds", "End-to-end job latency in seconds.", map[string]*Histogram{
+		"": c.TotalSeconds,
+	})
+	c.writeHistogram(w, "placerd_queue_wait_seconds", "Time jobs spent queued before starting.", map[string]*Histogram{
+		"": c.QueueSeconds,
+	})
+}
+
+// writeHistogram renders one histogram family; label keys become a
+// stage="..." label (empty key = no label).
+func (c *Collector) writeHistogram(w io.Writer, name, help string, hs map[string]*Histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	stages := make([]string, 0, len(hs))
+	for s := range hs {
+		stages = append(stages, s)
+	}
+	sort.Strings(stages)
+	for _, stage := range stages {
+		h := hs[stage]
+		if h == nil {
+			continue
+		}
+		labels := func(le string) string {
+			if stage == "" {
+				return fmt.Sprintf("{le=%q}", le)
+			}
+			return fmt.Sprintf("{stage=%q,le=%q}", stage, le)
+		}
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "%s_bucket%s %d\n", name, labels(formatFloat(b)), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, labels("+Inf"), cum)
+		suffix := ""
+		if stage != "" {
+			suffix = fmt.Sprintf("{stage=%q}", stage)
+		}
+		fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.Count())
+	}
+}
+
+// formatFloat renders a float the way Prometheus expects (shortest
+// round-trip representation, no exponent for typical magnitudes).
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

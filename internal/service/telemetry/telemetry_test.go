@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterMonotonic(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // counters never go down
+	c.Add(0)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+}
+
+func TestGauges(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+	var f FloatGauge
+	f.Set(3.25)
+	if got := f.Value(); got != 3.25 {
+		t.Errorf("float gauge = %g, want 3.25", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 5, 10)
+	for _, v := range []float64{0.5, 1, 1.5, 7, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-110) > 1e-12 {
+		t.Errorf("sum = %g, want 110", got)
+	}
+	// Cumulative counts: le=1 holds {0.5, 1}, le=5 adds {1.5}, le=10 adds
+	// {7}, +Inf adds {100}.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	c := NewCollector()
+	c.JobsSubmitted.Add(3)
+	c.JobsDone.Inc()
+	c.JobsCancelled.Inc()
+	c.QueueDepth.Set(2)
+	c.Iterations.Add(123)
+	c.LastHPWL.Set(4567.5)
+	c.GPSeconds.Observe(0.3)
+	c.TotalSeconds.Observe(1.2)
+	c.QueueSeconds.Observe(0.001)
+
+	var sb strings.Builder
+	c.WritePrometheus(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE placerd_jobs_submitted_total counter",
+		"placerd_jobs_submitted_total 3",
+		`placerd_jobs_finished_total{state="done"} 1`,
+		`placerd_jobs_finished_total{state="cancelled"} 1`,
+		`placerd_jobs_finished_total{state="failed"} 0`,
+		"placerd_queue_depth 2",
+		"placerd_gp_iterations_total 123",
+		"placerd_last_hpwl 4567.5",
+		`placerd_stage_seconds_bucket{stage="gp",le="0.5"} 1`,
+		`placerd_stage_seconds_count{stage="gp"} 1`,
+		`placerd_job_seconds_bucket{le="+Inf"} 1`,
+		"placerd_job_seconds_count 1",
+		"placerd_queue_wait_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentUpdates exercises every metric type from many goroutines;
+// meaningful under `go test -race`.
+func TestConcurrentUpdates(t *testing.T) {
+	c := NewCollector()
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.JobsSubmitted.Inc()
+				c.QueueDepth.Add(1)
+				c.QueueDepth.Add(-1)
+				c.LastHPWL.Set(float64(j))
+				c.GPSeconds.Observe(0.25)
+				var sb strings.Builder
+				if j%100 == 0 {
+					c.WritePrometheus(&sb)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.JobsSubmitted.Value(); got != workers*per {
+		t.Errorf("submitted = %d, want %d", got, workers*per)
+	}
+	if got := c.QueueDepth.Value(); got != 0 {
+		t.Errorf("queue depth = %d, want 0", got)
+	}
+	if got := c.GPSeconds.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := c.GPSeconds.Sum(); math.Abs(got-float64(workers*per)*0.25) > 1e-9 {
+		t.Errorf("histogram sum = %g, want %g", got, float64(workers*per)*0.25)
+	}
+}
