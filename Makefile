@@ -1,7 +1,7 @@
 # Standard verify entrypoint: `make check` is what CI (and humans) run.
 GO ?= go
 
-.PHONY: check fmt vet build test race placerd
+.PHONY: check fmt vet build test race bench placerd
 
 check: fmt vet build test race
 
@@ -20,10 +20,20 @@ build:
 test:
 	$(GO) test ./...
 
-# The job manager, telemetry, and engine cancellation paths must be clean
-# under the race detector.
+# The job manager, telemetry, engine cancellation, and every parallel
+# evaluation path (worker pool, density pipeline, wirelength reduction) must
+# be clean under the race detector; the placer/density/wirelength suites
+# include the parallel-vs-serial equivalence tests.
 race:
-	$(GO) test -race ./internal/service/... ./internal/placer/...
+	$(GO) test -race ./internal/service/... ./internal/placer/... \
+		./internal/density/... ./internal/wirelength/... ./internal/parallel/...
+
+# bench refreshes the machine-readable perf trajectory: every benchmark runs
+# once and BENCH_PR2.json records ns/op + allocs/op per benchmark plus the
+# workers=N speedups of the parallel density/eval pipeline.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... | $(GO) run ./cmd/benchjson > BENCH_PR2.json
+	@echo "wrote BENCH_PR2.json"
 
 placerd:
 	$(GO) build -o bin/placerd ./cmd/placerd

@@ -40,6 +40,7 @@ func main() {
 		cells   = flag.Int("cells", 0, "generate an ad-hoc synthetic design with this many cells")
 		model   = flag.String("model", "ME", "wirelength model: LSE, WA, BiG_CHKS, ME, HPWL")
 		iters   = flag.Int("iters", 800, "max global placement iterations")
+		workers = flag.Int("workers", 0, "placement worker pool size (wirelength + density; 0 = serial)")
 		overfl  = flag.Float64("overflow", 0.07, "global placement stop overflow")
 		seed    = flag.Int64("seed", 1, "random seed")
 		tetris  = flag.Bool("tetris", false, "use the greedy Tetris legalizer instead of Abacus")
@@ -64,7 +65,7 @@ func main() {
 		stats.NumNets, stats.NumPins, stats.Utilization)
 
 	cfg := core.DefaultFlowConfig(*model)
-	cfg.GP = placer.Config{MaxIters: *iters, StopOverflow: *overfl, Seed: *seed}
+	cfg.GP = placer.Config{MaxIters: *iters, StopOverflow: *overfl, Seed: *seed, Workers: *workers}
 	if *verbose {
 		cfg.GP.RecordEvery = 25
 	}

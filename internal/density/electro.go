@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/fft"
+	"repro/internal/parallel"
 )
 
 // Electro is the spectral Poisson solver of the ePlace electrostatic system.
@@ -16,9 +17,21 @@ import (
 // synthesis along the derivative axis). The zero-frequency mode is dropped,
 // which is equivalent to solving with the mean charge removed — physically,
 // the neutralizing background charge of ePlace.
+//
+// The 2-D transforms run on a fixed worker pool (NewElectroWorkers): row
+// transforms are partitioned across workers, and column transforms become
+// contiguous row transforms through a cache-friendly tiled transpose. Every
+// output element is computed by exactly one worker with the same per-vector
+// arithmetic as the serial path, so results are identical for any worker
+// count. A Solve is not safe for concurrent use; create one Electro per
+// placement run.
 type Electro struct {
-	g            *Grid
-	planX, planY *fft.CosPlan
+	g       *Grid
+	workers int
+
+	// planXs/planYs hold one CosPlan per worker and axis; plans carry
+	// mutable FFT scratch, so they are never shared between workers.
+	planXs, planYs []*fft.CosPlan
 
 	// wu, wv are the spatial frequencies pi*u/W and pi*v/H.
 	wu, wv []float64
@@ -30,16 +43,28 @@ type Electro struct {
 	// Psi is the potential, Ex/Ey the field components, all per bin.
 	Psi, Ex, Ey []float64
 
-	rowBuf, colBuf, colBuf2 []float64
-	scaled                  []float64
+	// rowBufs/colBufs are per-worker copy buffers for the non-aliasing
+	// IDXST (length nx and ny respectively).
+	rowBufs, colBufs [][]float64
+	// tbuf is the transposed intermediate (nx rows of ny) the column
+	// transforms run over.
+	tbuf   []float64
+	scaled []float64
 }
 
-// NewElectro builds a solver bound to grid g.
-func NewElectro(g *Grid) *Electro {
+// NewElectro builds a serial solver bound to grid g.
+func NewElectro(g *Grid) *Electro { return NewElectroWorkers(g, 1) }
+
+// NewElectroWorkers builds a solver bound to grid g that runs its transforms
+// and scaling loops on a pool of the given size. workers <= 1 is the serial
+// solver.
+func NewElectroWorkers(g *Grid, workers int) *Electro {
+	if workers < 1 {
+		workers = 1
+	}
 	e := &Electro{
 		g:       g,
-		planX:   fft.NewCosPlan(g.Nx),
-		planY:   fft.NewCosPlan(g.Ny),
+		workers: workers,
 		wu:      make([]float64, g.Nx),
 		wv:      make([]float64, g.Ny),
 		Rho:     make([]float64, g.Nx*g.Ny),
@@ -47,10 +72,14 @@ func NewElectro(g *Grid) *Electro {
 		Psi:     make([]float64, g.Nx*g.Ny),
 		Ex:      make([]float64, g.Nx*g.Ny),
 		Ey:      make([]float64, g.Nx*g.Ny),
-		rowBuf:  make([]float64, g.Nx),
-		colBuf:  make([]float64, g.Ny),
-		colBuf2: make([]float64, g.Ny),
+		tbuf:    make([]float64, g.Nx*g.Ny),
 		scaled:  make([]float64, g.Nx*g.Ny),
+	}
+	for w := 0; w < workers; w++ {
+		e.planXs = append(e.planXs, fft.NewCosPlan(g.Nx))
+		e.planYs = append(e.planYs, fft.NewCosPlan(g.Ny))
+		e.rowBufs = append(e.rowBufs, make([]float64, g.Nx))
+		e.colBufs = append(e.colBufs, make([]float64, g.Ny))
 	}
 	for u := 0; u < g.Nx; u++ {
 		e.wu[u] = math.Pi * float64(u) / g.Region.W()
@@ -61,119 +90,168 @@ func NewElectro(g *Grid) *Electro {
 	return e
 }
 
+// Workers returns the solver's worker-pool size.
+func (e *Electro) Workers() int { return e.workers }
+
+// transposeTile is the blocking factor of the tiled transpose; 64 float64s
+// per tile row keeps both the read and write streams inside L1.
+const transposeTile = 64
+
+// transposeInto writes the rows-by-cols row-major matrix src into dst
+// transposed (cols rows of rows entries): dst[c*rows+r] = src[r*cols+c].
+// Workers partition the destination rows (source columns), so writes are
+// disjoint; tiling bounds the cache footprint of the strided reads.
+func (e *Electro) transposeInto(dst, src []float64, rows, cols int) {
+	parallel.For(e.workers, cols, func(_, lo, hi int) {
+		for c0 := lo; c0 < hi; c0 += transposeTile {
+			c1 := c0 + transposeTile
+			if c1 > hi {
+				c1 = hi
+			}
+			for r0 := 0; r0 < rows; r0 += transposeTile {
+				r1 := r0 + transposeTile
+				if r1 > rows {
+					r1 = rows
+				}
+				for c := c0; c < c1; c++ {
+					drow := dst[c*rows : (c+1)*rows]
+					for r := r0; r < r1; r++ {
+						drow[r] = src[r*cols+c]
+					}
+				}
+			}
+		}
+	})
+}
+
 // dct2DForward computes the per-axis DCT-II of src into dst (both nx*ny).
+// Rows transform in parallel; columns are transposed into contiguous rows,
+// transformed, and transposed back.
 func (e *Electro) dct2DForward(dst, src []float64) {
 	nx, ny := e.g.Nx, e.g.Ny
 	// Rows (x axis).
-	for iy := 0; iy < ny; iy++ {
-		row := src[iy*nx : (iy+1)*nx]
-		e.planX.DCT2(dst[iy*nx:(iy+1)*nx], row)
-	}
-	// Columns (y axis).
-	for ix := 0; ix < nx; ix++ {
-		for iy := 0; iy < ny; iy++ {
-			e.colBuf[iy] = dst[iy*nx+ix]
+	parallel.For(e.workers, ny, func(w, lo, hi int) {
+		plan := e.planXs[w]
+		for iy := lo; iy < hi; iy++ {
+			plan.DCT2(dst[iy*nx:(iy+1)*nx], src[iy*nx:(iy+1)*nx])
 		}
-		e.planY.DCT2(e.colBuf2, e.colBuf)
-		for iy := 0; iy < ny; iy++ {
-			dst[iy*nx+ix] = e.colBuf2[iy]
+	})
+	// Columns (y axis): transpose so each column is a contiguous row.
+	e.transposeInto(e.tbuf, dst, ny, nx)
+	parallel.For(e.workers, nx, func(w, lo, hi int) {
+		plan := e.planYs[w]
+		for ix := lo; ix < hi; ix++ {
+			col := e.tbuf[ix*ny : (ix+1)*ny]
+			plan.DCT2(col, col)
 		}
-	}
+	})
+	e.transposeInto(dst, e.tbuf, nx, ny)
 }
 
 // synth2D synthesizes dst from 2-D DCT coefficients src, applying transform
 // xT along rows and yT along columns (each either IDCT or IDXST).
 func (e *Electro) synth2D(dst, src []float64, xSine, ySine bool) {
 	nx, ny := e.g.Nx, e.g.Ny
-	// Columns first (y axis).
-	for ix := 0; ix < nx; ix++ {
-		for iy := 0; iy < ny; iy++ {
-			e.colBuf[iy] = src[iy*nx+ix]
+	// Columns first (y axis), as contiguous rows of the transpose.
+	e.transposeInto(e.tbuf, src, ny, nx)
+	parallel.For(e.workers, nx, func(w, lo, hi int) {
+		plan := e.planYs[w]
+		buf := e.colBufs[w]
+		for ix := lo; ix < hi; ix++ {
+			col := e.tbuf[ix*ny : (ix+1)*ny]
+			if ySine {
+				copy(buf, col)
+				plan.IDXST(col, buf)
+			} else {
+				plan.IDCT(col, col)
+			}
 		}
-		if ySine {
-			e.planY.IDXST(e.colBuf2, e.colBuf)
-		} else {
-			e.planY.IDCT(e.colBuf2, e.colBuf)
-		}
-		for iy := 0; iy < ny; iy++ {
-			dst[iy*nx+ix] = e.colBuf2[iy]
-		}
-	}
+	})
+	e.transposeInto(dst, e.tbuf, nx, ny)
 	// Rows (x axis).
-	for iy := 0; iy < ny; iy++ {
-		row := dst[iy*nx : (iy+1)*nx]
-		if xSine {
-			copy(e.rowBuf, row)
-			e.planX.IDXST(row, e.rowBuf)
-		} else {
-			e.planX.IDCT(row, row)
+	parallel.For(e.workers, ny, func(w, lo, hi int) {
+		plan := e.planXs[w]
+		buf := e.rowBufs[w]
+		for iy := lo; iy < hi; iy++ {
+			row := dst[iy*nx : (iy+1)*nx]
+			if xSine {
+				copy(buf, row)
+				plan.IDXST(row, buf)
+			} else {
+				plan.IDCT(row, row)
+			}
 		}
-	}
+	})
 }
 
 // SolveFromGrid loads the grid's current total density (movable + fixed),
 // converts it to utilization, and solves for potential and field.
 func (e *Electro) SolveFromGrid() {
 	invBin := 1 / e.g.BinArea()
-	for i := range e.Rho {
-		e.Rho[i] = (e.g.Density[i] + e.g.FixedDensity[i]) * invBin
-	}
+	parallel.For(e.workers, len(e.Rho), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e.Rho[i] = (e.g.Density[i] + e.g.FixedDensity[i]) * invBin
+		}
+	})
 	e.Solve()
+}
+
+// scaleCoeff fills e.scaled with Coeff[i] * num(u, v) / (wu^2 + wv^2),
+// zeroing the DC term; the numerator selects potential (1), Ex (wu), or Ey
+// (wv) synthesis. Rows are partitioned across workers; every element is
+// computed independently, so the result is worker-count independent.
+func (e *Electro) scaleCoeff(numX, numY bool) {
+	nx := e.g.Nx
+	parallel.For(e.workers, e.g.Ny, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			wv2 := e.wv[v] * e.wv[v]
+			for u := 0; u < nx; u++ {
+				i := v*nx + u
+				if u == 0 && v == 0 {
+					e.scaled[i] = 0
+					continue
+				}
+				num := 1.0
+				if numX {
+					num = e.wu[u]
+				} else if numY {
+					num = e.wv[v]
+				}
+				e.scaled[i] = e.Coeff[i] * num / (e.wu[u]*e.wu[u] + wv2)
+			}
+		}
+	})
 }
 
 // Solve runs the spectral solve on the current contents of Rho.
 func (e *Electro) Solve() {
-	nx, ny := e.g.Nx, e.g.Ny
 	e.dct2DForward(e.Coeff, e.Rho)
 
 	// Potential coefficients: A/(wu^2+wv^2), zero DC.
-	for v := 0; v < ny; v++ {
-		for u := 0; u < nx; u++ {
-			i := v*nx + u
-			if u == 0 && v == 0 {
-				e.scaled[i] = 0
-				continue
-			}
-			e.scaled[i] = e.Coeff[i] / (e.wu[u]*e.wu[u] + e.wv[v]*e.wv[v])
-		}
-	}
+	e.scaleCoeff(false, false)
 	e.synth2D(e.Psi, e.scaled, false, false)
 
 	// Ex = sum B*wu * sin(wu x) cos(wv y): sine along x.
-	for v := 0; v < ny; v++ {
-		for u := 0; u < nx; u++ {
-			i := v*nx + u
-			if u == 0 && v == 0 {
-				e.scaled[i] = 0
-				continue
-			}
-			e.scaled[i] = e.Coeff[i] * e.wu[u] / (e.wu[u]*e.wu[u] + e.wv[v]*e.wv[v])
-		}
-	}
+	e.scaleCoeff(true, false)
 	e.synth2D(e.Ex, e.scaled, true, false)
 
 	// Ey: sine along y.
-	for v := 0; v < ny; v++ {
-		for u := 0; u < nx; u++ {
-			i := v*nx + u
-			if u == 0 && v == 0 {
-				e.scaled[i] = 0
-				continue
-			}
-			e.scaled[i] = e.Coeff[i] * e.wv[v] / (e.wu[u]*e.wu[u] + e.wv[v]*e.wv[v])
-		}
-	}
+	e.scaleCoeff(false, true)
 	e.synth2D(e.Ey, e.scaled, false, true)
 }
 
 // Energy returns the total electrostatic energy sum_b q_b * psi_b over the
-// movable charge, the ePlace density penalty D of Eq. (1).
+// movable charge, the ePlace density penalty D of Eq. (1). Partial sums are
+// reduced in worker order, so the value is deterministic for a fixed worker
+// count.
 func (e *Electro) Energy() float64 {
-	s := 0.0
-	for i, q := range e.g.Density {
-		s += q * e.Psi[i]
-	}
-	return s
+	return parallel.SumOrdered(e.workers, len(e.g.Density), func(_, lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += e.g.Density[i] * e.Psi[i]
+		}
+		return s
+	})
 }
 
 // Grid returns the bound grid.

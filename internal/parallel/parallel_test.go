@@ -1,0 +1,67 @@
+package parallel
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 2, 5, 31, 100} {
+			hits := make([]int32, n)
+			For(workers, n, func(w, lo, hi int) {
+				if w < 0 || w >= Active(workers, n) {
+					t.Errorf("workers=%d n=%d: worker index %d out of range", workers, n, w)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: element %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForSerialRunsInline(t *testing.T) {
+	calls := 0
+	For(1, 10, func(w, lo, hi int) {
+		calls++
+		if w != 0 || lo != 0 || hi != 10 {
+			t.Fatalf("serial call got (%d, %d, %d)", w, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("serial For made %d calls", calls)
+	}
+}
+
+func TestSumOrderedDeterministic(t *testing.T) {
+	n := 1000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Sin(float64(i)) * 1e3
+	}
+	sum := func(w, lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += vals[i]
+		}
+		return s
+	}
+	serial := SumOrdered(1, n, sum)
+	for _, workers := range []int{2, 3, 7} {
+		a := SumOrdered(workers, n, sum)
+		b := SumOrdered(workers, n, sum)
+		if a != b {
+			t.Fatalf("workers=%d: repeated SumOrdered differs: %v vs %v", workers, a, b)
+		}
+		if rel := math.Abs(a-serial) / math.Max(1, math.Abs(serial)); rel > 1e-12 {
+			t.Fatalf("workers=%d: parallel sum %v too far from serial %v (rel %g)", workers, a, serial, rel)
+		}
+	}
+}

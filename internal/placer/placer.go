@@ -22,6 +22,7 @@ import (
 	"repro/internal/density"
 	"repro/internal/netlist"
 	"repro/internal/optimizer"
+	"repro/internal/parallel"
 	"repro/internal/quadratic"
 	"repro/internal/wirelength"
 )
@@ -72,8 +73,15 @@ type Config struct {
 	// the DREAMPlace Jacobi preconditioner, equalizing step scales
 	// between hub cells and leaf cells.
 	Precondition bool
-	// WLWorkers > 1 evaluates the wirelength model with that many
-	// goroutines (the model must be one of the named models).
+	// Workers > 1 runs the whole evaluation pipeline — the wirelength
+	// model (which must be one of the named models), density stamping,
+	// the spectral Poisson solve, and the field gather — on a shared
+	// pool of that many goroutines. Results are deterministic for a
+	// fixed worker count (per-worker partials reduce in index order) and
+	// match the serial path up to floating-point addition order.
+	Workers int
+	// WLWorkers is a deprecated alias for Workers, kept for old callers;
+	// it is consulted only when Workers is 0.
 	WLWorkers int
 	// OnIteration, when non-nil, is invoked after every optimizer
 	// iteration with the current trajectory sample (exact HPWL included).
@@ -128,12 +136,17 @@ type Result struct {
 
 // engine carries the mutable state of one global placement run.
 type engine struct {
-	d   *netlist.Design
-	cfg Config
-	mov []int // movable cell indices
+	d       *netlist.Design
+	cfg     Config
+	mov     []int // movable cell indices
+	workers int   // shared worker-pool size (>= 1)
 
-	grid *density.Grid
-	elec *density.Electro
+	grid    *density.Grid
+	elec    *density.Electro
+	stamper *density.Stamper
+
+	// project clamps a position vector into the placeable region.
+	project func([]float64)
 
 	// Filler cells: anonymous movable whitespace charges.
 	fillerW, fillerH float64
@@ -198,48 +211,31 @@ func (cfg *Config) Validate() error {
 	return nil
 }
 
-// Place runs global placement on d (in place) and returns the result.
-func Place(d *netlist.Design, cfg Config) (*Result, error) {
-	return PlaceContext(context.Background(), d, cfg)
+// effectiveWorkers resolves the worker-pool size, honoring the deprecated
+// WLWorkers alias when Workers is unset.
+func (cfg *Config) effectiveWorkers() int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	if cfg.WLWorkers > 0 {
+		return cfg.WLWorkers
+	}
+	return 1
 }
 
-// PlaceContext is Place with cancellation: the context is checked once per
-// optimizer iteration, and when it is cancelled (or its deadline passes) the
-// run stops promptly, returning the partial Result alongside ctx.Err().
-func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
+// newEngine builds the run state of one global placement: the density grid
+// and spectral solver (sized to the worker pool), fillers, per-entry half
+// dimensions, the initial position vector, and the projection operator. It
+// is the setup phase of PlaceContext, split out so equivalence tests and
+// benchmarks can drive engine.eval directly. cfg must already carry its
+// numeric defaults and a (possibly parallelized) model.
+func newEngine(d *netlist.Design, cfg Config, workers int) (*engine, []float64, error) {
+	if workers < 1 {
+		workers = 1
 	}
-	if cfg.MaxIters <= 0 {
-		cfg.MaxIters = 1000
-	}
-	if cfg.StopOverflow <= 0 {
-		cfg.StopOverflow = 0.07
-	}
-	if cfg.Gamma0 <= 0 {
-		cfg.Gamma0 = 4.0
-	}
-	if cfg.T0 <= 0 {
-		cfg.T0 = 4.0
-	}
-	if cfg.Delta <= 0 {
-		cfg.Delta = 1e-4
-	}
-	if err := d.Validate(); err != nil {
-		return nil, fmt.Errorf("placer: %w", err)
-	}
-	if cfg.WLWorkers > 1 {
-		pm, err := wirelength.ParallelByName(cfg.Model.Name(), cfg.WLWorkers)
-		if err != nil {
-			return nil, fmt.Errorf("placer: parallel wirelength: %w", err)
-		}
-		cfg.Model = pm
-	}
-
-	start := time.Now()
-	en := &engine{d: d, cfg: cfg, mov: d.MovableIndices()}
+	en := &engine{d: d, cfg: cfg, mov: d.MovableIndices(), workers: workers}
 	if len(en.mov) == 0 {
-		return nil, fmt.Errorf("placer: design %q has no movable cells", d.Name)
+		return nil, nil, fmt.Errorf("placer: design %q has no movable cells", d.Name)
 	}
 
 	gx, gy := cfg.GridX, cfg.GridY
@@ -250,7 +246,8 @@ func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 		gy = gx
 	}
 	en.grid = density.NewGrid(d.Region, gx, gy)
-	en.elec = density.NewElectro(en.grid)
+	en.elec = density.NewElectroWorkers(en.grid, workers)
+	en.stamper = density.NewStamper(en.grid, workers)
 
 	en.targetDensity = d.TargetDensity
 	if cfg.TargetDensity > 0 {
@@ -301,10 +298,10 @@ func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 	case "center", "keep":
 	case "quadratic":
 		if err := quadratic.PlaceB2B(d, quadratic.B2BOptions{}); err != nil {
-			return nil, fmt.Errorf("placer: quadratic init: %w", err)
+			return nil, nil, fmt.Errorf("placer: quadratic init: %w", err)
 		}
 	default:
-		return nil, fmt.Errorf("placer: unknown init %q (want center, keep, or quadratic)", cfg.Init)
+		return nil, nil, fmt.Errorf("placer: unknown init %q (want center, keep, or quadratic)", cfg.Init)
 	}
 	cx, cy := d.Region.Center().X, d.Region.Center().Y
 	jx := d.Region.W() * 0.001
@@ -324,7 +321,7 @@ func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 		pos[n+i] = cy + rng.NormFloat64()*jy
 	}
 
-	project := func(p []float64) {
+	en.project = func(p []float64) {
 		r := d.Region
 		for i := 0; i < n; i++ {
 			lo, hi := r.XL+en.halfW[i], r.XH-en.halfW[i]
@@ -347,10 +344,57 @@ func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 			}
 		}
 	}
-	project(pos)
+	en.project(pos)
 
 	en.wgx = make([]float64, d.NumCells())
 	en.wgy = make([]float64, d.NumCells())
+	return en, pos, nil
+}
+
+// Place runs global placement on d (in place) and returns the result.
+func Place(d *netlist.Design, cfg Config) (*Result, error) {
+	return PlaceContext(context.Background(), d, cfg)
+}
+
+// PlaceContext is Place with cancellation: the context is checked once per
+// optimizer iteration, and when it is cancelled (or its deadline passes) the
+// run stops promptly, returning the partial Result alongside ctx.Err().
+func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = 1000
+	}
+	if cfg.StopOverflow <= 0 {
+		cfg.StopOverflow = 0.07
+	}
+	if cfg.Gamma0 <= 0 {
+		cfg.Gamma0 = 4.0
+	}
+	if cfg.T0 <= 0 {
+		cfg.T0 = 4.0
+	}
+	if cfg.Delta <= 0 {
+		cfg.Delta = 1e-4
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("placer: %w", err)
+	}
+	workers := cfg.effectiveWorkers()
+	if workers > 1 {
+		pm, err := wirelength.ParallelByName(cfg.Model.Name(), workers)
+		if err != nil {
+			return nil, fmt.Errorf("placer: parallel wirelength: %w", err)
+		}
+		cfg.Model = pm
+	}
+
+	start := time.Now()
+	en, pos, err := newEngine(d, cfg, workers)
+	if err != nil {
+		return nil, err
+	}
 
 	gammaSched := GammaSchedule{Gamma0: cfg.Gamma0, BinW: en.grid.BinW, BinH: en.grid.BinH}
 	tSched := TSchedule{T0: cfg.T0, Delta: cfg.Delta, BinW: en.grid.BinW, BinH: en.grid.BinH}
@@ -386,13 +430,13 @@ func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 	binScale := en.grid.BinW + en.grid.BinH
 	switch cfg.Optimizer {
 	case "", "nesterov":
-		opt = optimizer.NewNesterov(pos, 1e-3*binScale, project)
+		opt = optimizer.NewNesterov(pos, 1e-3*binScale, en.project)
 	case "adam":
 		// Adam's normalized step moves each coordinate by up to LR per
 		// iteration; half a bin keeps spreading stable.
-		opt = optimizer.NewAdam(pos, 0.25*binScale, project)
+		opt = optimizer.NewAdam(pos, 0.25*binScale, en.project)
 	case "momentum":
-		opt = optimizer.NewMomentum(pos, 1e-2*binScale, 0.9, project)
+		opt = optimizer.NewMomentum(pos, 1e-2*binScale, 0.9, en.project)
 	default:
 		return nil, fmt.Errorf("placer: unknown optimizer %q (want nesterov, adam, or momentum)", cfg.Optimizer)
 	}
@@ -515,18 +559,22 @@ func (en *engine) unpack(pos []float64) {
 }
 
 // stampAndOverflow stamps movable cells, measures overflow, then stamps the
-// fillers on top (ready for the field solve) and returns the overflow.
+// fillers on top (ready for the field solve) and returns the overflow. Both
+// stamping passes and the overflow reduction run on the engine's worker
+// pool; per-worker partials reduce in worker order (deterministic for a
+// fixed worker count).
 func (en *engine) stampAndOverflow(pos []float64) float64 {
 	n := len(en.mov) + en.numFillers
+	nm := len(en.mov)
 	en.grid.Clear()
-	for i := range en.mov {
-		en.grid.StampSmoothed(pos[i], pos[n+i], 2*en.halfW[i], 2*en.halfH[i])
-	}
-	phi := en.grid.Overflow(en.targetDensity, en.movableArea)
-	for f := 0; f < en.numFillers; f++ {
-		i := len(en.mov) + f
-		en.grid.StampSmoothed(pos[i], pos[n+i], en.fillerW, en.fillerH)
-	}
+	en.stamper.StampSmoothed(nm, func(i int) (float64, float64, float64, float64) {
+		return pos[i], pos[n+i], 2 * en.halfW[i], 2 * en.halfH[i]
+	})
+	phi := en.grid.OverflowWorkers(en.targetDensity, en.movableArea, en.workers)
+	en.stamper.StampSmoothed(en.numFillers, func(f int) (float64, float64, float64, float64) {
+		i := nm + f
+		return pos[i], pos[n+i], en.fillerW, en.fillerH
+	})
 	return phi
 }
 
@@ -561,20 +609,26 @@ func (en *engine) eval(pos, grad []float64) float64 {
 	energy := en.elec.Energy()
 	en.lastEnergy = energy
 
+	// The per-cell field gather is embarrassingly parallel: entry i writes
+	// only grad[i] and grad[n+i] and reads shared immutable state, so the
+	// result is worker-count independent.
 	n := len(en.mov) + en.numFillers
-	for i, c := range en.mov {
-		fx, fy := en.grid.SampleSmoothed(en.elec.Ex, en.elec.Ey, pos[i], pos[n+i], 2*en.halfW[i], 2*en.halfH[i])
-		grad[i] = en.wgx[c] - en.lambda*fx
-		grad[n+i] = en.wgy[c] - en.lambda*fy
-		if en.cfg.Precondition {
-			p := float64(len(d.PinsOfCell(c))) + en.lambda*d.Cells[c].Area()
-			if p < 1 {
-				p = 1
+	parallel.For(en.workers, len(en.mov), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := en.mov[i]
+			fx, fy := en.grid.SampleSmoothed(en.elec.Ex, en.elec.Ey, pos[i], pos[n+i], 2*en.halfW[i], 2*en.halfH[i])
+			grad[i] = en.wgx[c] - en.lambda*fx
+			grad[n+i] = en.wgy[c] - en.lambda*fy
+			if en.cfg.Precondition {
+				p := float64(len(d.PinsOfCell(c))) + en.lambda*d.Cells[c].Area()
+				if p < 1 {
+					p = 1
+				}
+				grad[i] /= p
+				grad[n+i] /= p
 			}
-			grad[i] /= p
-			grad[n+i] /= p
 		}
-	}
+	})
 	fillerPre := 1.0
 	if en.cfg.Precondition {
 		fillerPre = en.lambda * en.fillerW * en.fillerH
@@ -582,11 +636,14 @@ func (en *engine) eval(pos, grad []float64) float64 {
 			fillerPre = 1
 		}
 	}
-	for f := 0; f < en.numFillers; f++ {
-		i := len(en.mov) + f
-		fx, fy := en.grid.SampleSmoothed(en.elec.Ex, en.elec.Ey, pos[i], pos[n+i], en.fillerW, en.fillerH)
-		grad[i] = -en.lambda * fx / fillerPre
-		grad[n+i] = -en.lambda * fy / fillerPre
-	}
+	nm := len(en.mov)
+	parallel.For(en.workers, en.numFillers, func(_, lo, hi int) {
+		for f := lo; f < hi; f++ {
+			i := nm + f
+			fx, fy := en.grid.SampleSmoothed(en.elec.Ex, en.elec.Ey, pos[i], pos[n+i], en.fillerW, en.fillerH)
+			grad[i] = -en.lambda * fx / fillerPre
+			grad[n+i] = -en.lambda * fy / fillerPre
+		}
+	})
 	return w + en.lambda*energy
 }

@@ -66,8 +66,13 @@ type PlacerSpec struct {
 	Init         string  `json:"init,omitempty"`
 	Schedule     string  `json:"schedule,omitempty"`
 	RecordEvery  int     `json:"record_every,omitempty"`
-	WLWorkers    int     `json:"wl_workers,omitempty"`
-	Precondition bool    `json:"precondition,omitempty"`
+	// Workers sizes the shared placement worker pool (wirelength model,
+	// density stamping, spectral solve, field gather).
+	Workers int `json:"workers,omitempty"`
+	// WLWorkers is a deprecated alias for Workers kept for old clients;
+	// it applies only when workers is absent.
+	WLWorkers    int  `json:"wl_workers,omitempty"`
+	Precondition bool `json:"precondition,omitempty"`
 }
 
 // FlowSpec selects which stages run after global placement.
@@ -170,6 +175,7 @@ func (s *JobSpec) placerConfig() placer.Config {
 		Init:         p.Init,
 		Schedule:     p.Schedule,
 		RecordEvery:  p.RecordEvery,
+		Workers:      p.Workers,
 		WLWorkers:    p.WLWorkers,
 		Precondition: p.Precondition,
 	}

@@ -1,0 +1,34 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestPlacerSpecWorkers pins the JSON knob → placer.Config mapping for the
+// shared worker pool, including the deprecated wl_workers alias.
+func TestPlacerSpecWorkers(t *testing.T) {
+	var spec JobSpec
+	body := `{"design": {"synth": {"cells": 100}}, "placer": {"workers": 4, "wl_workers": 2}}`
+	if err := json.Unmarshal([]byte(body), &spec); err != nil {
+		t.Fatal(err)
+	}
+	cfg := spec.placerConfig()
+	if cfg.Workers != 4 {
+		t.Errorf("Workers = %d, want 4", cfg.Workers)
+	}
+	if cfg.WLWorkers != 2 {
+		t.Errorf("WLWorkers = %d, want 2", cfg.WLWorkers)
+	}
+	if err := spec.Validate(""); err != nil {
+		t.Fatalf("spec with workers failed validation: %v", err)
+	}
+
+	var legacy JobSpec
+	if err := json.Unmarshal([]byte(`{"design": {"synth": {"cells": 100}}, "placer": {"wl_workers": 3}}`), &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if cfg := legacy.placerConfig(); cfg.Workers != 0 || cfg.WLWorkers != 3 {
+		t.Errorf("legacy spec mapped to Workers=%d WLWorkers=%d, want 0/3", cfg.Workers, cfg.WLWorkers)
+	}
+}

@@ -2,9 +2,9 @@ package wirelength
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/netlist"
+	"repro/internal/parallel"
 )
 
 // parallelModel evaluates a kernel model with a pool of goroutines, one
@@ -13,14 +13,26 @@ import (
 // floating-point addition order within a cell's accumulator (workers own
 // disjoint net ranges but cells are shared, so per-worker partial gradients
 // are summed deterministically worker-by-worker).
+//
+// A parallelModel is not safe for concurrent WirelengthGrad calls on the
+// same value: the workers it spawns own its per-worker scratch, but two
+// overlapping top-level calls would share it. Create one model per
+// concurrent placement run (ParallelByName is cheap).
 type parallelModel struct {
 	name    string
 	kind    ParamKind
 	workers int
 	kernels []Kernel
 
-	mu       sync.Mutex
+	// Per-call scratch, reused across evaluations: totals holds one
+	// partial sum per worker; gxs/gys hold per-worker gradient
+	// accumulators, (re)sized only when the design's cell count changes.
+	totals   []float64
 	gxs, gys [][]float64
+
+	// coords/pins are per-worker pin coordinate and gradient buffers,
+	// grown on demand to the largest net degree each worker has seen.
+	coords, pins [][]float64
 }
 
 // Parallelize wraps a kernel-backed model (anything built by
@@ -37,6 +49,11 @@ func Parallelize(m Model, workers int, factory func() Kernel) (Model, error) {
 		name:    m.Name(),
 		kind:    m.ParamKind(),
 		workers: workers,
+		totals:  make([]float64, workers),
+		gxs:     make([][]float64, workers),
+		gys:     make([][]float64, workers),
+		coords:  make([][]float64, workers),
+		pins:    make([][]float64, workers),
 	}
 	for w := 0; w < workers; w++ {
 		p.kernels = append(p.kernels, factory())
@@ -71,97 +88,89 @@ func ParallelByName(name string, workers int) (Model, error) {
 func (m *parallelModel) Name() string         { return m.name }
 func (m *parallelModel) ParamKind() ParamKind { return m.kind }
 
+// ensureGradScratch (re)sizes the per-worker gradient accumulators to n
+// cells. In the steady state (same design every call) this is a single
+// length comparison; the resize path only runs when the cell count changes.
+func (m *parallelModel) ensureGradScratch(n int) {
+	if len(m.gxs[0]) == n {
+		return
+	}
+	for w := range m.gxs {
+		m.gxs[w] = make([]float64, n)
+		m.gys[w] = make([]float64, n)
+	}
+}
+
 func (m *parallelModel) WirelengthGrad(d *netlist.Design, p float64, gradX, gradY []float64) float64 {
 	n := d.NumCells()
 	needGrad := gradX != nil
-	m.mu.Lock()
-	if needGrad && (len(m.gxs) != m.workers || len(m.gxs[0]) != n) {
-		m.gxs = make([][]float64, m.workers)
-		m.gys = make([][]float64, m.workers)
-		for w := range m.gxs {
-			m.gxs[w] = make([]float64, n)
-			m.gys[w] = make([]float64, n)
-		}
+	if needGrad {
+		m.ensureGradScratch(n)
 	}
-	m.mu.Unlock()
 
 	numNets := d.NumNets()
-	chunk := (numNets + m.workers - 1) / m.workers
-	totals := make([]float64, m.workers)
-	var wg sync.WaitGroup
-	for w := 0; w < m.workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > numNets {
-			hi = numNets
+	active := parallel.Active(m.workers, numNets)
+	parallel.For(m.workers, numNets, func(w, lo, hi int) {
+		kernel := m.kernels[w]
+		coord, pg := m.coords[w], m.pins[w]
+		var gx, gy []float64
+		if needGrad {
+			gx, gy = m.gxs[w], m.gys[w]
+			for i := range gx {
+				gx[i] = 0
+				gy[i] = 0
+			}
 		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			kernel := m.kernels[w]
-			var coord, pg []float64
-			var gx, gy []float64
+		sum := 0.0
+		for e := lo; e < hi; e++ {
+			pins := d.NetPins(e)
+			np := len(pins)
+			if np == 0 {
+				continue
+			}
+			if cap(coord) < np {
+				coord = make([]float64, np)
+				pg = make([]float64, np)
+			}
+			c := coord[:np]
+			var g []float64
 			if needGrad {
-				gx, gy = m.gxs[w], m.gys[w]
-				for i := range gx {
-					gx[i] = 0
-					gy[i] = 0
+				g = pg[:np]
+			}
+			wgt := d.Nets[e].Weight
+			for i, pin := range pins {
+				c[i] = d.X[pin.Cell] + pin.Dx
+			}
+			sum += wgt * kernel(c, p, g)
+			if needGrad {
+				for i, pin := range pins {
+					gx[pin.Cell] += wgt * g[i]
 				}
 			}
-			sum := 0.0
-			for e := lo; e < hi; e++ {
-				pins := d.NetPins(e)
-				np := len(pins)
-				if np == 0 {
-					continue
-				}
-				if cap(coord) < np {
-					coord = make([]float64, np)
-					pg = make([]float64, np)
-				}
-				c := coord[:np]
-				var g []float64
-				if needGrad {
-					g = pg[:np]
-				}
-				wgt := d.Nets[e].Weight
+			for i, pin := range pins {
+				c[i] = d.Y[pin.Cell] + pin.Dy
+			}
+			sum += wgt * kernel(c, p, g)
+			if needGrad {
 				for i, pin := range pins {
-					c[i] = d.X[pin.Cell] + pin.Dx
-				}
-				sum += wgt * kernel(c, p, g)
-				if needGrad {
-					for i, pin := range pins {
-						gx[pin.Cell] += wgt * g[i]
-					}
-				}
-				for i, pin := range pins {
-					c[i] = d.Y[pin.Cell] + pin.Dy
-				}
-				sum += wgt * kernel(c, p, g)
-				if needGrad {
-					for i, pin := range pins {
-						gy[pin.Cell] += wgt * g[i]
-					}
+					gy[pin.Cell] += wgt * g[i]
 				}
 			}
-			totals[w] = sum
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		}
+		m.coords[w], m.pins[w] = coord, pg
+		m.totals[w] = sum
+	})
 
 	total := 0.0
-	for _, t := range totals {
-		total += t
+	for w := 0; w < active; w++ {
+		total += m.totals[w]
 	}
 	if needGrad {
 		for i := range gradX {
 			gradX[i] = 0
 			gradY[i] = 0
 		}
-		for w := 0; w < m.workers; w++ {
+		for w := 0; w < active; w++ {
 			gx, gy := m.gxs[w], m.gys[w]
 			for i := 0; i < n; i++ {
 				gradX[i] += gx[i]
