@@ -1,7 +1,9 @@
 # Standard verify entrypoint: `make check` is what CI (and humans) run.
 GO ?= go
+# Each PR writes its own trajectory file so earlier ones stay comparable.
+BENCH ?= BENCH_PR3.json
 
-.PHONY: check fmt vet build test race bench placerd
+.PHONY: check fmt vet build test race bench cover placerd
 
 check: fmt vet build test race
 
@@ -20,20 +22,31 @@ build:
 test:
 	$(GO) test ./...
 
-# The job manager, telemetry, engine cancellation, and every parallel
-# evaluation path (worker pool, density pipeline, wirelength reduction) must
-# be clean under the race detector; the placer/density/wirelength suites
-# include the parallel-vs-serial equivalence tests.
+# The job manager (now including the durable store), the checkpoint codec,
+# telemetry, engine cancellation, and every parallel evaluation path (worker
+# pool, density pipeline, wirelength reduction) must be clean under the race
+# detector; the placer/density/wirelength suites include the
+# parallel-vs-serial equivalence tests, and the service suite includes the
+# kill-and-recover tests.
 race:
 	$(GO) test -race ./internal/service/... ./internal/placer/... \
-		./internal/density/... ./internal/wirelength/... ./internal/parallel/...
+		./internal/checkpoint/... ./internal/density/... \
+		./internal/wirelength/... ./internal/parallel/...
 
 # bench refreshes the machine-readable perf trajectory: every benchmark runs
-# once and BENCH_PR2.json records ns/op + allocs/op per benchmark plus the
+# once and $(BENCH) records ns/op + allocs/op per benchmark plus the
 # workers=N speedups of the parallel density/eval pipeline.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... | $(GO) run ./cmd/benchjson > BENCH_PR2.json
-	@echo "wrote BENCH_PR2.json"
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... | $(GO) run ./cmd/benchjson > $(BENCH)
+	@echo "wrote $(BENCH)"
+
+# cover writes an aggregate coverage profile and prints the per-package
+# summary; open cover.html for the annotated source.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+	$(GO) tool cover -html=cover.out -o cover.html
+	@echo "wrote cover.out and cover.html"
 
 placerd:
 	$(GO) build -o bin/placerd ./cmd/placerd

@@ -10,6 +10,12 @@
 //
 // The flow prints GPWL/LGWL/DPWL and per-stage runtimes; -out writes the
 // placed design back as a Bookshelf file set.
+//
+// With -checkpoint the run snapshots its full placement state into the
+// directory (every -checkpoint-every iterations, and once more on Ctrl-C),
+// and -resume restarts an interrupted run from its latest snapshot — with
+// the same design, model, and worker count it finishes bit-identically to a
+// never-interrupted run.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"syscall"
 
 	"repro/internal/bookshelf"
+	"repro/internal/checkpoint"
 	"repro/internal/congestion"
 	"repro/internal/core"
 	"repro/internal/netlist"
@@ -51,6 +58,9 @@ func main() {
 		congest = flag.Bool("congestion", false, "report RUDY congestion statistics of the final placement")
 		plotDir = flag.String("plot", "", "write placement.svg and congestion.svg into this directory")
 		routab  = flag.Int("routability", 0, "congestion-driven inflation rounds (0 = off)")
+		ckptDir = flag.String("checkpoint", "", "write placement snapshots into this directory")
+		ckptEv  = flag.Int("checkpoint-every", 50, "snapshot cadence in GP iterations (with -checkpoint)")
+		resume  = flag.Bool("resume", false, "warm-start from the latest snapshot in -checkpoint")
 	)
 	flag.Parse()
 
@@ -73,14 +83,34 @@ func main() {
 	cfg.SkipDetailed = *skipDP
 	cfg.DP.UseISM = *useISM
 	cfg.RoutabilityRounds = *routab
+	if *ckptDir != "" {
+		cfg.GP.Checkpoint = placer.CheckpointConfig{Every: *ckptEv, Dir: *ckptDir}
+	}
+	if *resume {
+		if *ckptDir == "" {
+			fmt.Fprintln(os.Stderr, "placer: -resume needs -checkpoint to know where the snapshots are")
+			os.Exit(1)
+		}
+		snap, path, err := checkpoint.LoadLatest(*ckptDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "placer: resume: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.GP.Resume = snap
+		fmt.Printf("resuming from %s (iteration %d)\n", path, snap.Iter)
+	}
 
-	// Ctrl-C / SIGTERM cancels the flow at the next placement iteration.
+	// Ctrl-C / SIGTERM cancels the flow at the next placement iteration;
+	// with -checkpoint the engine snapshots its state on the way out.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	res, err := core.RunFlowContext(ctx, d, cfg)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "placer: interrupted, placement abandoned")
+			if *ckptDir != "" {
+				fmt.Fprintf(os.Stderr, "placer: rerun with -checkpoint %s -resume to continue\n", *ckptDir)
+			}
 			os.Exit(130)
 		}
 		fmt.Fprintf(os.Stderr, "placer: %v\n", err)

@@ -7,12 +7,17 @@
 // Usage:
 //
 //	placerd [-addr :8080] [-workers 2] [-queue 16] [-retention 64]
-//	        [-timeout 0] [-aux-root dir]
+//	        [-timeout 0] [-aux-root dir] [-data-dir dir] [-checkpoint-every 25]
 //
 // Endpoints: POST /jobs, GET /jobs, GET /jobs/{id},
 // GET /jobs/{id}/trajectory, DELETE /jobs/{id}, GET /metrics, GET /healthz.
 // SIGINT/SIGTERM drains gracefully: running jobs finish (up to -drain), then
 // remaining jobs are cancelled.
+//
+// With -data-dir the daemon is durable: specs, statuses, and placement
+// snapshots are persisted under the directory, jobs cancelled by the drain
+// are recorded as interrupted, and the next boot with the same -data-dir
+// re-enqueues them as warm-start resumes from their latest snapshot.
 package main
 
 import (
@@ -39,16 +44,28 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
 		auxRoot   = flag.String("aux-root", "", "directory Bookshelf aux jobs may read from (empty disables them)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown budget before cancelling jobs")
+		dataDir   = flag.String("data-dir", "", "durable job store directory (empty = in-memory only)")
+		ckptEvery = flag.Int("checkpoint-every", 25, "snapshot cadence in GP iterations for durable jobs")
 	)
 	flag.Parse()
 
-	mgr := service.NewManager(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		Retention:      *retention,
-		DefaultTimeout: *timeout,
-		AuxRoot:        *auxRoot,
+	mgr, err := service.OpenManager(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		Retention:       *retention,
+		DefaultTimeout:  *timeout,
+		AuxRoot:         *auxRoot,
+		DataDir:         *dataDir,
+		CheckpointEvery: *ckptEvery,
 	})
+	if err != nil {
+		log.Fatalf("placerd: %v", err)
+	}
+	if *dataDir != "" {
+		if n := mgr.Telemetry().JobsRecovered.Value(); n > 0 {
+			log.Printf("placerd: recovered %d unfinished job(s) from %s", n, *dataDir)
+		}
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

@@ -27,6 +27,7 @@ type jobView struct {
 	Result *struct {
 		DPWL float64 `json:"DPWL"`
 	} `json:"result"`
+	Resumes int `json:"resumes"`
 }
 
 func postJob(t *testing.T, base string, spec string) jobView {
@@ -183,6 +184,78 @@ func TestPlacerdFullLifecycle(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("/healthz status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// durableJob pins the worker count so the resumed run is bit-identical to an
+// uninterrupted one (determinism holds per worker count).
+const durableJob = `{
+  "design": {"synth": {"cells": 64, "seed": 3}},
+  "model": "WA",
+  "placer": {"max_iters": 300, "stop_overflow": 1e-9, "grid_x": 16, "grid_y": 16, "workers": 1},
+  "flow": {"gp_only": true}
+}`
+
+// TestPlacerdKillAndRestartRecovery kills a durable daemon mid-job and boots
+// a second one on the same data dir: the interrupted job must be recovered,
+// resumed from its snapshot, and finish over the restarted HTTP API.
+func TestPlacerdKillAndRestartRecovery(t *testing.T) {
+	dataDir := t.TempDir()
+
+	// Daemon A: accept the job, let it run past a snapshot, then die with an
+	// exhausted drain budget — exactly what a SIGKILL-adjacent shutdown does.
+	mgrA, err := service.OpenManager(service.Config{
+		Workers: 1, QueueDepth: 4, DataDir: dataDir, CheckpointEvery: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA := httptest.NewServer(service.NewHandler(mgrA))
+	a := postJob(t, srvA.URL, durableJob)
+	pollUntil(t, "job to pass iteration 20", func() bool {
+		v := getJob(t, srvA.URL, a.ID)
+		if v.State != "running" && v.State != "queued" {
+			t.Fatalf("job finished before the kill: state=%s", v.State)
+		}
+		return v.Progress != nil && v.Progress.Iteration >= 20
+	})
+	srvA.Close()
+	expired, cancel := context.WithDeadline(context.Background(), time.Now())
+	defer cancel()
+	mgrA.Shutdown(expired) //nolint:errcheck // deadline exceeded by design
+
+	// Daemon B: same data dir, fresh manager and server. The job comes back
+	// on its own and runs to completion.
+	mgrB, err := service.OpenManager(service.Config{
+		Workers: 1, QueueDepth: 4, DataDir: dataDir, CheckpointEvery: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB := httptest.NewServer(service.NewHandler(mgrB))
+	defer srvB.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		mgrB.Shutdown(ctx) //nolint:errcheck // test teardown
+	}()
+
+	pollUntil(t, "recovered job to finish", func() bool {
+		return getJob(t, srvB.URL, a.ID).State == "done"
+	})
+	v := getJob(t, srvB.URL, a.ID)
+	if v.Resumes != 1 {
+		t.Errorf("recovered job resumes = %d, want 1", v.Resumes)
+	}
+	if v.Result == nil || v.Result.DPWL <= 0 {
+		t.Errorf("recovered job finished without a usable result: %+v", v.Result)
+	}
+	m := scrapeMetrics(t, srvB.URL)
+	if m["placerd_jobs_recovered_total"] != 1 {
+		t.Errorf("placerd_jobs_recovered_total = %v, want 1", m["placerd_jobs_recovered_total"])
+	}
+	if m[`placerd_jobs_finished_total{state="done"}`] != 1 {
+		t.Errorf("finished{done} = %v, want 1", m[`placerd_jobs_finished_total{state="done"}`])
 	}
 }
 

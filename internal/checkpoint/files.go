@@ -1,0 +1,126 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// snapshot file names sort by iteration: ckpt-000000123.ckpt.
+const (
+	filePrefix = "ckpt-"
+	fileSuffix = ".ckpt"
+)
+
+// FileName returns the canonical snapshot file name for an iteration.
+func FileName(iter int) string {
+	return fmt.Sprintf("%s%09d%s", filePrefix, iter, fileSuffix)
+}
+
+// WriteFile atomically writes the snapshot to path: the bytes land in a
+// temp file in the same directory, are synced, and are renamed over the
+// destination, so a crash at any point leaves either the old file or the
+// new one — never a torn write.
+func WriteFile(path string, s *Snapshot) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*.tmp")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	data := Encode(s)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadFile reads and decodes one snapshot file.
+func ReadFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return s, nil
+}
+
+// WriteRotating writes the snapshot into dir under its canonical name and
+// prunes older snapshots beyond keep (keep <= 0 means keep everything).
+// Returns the path written.
+func WriteRotating(dir string, s *Snapshot, keep int) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	path := filepath.Join(dir, FileName(s.Iter))
+	if err := WriteFile(path, s); err != nil {
+		return "", err
+	}
+	if keep > 0 {
+		names, err := List(dir)
+		if err != nil {
+			return path, nil // the write succeeded; pruning is best-effort
+		}
+		for len(names) > keep {
+			os.Remove(filepath.Join(dir, names[0])) //nolint:errcheck // best-effort prune
+			names = names[1:]
+		}
+	}
+	return path, nil
+}
+
+// List returns the snapshot file names in dir, oldest first.
+func List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasPrefix(n, filePrefix) && strings.HasSuffix(n, fileSuffix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LoadLatest returns the newest decodable snapshot in dir and its path.
+// Snapshots that fail to decode (e.g. a corrupted latest file) are skipped
+// in favor of older ones; ErrNoSnapshot is returned when none works, or
+// when dir does not exist.
+func LoadLatest(dir string) (*Snapshot, string, error) {
+	names, err := List(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, "", ErrNoSnapshot
+		}
+		return nil, "", err
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, names[i])
+		s, err := ReadFile(path)
+		if err == nil {
+			return s, path, nil
+		}
+	}
+	return nil, "", ErrNoSnapshot
+}

@@ -1,0 +1,45 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to Decode: it must never panic, and any
+// failure must be one of the package's typed errors. Inputs that decode
+// cleanly must re-encode to bytes that decode to the same snapshot.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	good := Encode(sampleSnapshot())
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-2] ^= 0x10
+	f.Add(flipped)
+	empty := Encode(&Snapshot{})
+	f.Add(empty)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			for _, want := range []error{ErrBadMagic, ErrVersion, ErrTruncated, ErrChecksum, ErrCorrupt} {
+				if errors.Is(err, want) {
+					return
+				}
+			}
+			t.Fatalf("Decode returned an untyped error: %v", err)
+		}
+		enc1 := Encode(s)
+		re, err := Decode(enc1)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded snapshot failed: %v", err)
+		}
+		// Compare at the byte level: bit patterns (incl. NaN payloads) must
+		// survive, which reflect.DeepEqual cannot express for floats.
+		if !bytes.Equal(enc1, Encode(re)) {
+			t.Fatal("decode -> encode -> decode is not a fixed point")
+		}
+	})
+}

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/density"
 	"repro/internal/netlist"
 	"repro/internal/optimizer"
@@ -89,6 +90,16 @@ type Config struct {
 	// with a nil error and Result.Stopped set. The hook is called from the
 	// placement goroutine, so it must be fast and must not block.
 	OnIteration func(TrajectoryPoint) bool
+	// Checkpoint enables periodic crash-safe snapshots of the run state
+	// (see CheckpointConfig in resume.go).
+	Checkpoint CheckpointConfig
+	// Resume warm-starts the run from a snapshot instead of the usual
+	// initialization. The snapshot's config fingerprint must match this
+	// run (same design, grid, worker count, model, optimizer, seed);
+	// otherwise PlaceContext fails with checkpoint.ErrMismatch. With a
+	// matching setup the resumed run finishes bit-identical to an
+	// uninterrupted one.
+	Resume *checkpoint.Snapshot
 }
 
 // DefaultConfig returns the standard configuration for a model.
@@ -130,8 +141,13 @@ type Result struct {
 	SetupSeconds float64
 	LoopSeconds  float64
 	// Stopped reports that the OnIteration hook ended the run early.
-	Stopped    bool
-	Trajectory []TrajectoryPoint
+	Stopped bool
+	// ResumedFrom is the iteration the run was warm-started at via
+	// Config.Resume (0 for a cold start).
+	ResumedFrom int
+	// Checkpoints counts the snapshots written during this run.
+	Checkpoints int
+	Trajectory  []TrajectoryPoint
 }
 
 // engine carries the mutable state of one global placement run.
@@ -207,6 +223,21 @@ func (cfg *Config) Validate() error {
 	case "", "gamma", "tangent":
 	default:
 		return fmt.Errorf("placer: unknown schedule %q (want gamma or tangent)", cfg.Schedule)
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("placer: Workers %d must be >= 0", cfg.Workers)
+	}
+	if cfg.WLWorkers < 0 {
+		return fmt.Errorf("placer: WLWorkers %d must be >= 0", cfg.WLWorkers)
+	}
+	if cfg.Checkpoint.Every < 0 {
+		return fmt.Errorf("placer: Checkpoint.Every %d must be >= 0", cfg.Checkpoint.Every)
+	}
+	if cfg.Checkpoint.Keep < 0 {
+		return fmt.Errorf("placer: Checkpoint.Keep %d must be >= 0", cfg.Checkpoint.Keep)
+	}
+	if cfg.Checkpoint.Every > 0 && cfg.Checkpoint.Dir == "" {
+		return fmt.Errorf("placer: Checkpoint.Every is set but Checkpoint.Dir is empty")
 	}
 	return nil
 }
@@ -415,16 +446,29 @@ func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 		return gammaSched.At(phi)
 	}
 
-	// Measure the initial overflow and calibrate lambda0 from the ratio of
-	// wirelength to density gradient magnitudes (ePlace).
-	en.unpack(pos)
-	en.overflow = en.stampAndOverflow(pos)
-	en.param = schedule(en.overflow)
-	en.elec.SolveFromGrid()
-	lambda0 := en.calibrateLambda0(pos)
 	lu := NewLambdaUpdater()
-	lu.Prime(lambda0, en.elec.Energy())
-	en.lambda = lu.Lambda()
+	startIter := 0
+	var prevSetup, prevLoop float64
+	if cfg.Resume != nil {
+		// Warm start: skip initialization and lambda calibration entirely;
+		// every scheduled quantity comes from the snapshot.
+		if err := en.restore(pos, cfg.Resume, lu); err != nil {
+			return nil, err
+		}
+		startIter = cfg.Resume.Iter
+		prevSetup = cfg.Resume.SetupSeconds
+		prevLoop = cfg.Resume.LoopSeconds
+	} else {
+		// Measure the initial overflow and calibrate lambda0 from the ratio
+		// of wirelength to density gradient magnitudes (ePlace).
+		en.unpack(pos)
+		en.overflow = en.stampAndOverflow(pos)
+		en.param = schedule(en.overflow)
+		en.elec.SolveFromGrid()
+		lambda0 := en.calibrateLambda0(pos)
+		lu.Prime(lambda0, en.elec.Energy())
+		en.lambda = lu.Lambda()
+	}
 
 	var opt optimizer.Optimizer
 	binScale := en.grid.BinW + en.grid.BinH
@@ -442,7 +486,19 @@ func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 	}
 
 	res := &Result{}
-	res.SetupSeconds = time.Since(start).Seconds()
+	if cfg.Resume != nil {
+		st, ok := opt.(optimizer.Stateful)
+		if !ok {
+			return nil, fmt.Errorf("placer: optimizer %T does not support resume", opt)
+		}
+		if err := st.Restore(cfg.Resume.Opt); err != nil {
+			return nil, fmt.Errorf("placer: resume: %w", err)
+		}
+		res.ResumedFrom = startIter
+		res.Iterations = startIter
+		res.Trajectory = resumeTrajectory(cfg.Resume)
+	}
+	res.SetupSeconds = prevSetup + time.Since(start).Seconds()
 	loopStart := time.Now()
 	// finalize writes the (possibly partial) placement back into the design
 	// and fills the result metrics; used on every exit path so a cancelled
@@ -457,12 +513,38 @@ func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 		} else {
 			res.Evaluations = res.Iterations
 		}
-		res.LoopSeconds = time.Since(loopStart).Seconds()
-		res.Seconds = time.Since(start).Seconds()
+		res.LoopSeconds = prevLoop + time.Since(loopStart).Seconds()
+		res.Seconds = prevSetup + prevLoop + time.Since(start).Seconds()
 	}
 
-	for k := 0; k < cfg.MaxIters; k++ {
+	// writeCkpt snapshots the loop state after iter completed iterations.
+	// bestEffort suppresses write errors on exit paths that already carry a
+	// more important outcome (cancellation, early stop).
+	writeCkpt := func(iter int, bestEffort bool) error {
+		if cfg.Checkpoint.Dir == "" {
+			return nil
+		}
+		snap, err := en.snapshot(iter, opt, lu, res)
+		if err == nil {
+			snap.SetupSeconds = res.SetupSeconds
+			snap.LoopSeconds = prevLoop + time.Since(loopStart).Seconds()
+			_, err = checkpoint.WriteRotating(cfg.Checkpoint.Dir, snap, cfg.Checkpoint.keepOrDefault())
+		}
+		if err == nil {
+			res.Checkpoints++
+			return nil
+		}
+		if bestEffort {
+			return nil
+		}
+		return fmt.Errorf("placer: checkpoint at iteration %d: %w", iter, err)
+	}
+
+	for k := startIter; k < cfg.MaxIters; k++ {
 		if err := ctx.Err(); err != nil {
+			// Persist the freshest state so a graceful drain can resume
+			// exactly where the run stopped.
+			writeCkpt(k, true) //nolint:errcheck // best-effort by design
 			finalize()
 			return res, err
 		}
@@ -487,7 +569,14 @@ func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 			}
 			if cfg.OnIteration != nil && !cfg.OnIteration(pt) {
 				res.Stopped = true
+				writeCkpt(k+1, true) //nolint:errcheck // best-effort by design
 				break
+			}
+		}
+		if cfg.Checkpoint.Every > 0 && (k+1)%cfg.Checkpoint.Every == 0 {
+			if err := writeCkpt(k+1, false); err != nil {
+				finalize()
+				return res, err
 			}
 		}
 		if en.overflow < cfg.StopOverflow {

@@ -1,0 +1,238 @@
+package placer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/wirelength"
+)
+
+// resumeBase is the shared config of the equivalence tests: long enough to
+// spread cells, small enough to run in milliseconds, and with a stop
+// overflow that never triggers so every run executes exactly MaxIters.
+func resumeBase(workers int) Config {
+	cfg := DefaultConfig(wirelength.NewWA())
+	cfg.MaxIters = 60
+	cfg.StopOverflow = 1e-9
+	cfg.GridX, cfg.GridY = 16, 16
+	cfg.RecordEvery = 7
+	cfg.Workers = workers
+	return cfg
+}
+
+// TestCheckpointResumeBitExact is the kill-and-resume equivalence check: a
+// run checkpointed at iteration k and restarted from the snapshot (same
+// worker count) must finish with bit-identical positions, HPWL, and
+// trajectory to the run that was never interrupted.
+func TestCheckpointResumeBitExact(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			// Reference: uninterrupted run.
+			dA := testDesign(t, 80, 0)
+			resA, err := Place(dA, resumeBase(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Interrupted run: stops after 30 iterations, snapshots every 10.
+			dir := t.TempDir()
+			dB := testDesign(t, 80, 0)
+			cfgB := resumeBase(workers)
+			cfgB.MaxIters = 30
+			cfgB.Checkpoint = CheckpointConfig{Every: 10, Dir: dir, Keep: 2}
+			resB, err := Place(dB, cfgB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resB.Checkpoints != 3 {
+				t.Fatalf("interrupted run wrote %d checkpoints, want 3", resB.Checkpoints)
+			}
+			names, err := checkpoint.List(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := []string{checkpoint.FileName(20), checkpoint.FileName(30)}; !reflect.DeepEqual(names, want) {
+				t.Fatalf("Keep=2 retained %v, want %v", names, want)
+			}
+
+			snap, _, err := checkpoint.LoadLatest(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap.Iter != 30 {
+				t.Fatalf("latest snapshot is at iteration %d, want 30", snap.Iter)
+			}
+
+			// Resume on a fresh copy of the design and finish the run.
+			dC := testDesign(t, 80, 0)
+			cfgC := resumeBase(workers)
+			cfgC.Resume = snap
+			resC, err := Place(dC, cfgC)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if resC.ResumedFrom != 30 {
+				t.Errorf("ResumedFrom = %d, want 30", resC.ResumedFrom)
+			}
+			if resC.Iterations != resA.Iterations {
+				t.Errorf("Iterations = %d, want %d", resC.Iterations, resA.Iterations)
+			}
+			if resC.Evaluations != resA.Evaluations {
+				t.Errorf("Evaluations = %d, want %d", resC.Evaluations, resA.Evaluations)
+			}
+			if resC.HPWL != resA.HPWL {
+				t.Errorf("HPWL = %v, want bit-identical %v (diff %g)", resC.HPWL, resA.HPWL, resC.HPWL-resA.HPWL)
+			}
+			if resC.Overflow != resA.Overflow {
+				t.Errorf("Overflow = %v, want bit-identical %v", resC.Overflow, resA.Overflow)
+			}
+			for c := range dA.Cells {
+				if dA.X[c] != dC.X[c] || dA.Y[c] != dC.Y[c] {
+					t.Fatalf("cell %d position diverged: (%v,%v) vs (%v,%v)",
+						c, dA.X[c], dA.Y[c], dC.X[c], dC.Y[c])
+				}
+			}
+			if !reflect.DeepEqual(resA.Trajectory, resC.Trajectory) {
+				t.Errorf("trajectories diverged: %d vs %d points", len(resA.Trajectory), len(resC.Trajectory))
+			}
+		})
+	}
+}
+
+// TestResumeRejectsMismatchedConfig resume under a different worker count,
+// model, or design must fail with checkpoint.ErrMismatch (determinism — and
+// hence bit-exact resume — only holds for the identical setup).
+func TestResumeRejectsMismatchedConfig(t *testing.T) {
+	dir := t.TempDir()
+	d := testDesign(t, 60, 0)
+	cfg := resumeBase(1)
+	cfg.MaxIters = 10
+	cfg.Checkpoint = CheckpointConfig{Every: 5, Dir: dir}
+	if _, err := Place(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err := checkpoint.LoadLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"workers", func(c *Config) { c.Workers = 4 }},
+		{"model", func(c *Config) { c.Model = wirelength.NewLSE() }},
+		{"grid", func(c *Config) { c.GridX, c.GridY = 32, 32 }},
+		{"optimizer", func(c *Config) { c.Optimizer = "adam" }},
+		{"seed", func(c *Config) { c.Seed = 99 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := resumeBase(1)
+			c.Resume = snap
+			tc.mut(&c)
+			_, err := Place(testDesign(t, 60, 0), c)
+			if !errors.Is(err, checkpoint.ErrMismatch) {
+				t.Errorf("err = %v, want checkpoint.ErrMismatch", err)
+			}
+		})
+	}
+
+	t.Run("different design", func(t *testing.T) {
+		c := resumeBase(1)
+		c.Resume = snap
+		_, err := Place(testDesign(t, 90, 0), c)
+		if !errors.Is(err, checkpoint.ErrMismatch) {
+			t.Errorf("err = %v, want checkpoint.ErrMismatch", err)
+		}
+	})
+}
+
+// TestCheckpointOnCancel a cancelled run leaves a snapshot of its freshest
+// state behind, and that snapshot resumes cleanly.
+func TestCheckpointOnCancel(t *testing.T) {
+	dir := t.TempDir()
+	d := testDesign(t, 60, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := resumeBase(1)
+	cfg.Checkpoint = CheckpointConfig{Dir: dir} // no periodic writes: only the cancel path
+	cfg.OnIteration = func(pt TrajectoryPoint) bool {
+		if pt.Iter >= 12 {
+			cancel()
+		}
+		return true
+	}
+	_, err := PlaceContext(ctx, d, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	snap, _, err := checkpoint.LoadLatest(dir)
+	if err != nil {
+		t.Fatalf("no snapshot after cancel: %v", err)
+	}
+	if snap.Iter < 12 {
+		t.Fatalf("cancel snapshot at iteration %d, want >= 12", snap.Iter)
+	}
+	c := resumeBase(1)
+	c.Resume = snap
+	c.OnIteration = nil
+	res, err := Place(testDesign(t, 60, 0), c)
+	if err != nil {
+		t.Fatalf("resume after cancel: %v", err)
+	}
+	if res.Iterations != c.MaxIters {
+		t.Errorf("resumed run did %d iterations, want %d", res.Iterations, c.MaxIters)
+	}
+}
+
+// TestCheckpointOnEarlyStop the OnIteration-stop path also snapshots.
+func TestCheckpointOnEarlyStop(t *testing.T) {
+	dir := t.TempDir()
+	cfg := resumeBase(1)
+	cfg.Checkpoint = CheckpointConfig{Dir: dir}
+	cfg.OnIteration = func(pt TrajectoryPoint) bool { return pt.Iter < 7 }
+	res, err := Place(testDesign(t, 60, 0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("run was not stopped by the hook")
+	}
+	snap, _, err := checkpoint.LoadLatest(dir)
+	if err != nil {
+		t.Fatalf("no snapshot after early stop: %v", err)
+	}
+	if snap.Iter != 8 {
+		t.Errorf("early-stop snapshot at iteration %d, want 8", snap.Iter)
+	}
+}
+
+func TestValidateRejectsNegativeKnobs(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"negative Workers", func(c *Config) { c.Workers = -1 }},
+		{"negative WLWorkers", func(c *Config) { c.WLWorkers = -2 }},
+		{"negative Checkpoint.Every", func(c *Config) { c.Checkpoint.Every = -5 }},
+		{"negative Checkpoint.Keep", func(c *Config) { c.Checkpoint.Keep = -1 }},
+		{"Every without Dir", func(c *Config) { c.Checkpoint.Every = 10 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(wirelength.NewWA())
+			tc.mut(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatal("Validate accepted a bad config")
+			}
+			if _, err := Place(testDesign(t, 60, 0), cfg); err == nil {
+				t.Fatal("Place accepted a bad config")
+			}
+		})
+	}
+}

@@ -1,6 +1,10 @@
 package placer
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/checkpoint"
+)
 
 // GammaSchedule is the ePlace smoothing schedule for exponential wirelength
 // models (LSE/WA/BiG):
@@ -103,6 +107,16 @@ func (u *LambdaUpdater) Prime(lambda0, d0 float64) {
 
 // Lambda returns the current density weight.
 func (u *LambdaUpdater) Lambda() float64 { return u.lambda }
+
+// State dumps the updater's mutable state for checkpointing.
+func (u *LambdaUpdater) State() checkpoint.LambdaState {
+	return checkpoint.LambdaState{Lambda: u.lambda, Alpha: u.alpha, D0: u.d0, Primed: u.primed}
+}
+
+// RestoreState overwrites the updater's mutable state from a checkpoint.
+func (u *LambdaUpdater) RestoreState(s checkpoint.LambdaState) {
+	u.lambda, u.alpha, u.d0, u.primed = s.Lambda, s.Alpha, s.D0, s.Primed
+}
 
 // Update advances lambda given the density penalty observed this iteration.
 func (u *LambdaUpdater) Update(dk float64) float64 {

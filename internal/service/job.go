@@ -18,9 +18,14 @@ const (
 	StateDone      State = "done"
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
+	// StateInterrupted marks a job whose run was stopped by a daemon
+	// shutdown with its latest snapshot persisted. It appears only in the
+	// durable store: on the next boot the job is re-enqueued as a resume.
+	StateInterrupted State = "interrupted"
 )
 
-// Terminal reports whether the state is final.
+// Terminal reports whether the state is final. Interrupted is deliberately
+// non-terminal: it is the resumable state recovery re-enqueues from.
 func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
@@ -49,6 +54,9 @@ type JobView struct {
 	Error       string           `json:"error,omitempty"`
 	Progress    *Progress        `json:"progress,omitempty"`
 	Result      *core.FlowResult `json:"result,omitempty"`
+	// Resumes counts daemon restarts this job survived; a non-zero value
+	// means the current run warm-started from a persisted snapshot.
+	Resumes int `json:"resumes,omitempty"`
 }
 
 // maxTrajectoryPoints bounds the per-job live trajectory buffer; beyond it
@@ -66,10 +74,19 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// resume marks a job recovered from the durable store: its run
+	// warm-starts from the latest persisted snapshot (if any).
+	resume bool
+
 	mu     sync.Mutex
 	state  State
 	design string
 	model  string
+	// resumes counts recoveries; userCancelled distinguishes an explicit
+	// Cancel from a shutdown drain (only the latter persists the job as
+	// interrupted for resume on the next boot).
+	resumes       int
+	userCancelled bool
 	// submitted/started/finished are time.Now() readings taken in-process,
 	// so Sub between them uses the embedded monotonic clock.
 	submitted  time.Time
@@ -95,6 +112,7 @@ func (j *job) view() JobView {
 		SubmittedAt: j.submitted,
 		Error:       j.err,
 		Result:      j.result,
+		Resumes:     j.resumes,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -200,4 +218,40 @@ func (j *job) currentState() State {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.state
+}
+
+// markUserCancelled records that Cancel (not a drain) ended this job.
+func (j *job) markUserCancelled() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.userCancelled = true
+}
+
+func (j *job) wasUserCancelled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.userCancelled
+}
+
+// persisted snapshots the job for the durable store, optionally overriding
+// the recorded state (used to persist "interrupted" during a drain while
+// the in-memory job reports cancelled).
+func (j *job) persisted(override State) PersistedStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := PersistedStatus{
+		State:       j.state,
+		Design:      j.design,
+		Model:       j.model,
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+		Error:       j.err,
+		Result:      j.result,
+		Resumes:     j.resumes,
+	}
+	if override != "" {
+		st.State = override
+	}
+	return st
 }

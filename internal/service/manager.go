@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/placer"
 	"repro/internal/service/telemetry"
@@ -45,6 +46,14 @@ type Config struct {
 	// AuxRoot, when non-empty, allows Bookshelf aux jobs restricted to
 	// paths under this directory. Empty disables aux jobs.
 	AuxRoot string
+	// DataDir, when non-empty, makes the manager durable: specs, statuses,
+	// and placement snapshots are persisted under this directory, and on
+	// the next boot unfinished jobs are recovered and re-enqueued as
+	// warm-start resumes (see Store).
+	DataDir string
+	// CheckpointEvery is the placement snapshot cadence (iterations) for
+	// store-backed jobs; default 25. Ignored without DataDir.
+	CheckpointEvery int
 	// Telemetry receives metrics; nil allocates a private collector.
 	Telemetry *telemetry.Collector
 }
@@ -59,6 +68,9 @@ func (c Config) withDefaults() Config {
 	if c.Retention <= 0 {
 		c.Retention = 64
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 25
+	}
 	if c.Telemetry == nil {
 		c.Telemetry = telemetry.NewCollector()
 	}
@@ -69,6 +81,9 @@ func (c Config) withDefaults() Config {
 type Manager struct {
 	cfg Config
 	tel *telemetry.Collector
+
+	// store is the durable job store; nil for an in-memory-only manager.
+	store *Store
 
 	queue chan *job
 
@@ -84,23 +99,138 @@ type Manager struct {
 	draining bool
 }
 
-// NewManager starts a manager with cfg.Workers worker goroutines.
+// NewManager starts an in-memory manager with cfg.Workers worker
+// goroutines. It ignores cfg.DataDir; use OpenManager for a durable one.
 func NewManager(cfg Config) *Manager {
+	cfg.DataDir = ""
+	m, err := OpenManager(cfg)
+	if err != nil {
+		// Unreachable: without a DataDir nothing in OpenManager can fail.
+		panic(err)
+	}
+	return m
+}
+
+// OpenManager starts a manager. With cfg.DataDir set it opens the durable
+// job store there, replays finished jobs into the inspectable job table,
+// and re-enqueues every unfinished job (queued, running, or interrupted at
+// the previous shutdown) as a warm-start resume from its latest snapshot.
+func OpenManager(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
+	var store *Store
+	var persisted []PersistedJob
+	if cfg.DataDir != "" {
+		var err error
+		store, err = OpenStore(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		persisted, err = store.Load()
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Size the queue so every recovered job fits alongside a full queue of
+	// fresh submissions.
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:        cfg,
 		tel:        cfg.Telemetry,
-		queue:      make(chan *job, cfg.QueueDepth),
+		store:      store,
+		queue:      make(chan *job, cfg.QueueDepth+len(persisted)),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*job),
+	}
+	if store != nil {
+		m.seq = store.MaxSeq()
+		m.recover(persisted)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
-	return m
+	return m, nil
+}
+
+// recover replays the persisted job table: terminal jobs come back as
+// inspectable history, unfinished ones are re-enqueued for a resumed run.
+// Runs before the workers start, so no locking subtleties apply.
+func (m *Manager) recover(persisted []PersistedJob) {
+	for _, pj := range persisted {
+		st := pj.Status
+		if st.State.Terminal() {
+			j := &job{
+				id:        pj.ID,
+				seq:       jobSeq(pj.ID),
+				spec:      pj.Spec,
+				cancel:    func() {},
+				state:     st.State,
+				design:    st.Design,
+				model:     st.Model,
+				submitted: st.SubmittedAt,
+				started:   st.StartedAt,
+				finished:  st.FinishedAt,
+				err:       st.Error,
+				result:    st.Result,
+				resumes:   st.Resumes,
+			}
+			if j.model == "" {
+				j.model = pj.Spec.modelName()
+			}
+			m.jobs[j.id] = j
+			m.order = append(m.order, j)
+			continue
+		}
+		// Unfinished: re-enqueue as a resume. The job context is rebuilt
+		// from the spec (the old deadline, if any, starts afresh).
+		jctx, cancel := m.jobContext(pj.Spec)
+		j := &job{
+			id:        pj.ID,
+			seq:       jobSeq(pj.ID),
+			spec:      pj.Spec,
+			ctx:       jctx,
+			cancel:    cancel,
+			resume:    true,
+			state:     StateQueued,
+			model:     pj.Spec.modelName(),
+			design:    pj.Spec.designLabel(),
+			submitted: st.SubmittedAt,
+			resumes:   st.Resumes + 1,
+		}
+		if j.submitted.IsZero() {
+			j.submitted = time.Now()
+		}
+		m.jobs[j.id] = j
+		m.order = append(m.order, j)
+		m.queue <- j // sized to hold every recovered job
+		m.persist(j, "")
+		m.tel.JobsRecovered.Inc()
+		m.tel.QueueDepth.Add(1)
+	}
+}
+
+// jobContext builds a job's run context from its spec timeout and the
+// manager default.
+func (m *Manager) jobContext(spec JobSpec) (context.Context, context.CancelFunc) {
+	timeout := m.cfg.DefaultTimeout
+	if spec.TimeoutSeconds > 0 {
+		timeout = time.Duration(spec.TimeoutSeconds * float64(time.Second))
+	}
+	if timeout > 0 {
+		return context.WithTimeout(m.baseCtx, timeout)
+	}
+	return context.WithCancel(m.baseCtx)
+}
+
+// persist writes a job's current status to the store (no-op without one).
+// Best-effort by design: a failed status write must not take down a running
+// placement.
+func (m *Manager) persist(j *job, override State) {
+	if m.store == nil {
+		return
+	}
+	m.store.SaveStatus(j.id, j.persisted(override)) //nolint:errcheck // best-effort
 }
 
 // Telemetry returns the manager's metrics collector.
@@ -115,17 +245,7 @@ func (m *Manager) Submit(spec JobSpec) (JobView, error) {
 		return JobView{}, fmt.Errorf("%w: %v", ErrSpecRejected, err)
 	}
 
-	timeout := m.cfg.DefaultTimeout
-	if spec.TimeoutSeconds > 0 {
-		timeout = time.Duration(spec.TimeoutSeconds * float64(time.Second))
-	}
-	var jctx context.Context
-	var cancel context.CancelFunc
-	if timeout > 0 {
-		jctx, cancel = context.WithTimeout(m.baseCtx, timeout)
-	} else {
-		jctx, cancel = context.WithCancel(m.baseCtx)
-	}
+	jctx, cancel := m.jobContext(spec)
 
 	m.mu.Lock()
 	if m.draining {
@@ -158,10 +278,17 @@ func (m *Manager) Submit(spec JobSpec) (JobView, error) {
 	m.order = append(m.order, j)
 	m.mu.Unlock()
 
+	if m.store != nil {
+		m.store.SaveSpec(j.id, spec) //nolint:errcheck // best-effort
+		m.persist(j, "")
+	}
 	m.tel.JobsSubmitted.Inc()
 	m.tel.QueueDepth.Add(1)
 	return j.view(), nil
 }
+
+// Store returns the durable job store, or nil for an in-memory manager.
+func (m *Manager) Store() *Store { return m.store }
 
 // Get returns the snapshot of one job.
 func (m *Manager) Get(id string) (JobView, error) {
@@ -230,9 +357,11 @@ func (m *Manager) Cancel(id string) (JobView, error) {
 	if j.currentState().Terminal() {
 		return j.view(), ErrJobFinished
 	}
+	j.markUserCancelled()
 	if j.markCancelledIfQueued() {
 		// The worker will drain it from the queue and skip it.
 		j.cancel()
+		m.persist(j, "")
 		m.tel.QueueDepth.Add(-1)
 		m.tel.JobsCancelled.Inc()
 		m.pruneFinished()
@@ -249,6 +378,7 @@ func (m *Manager) worker() {
 		if !j.markRunning() {
 			continue // cancelled while queued
 		}
+		m.persist(j, "")
 		m.tel.QueueDepth.Add(-1)
 		m.tel.JobsRunning.Add(1)
 		v := j.view()
@@ -264,6 +394,7 @@ func (m *Manager) run(j *job) {
 	d, err := j.spec.buildDesign(m.cfg.AuxRoot)
 	if err != nil {
 		j.finish(StateFailed, nil, err.Error())
+		m.persist(j, "")
 		m.tel.JobsFailed.Inc()
 		return
 	}
@@ -277,11 +408,35 @@ func (m *Manager) run(j *job) {
 		m.tel.Iterations.Inc()
 		return true
 	}
+	if m.store != nil {
+		// Durable mode: snapshot periodically into the job's directory,
+		// and warm-start recovered jobs from their latest snapshot. A
+		// missing or mismatched snapshot degrades to a cold start (the
+		// deterministic pipeline makes a matched resume bit-exact, so a
+		// fingerprint mismatch means the spec or binary changed).
+		cfg.GP.Checkpoint = placer.CheckpointConfig{
+			Every: m.cfg.CheckpointEvery,
+			Dir:   m.store.CheckpointDir(j.id),
+		}
+		if j.resume {
+			if snap, err := m.store.LatestSnapshot(j.id); err == nil {
+				cfg.GP.Resume = snap
+			}
+		}
+	}
 
 	res, err := core.RunFlowContext(j.ctx, d, cfg)
+	if err != nil && errors.Is(err, checkpoint.ErrMismatch) && cfg.GP.Resume != nil {
+		// The snapshot no longer matches the rebuilt run (e.g. the spec's
+		// worker count changed between boots): restart cold instead of
+		// failing the job.
+		cfg.GP.Resume = nil
+		res, err = core.RunFlowContext(j.ctx, d, cfg)
+	}
 	switch {
 	case err == nil:
 		j.finish(StateDone, res, "")
+		m.persist(j, "")
 		m.tel.JobsDone.Inc()
 		m.tel.LastHPWL.Set(res.DPWL)
 		m.tel.LastOverflow.Set(res.Overflow)
@@ -291,14 +446,32 @@ func (m *Manager) run(j *job) {
 		m.tel.TotalSeconds.Observe(res.TotalSeconds)
 	case errors.Is(err, context.Canceled):
 		j.finish(StateCancelled, nil, "cancelled")
-		m.tel.JobsCancelled.Inc()
+		if m.isDraining() && !j.wasUserCancelled() {
+			// Shutdown drain, not an explicit cancel: persist the job as
+			// interrupted so the next boot resumes it from the snapshot
+			// the engine just wrote on its way out.
+			m.persist(j, StateInterrupted)
+			m.tel.JobsInterrupted.Inc()
+		} else {
+			m.persist(j, "")
+			m.tel.JobsCancelled.Inc()
+		}
 	case errors.Is(err, context.DeadlineExceeded):
 		j.finish(StateFailed, nil, "deadline exceeded")
+		m.persist(j, "")
 		m.tel.JobsFailed.Inc()
 	default:
 		j.finish(StateFailed, nil, err.Error())
+		m.persist(j, "")
 		m.tel.JobsFailed.Inc()
 	}
+}
+
+// isDraining reports whether Shutdown has begun.
+func (m *Manager) isDraining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
 }
 
 // pruneFinished drops the oldest finished jobs beyond the retention cap.
@@ -319,6 +492,12 @@ func (m *Manager) pruneFinished() {
 	for _, j := range m.order {
 		if drop > 0 && j.currentState().Terminal() {
 			delete(m.jobs, j.id)
+			// Drop the job's directory too — except during a drain, when a
+			// just-"cancelled" job may be persisted as interrupted and must
+			// survive for recovery on the next boot.
+			if m.store != nil && !m.draining {
+				m.store.Delete(j.id) //nolint:errcheck // best-effort GC
+			}
 			drop--
 			continue
 		}

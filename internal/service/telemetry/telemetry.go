@@ -94,6 +94,10 @@ type Collector struct {
 	JobsDone      Counter
 	JobsFailed    Counter
 	JobsCancelled Counter
+	// JobsRecovered counts jobs re-enqueued from the durable store at boot;
+	// JobsInterrupted counts running jobs persisted as interrupted by a drain.
+	JobsRecovered   Counter
+	JobsInterrupted Counter
 
 	// Live gauges.
 	QueueDepth  Gauge
@@ -141,6 +145,9 @@ func (c *Collector) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "placerd_jobs_finished_total{state=\"done\"} %d\n", c.JobsDone.Value())
 	fmt.Fprintf(w, "placerd_jobs_finished_total{state=\"failed\"} %d\n", c.JobsFailed.Value())
 	fmt.Fprintf(w, "placerd_jobs_finished_total{state=\"cancelled\"} %d\n", c.JobsCancelled.Value())
+
+	counter("placerd_jobs_recovered_total", "Jobs re-enqueued from the durable store at boot.", c.JobsRecovered.Value())
+	counter("placerd_jobs_interrupted_total", "Running jobs persisted as interrupted during shutdown.", c.JobsInterrupted.Value())
 
 	gauge("placerd_queue_depth", "Jobs waiting in the queue.", fmt.Sprintf("%d", c.QueueDepth.Value()))
 	gauge("placerd_jobs_running", "Jobs currently placing.", fmt.Sprintf("%d", c.JobsRunning.Value()))
