@@ -1,9 +1,9 @@
 # Standard verify entrypoint: `make check` is what CI (and humans) run.
 GO ?= go
 # Each PR writes its own trajectory file so earlier ones stay comparable.
-BENCH ?= BENCH_PR3.json
+BENCH ?= BENCH_PR4.json
 
-.PHONY: check fmt vet build test race bench cover placerd
+.PHONY: check fmt vet build test race bench cover placerd trace-demo
 
 check: fmt vet build test race
 
@@ -31,7 +31,8 @@ test:
 race:
 	$(GO) test -race ./internal/service/... ./internal/placer/... \
 		./internal/checkpoint/... ./internal/density/... \
-		./internal/wirelength/... ./internal/parallel/...
+		./internal/wirelength/... ./internal/parallel/... \
+		./internal/obs/...
 
 # bench refreshes the machine-readable perf trajectory: every benchmark runs
 # once and $(BENCH) records ns/op + allocs/op per benchmark plus the
@@ -50,3 +51,11 @@ cover:
 
 placerd:
 	$(GO) build -o bin/placerd ./cmd/placerd
+
+# trace-demo places a small synthetic design with span tracing on and leaves
+# a Chrome trace behind: open trace-demo.trace.json in chrome://tracing or
+# https://ui.perfetto.dev to see the per-iteration phase breakdown.
+trace-demo:
+	$(GO) run ./cmd/placer -cells 500 -iters 150 -model ME -skip-dp \
+		-trace trace-demo.trace.json -log-level info
+	@echo "open trace-demo.trace.json in chrome://tracing or ui.perfetto.dev"

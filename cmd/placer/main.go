@@ -16,6 +16,12 @@
 // and -resume restarts an interrupted run from its latest snapshot — with
 // the same design, model, and worker count it finishes bit-identically to a
 // never-interrupted run.
+//
+// With -trace the run records one span per engine phase per iteration and
+// writes them on exit: a path ending in .jsonl gets line-delimited JSON,
+// anything else gets Chrome trace_event JSON for chrome://tracing or
+// https://ui.perfetto.dev. -log-level debug streams per-iteration progress
+// through the structured logger (-log-format text|json) on stderr.
 package main
 
 import (
@@ -26,6 +32,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
+	"strings"
 	"syscall"
 
 	"repro/internal/bookshelf"
@@ -33,6 +41,7 @@ import (
 	"repro/internal/congestion"
 	"repro/internal/core"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/placer"
 	"repro/internal/plot"
 	"repro/internal/synth"
@@ -61,8 +70,22 @@ func main() {
 		ckptDir = flag.String("checkpoint", "", "write placement snapshots into this directory")
 		ckptEv  = flag.Int("checkpoint-every", 50, "snapshot cadence in GP iterations (with -checkpoint)")
 		resume  = flag.Bool("resume", false, "warm-start from the latest snapshot in -checkpoint")
+		traceTo = flag.String("trace", "", "write a span trace to this file (.jsonl = JSONL, else Chrome trace JSON)")
+		logFmt  = flag.String("log-format", "text", "log encoding: text or json")
+		logLvl  = flag.String("log-level", "warn", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLvl)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "placer: %v\n", err)
+		os.Exit(2)
+	}
+	logger, err := obs.New(os.Stderr, *logFmt, level)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "placer: %v\n", err)
+		os.Exit(2)
+	}
 
 	d, err := loadDesign(*aux, *suite, *design, *scale, *cells, *seed)
 	if err != nil {
@@ -79,6 +102,11 @@ func main() {
 	if *verbose {
 		cfg.GP.RecordEvery = 25
 	}
+	observer := &obs.Observer{Log: logger, Metrics: obs.NewMetrics()}
+	if *traceTo != "" {
+		observer.Trace = obs.NewTracer()
+	}
+	cfg.GP.Obs = observer
 	cfg.UseTetris = *tetris
 	cfg.SkipDetailed = *skipDP
 	cfg.DP.UseISM = *useISM
@@ -105,6 +133,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	res, err := core.RunFlowContext(ctx, d, cfg)
+	if *traceTo != "" {
+		// Flush whatever spans were recorded even on an interrupted run: a
+		// partial trace of a slow design is exactly what you want to inspect.
+		if werr := writeTrace(observer.Trace, *traceTo); werr != nil {
+			fmt.Fprintf(os.Stderr, "placer: trace: %v\n", werr)
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote trace %s (%d spans)\n", *traceTo, len(observer.Trace.Events()))
+		}
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "placer: interrupted, placement abandoned")
@@ -126,6 +163,7 @@ func main() {
 		res.Model, res.GPWL, res.LGWL, res.DPWL, res.Overflow, res.GPIters)
 	fmt.Printf("runtime: GP=%.2fs LG=%.2fs DP=%.2fs total=%.2fs legal=%v\n",
 		res.GPSeconds, res.LGSeconds, res.DPSeconds, res.TotalSeconds, res.LegalizationOK)
+	printPhaseSummary(observer.Metrics)
 
 	if *congest {
 		cmap, err := congestion.RUDY(d, 64, 64)
@@ -153,6 +191,44 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", auxOut)
+	}
+}
+
+// writeTrace exports the recorded spans: Chrome trace_event JSON by default,
+// JSONL when the path ends in .jsonl.
+func writeTrace(t *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = t.WriteJSONL(f)
+	} else {
+		err = t.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// printPhaseSummary breaks the GP runtime down by engine phase, sorted by
+// total time spent.
+func printPhaseSummary(m *obs.Metrics) {
+	snap := m.Snapshot()
+	if len(snap.PhaseSeconds) == 0 {
+		return
+	}
+	phases := make([]string, 0, len(snap.PhaseSeconds))
+	for p := range snap.PhaseSeconds {
+		phases = append(phases, p)
+	}
+	sort.Slice(phases, func(i, j int) bool {
+		return snap.PhaseSeconds[phases[i]] > snap.PhaseSeconds[phases[j]]
+	})
+	fmt.Println("phase            seconds   calls")
+	for _, p := range phases {
+		fmt.Printf("%-16s %-9.3f %d\n", p, snap.PhaseSeconds[p], snap.PhaseCalls[p])
 	}
 }
 

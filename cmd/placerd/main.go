@@ -8,9 +8,12 @@
 //
 //	placerd [-addr :8080] [-workers 2] [-queue 16] [-retention 64]
 //	        [-timeout 0] [-aux-root dir] [-data-dir dir] [-checkpoint-every 25]
+//	        [-log-format text|json] [-log-level info] [-trace dir]
+//	        [-debug-addr :6060]
 //
 // Endpoints: POST /jobs, GET /jobs, GET /jobs/{id},
-// GET /jobs/{id}/trajectory, DELETE /jobs/{id}, GET /metrics, GET /healthz.
+// GET /jobs/{id}/trajectory, GET /v1/jobs/{id}/trajectory (NDJSON stream),
+// DELETE /jobs/{id}, GET /metrics, GET /healthz.
 // SIGINT/SIGTERM drains gracefully: running jobs finish (up to -drain), then
 // remaining jobs are cancelled.
 //
@@ -18,36 +21,70 @@
 // snapshots are persisted under the directory, jobs cancelled by the drain
 // are recorded as interrupted, and the next boot with the same -data-dir
 // re-enqueues them as warm-start resumes from their latest snapshot.
+//
+// With -trace each job writes a Chrome trace_event JSON file
+// (<dir>/<job-id>.trace.json) with one span per engine phase per iteration;
+// load it in chrome://tracing or https://ui.perfetto.dev. With -debug-addr
+// a second listener serves net/http/pprof profiles (heap, CPU, goroutines)
+// away from the public API.
 package main
 
 import (
 	"context"
 	"errors"
-	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"flag"
+
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
 func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "placerd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run holds the daemon's whole lifecycle so deferred cleanup (manager
+// shutdown, listener close) actually executes on every exit path — a bare
+// log.Fatalf would skip it and leak running jobs without a drain.
+func run(argv []string) error {
+	fs := flag.NewFlagSet("placerd", flag.ExitOnError)
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 2, "concurrent placement workers")
-		queue     = flag.Int("queue", 16, "max queued jobs (submits beyond this get 429)")
-		retention = flag.Int("retention", 64, "finished jobs kept for inspection")
-		timeout   = flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
-		auxRoot   = flag.String("aux-root", "", "directory Bookshelf aux jobs may read from (empty disables them)")
-		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown budget before cancelling jobs")
-		dataDir   = flag.String("data-dir", "", "durable job store directory (empty = in-memory only)")
-		ckptEvery = flag.Int("checkpoint-every", 25, "snapshot cadence in GP iterations for durable jobs")
+		addr      = fs.String("addr", ":8080", "listen address")
+		workers   = fs.Int("workers", 2, "concurrent placement workers")
+		queue     = fs.Int("queue", 16, "max queued jobs (submits beyond this get 429)")
+		retention = fs.Int("retention", 64, "finished jobs kept for inspection")
+		timeout   = fs.Duration("timeout", 0, "default per-job deadline (0 = none)")
+		auxRoot   = fs.String("aux-root", "", "directory Bookshelf aux jobs may read from (empty disables them)")
+		drain     = fs.Duration("drain", 30*time.Second, "graceful shutdown budget before cancelling jobs")
+		dataDir   = fs.String("data-dir", "", "durable job store directory (empty = in-memory only)")
+		ckptEvery = fs.Int("checkpoint-every", 25, "snapshot cadence in GP iterations for durable jobs")
+		logFormat = fs.String("log-format", "text", "log encoding: text or json")
+		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		traceDir  = fs.String("trace", "", "write per-job Chrome trace files into this directory")
+		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger, err := obs.New(os.Stderr, *logFormat, level)
+	if err != nil {
+		return err
+	}
 
 	mgr, err := service.OpenManager(service.Config{
 		Workers:         *workers,
@@ -57,13 +94,15 @@ func main() {
 		AuxRoot:         *auxRoot,
 		DataDir:         *dataDir,
 		CheckpointEvery: *ckptEvery,
+		Log:             logger,
+		TraceDir:        *traceDir,
 	})
 	if err != nil {
-		log.Fatalf("placerd: %v", err)
+		return err
 	}
 	if *dataDir != "" {
 		if n := mgr.Telemetry().JobsRecovered.Value(); n > 0 {
-			log.Printf("placerd: recovered %d unfinished job(s) from %s", n, *dataDir)
+			logger.Info("recovered unfinished jobs", "count", n, "data_dir", *dataDir)
 		}
 	}
 
@@ -76,24 +115,61 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           newDebugMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+		logger.Info("pprof listening", "addr", *debugAddr)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("placerd listening on %s (workers=%d queue=%d)", *addr, *workers, *queue)
+	// Logged after recovery so the recovered-jobs line (if any) precedes the
+	// ready line operators grep for.
+	logger.Info("placerd listening", "addr", *addr, "workers", *workers, "queue", *queue)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("placerd: %v", err)
+		return err
 	case <-ctx.Done():
 	}
 
-	log.Printf("placerd: draining (budget %s)...", *drain)
+	logger.Info("draining", "budget", drain.String())
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Printf("placerd: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
+	}
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(shutCtx); err != nil {
+			logger.Warn("debug shutdown", "err", err)
+		}
 	}
 	if err := mgr.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("placerd: manager shutdown: %v", err)
+		logger.Warn("manager shutdown", "err", err)
 	}
-	fmt.Println("placerd: bye")
+	logger.Info("bye")
+	return nil
+}
+
+// newDebugMux builds the pprof handler set explicitly instead of relying on
+// the net/http/pprof side-effect registration on http.DefaultServeMux, so
+// profiles are only reachable via -debug-addr and never leak onto the
+// public API listener.
+func newDebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

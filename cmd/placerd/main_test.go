@@ -167,14 +167,36 @@ func TestPlacerdFullLifecycle(t *testing.T) {
 		t.Errorf("GET /jobs returned %d jobs, want 3", len(list.Jobs))
 	}
 
+	// The streaming trajectory endpoint serves the finished job as NDJSON.
+	resp2, err := http.Get(srv.URL + "/v1/jobs/" + c.ID + "/trajectory?follow=false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d, want 200", resp2.StatusCode)
+	}
+	lines := bytes.Count(bytes.TrimSpace(stream), []byte("\n")) + 1
+	if lines < 25 {
+		t.Errorf("trajectory stream has %d lines, want >= 25 (one per iteration)", lines)
+	}
+
 	// The metrics scrape reflects the lifecycle: counter increments happen
-	// on the worker goroutine, so poll until they settle.
+	// on the worker goroutine, so poll until they settle. The engine
+	// histograms come along for free once any job has run.
 	pollUntil(t, "metrics to reflect job outcomes", func() bool {
 		m := scrapeMetrics(t, srv.URL)
 		return m["placerd_jobs_submitted_total"] == 3 &&
 			m[`placerd_jobs_finished_total{state="done"}`] == 1 &&
 			m[`placerd_jobs_finished_total{state="cancelled"}`] == 2 &&
-			m["placerd_gp_iterations_total"] > 0
+			m["placerd_gp_iterations_total"] > 0 &&
+			m["placerd_gp_iteration_seconds_count"] > 0 &&
+			m[`placerd_gp_phase_seconds_count{phase="wirelength"}`] > 0 &&
+			m[`placerd_gp_phase_seconds_count{phase="poisson-solve"}`] > 0
 	})
 
 	resp, err := http.Get(srv.URL + "/healthz")
@@ -256,6 +278,46 @@ func TestPlacerdKillAndRestartRecovery(t *testing.T) {
 	}
 	if m[`placerd_jobs_finished_total{state="done"}`] != 1 {
 		t.Errorf("finished{done} = %v, want 1", m[`placerd_jobs_finished_total{state="done"}`])
+	}
+}
+
+// TestDebugMuxServesPprof pins the explicit pprof wiring: the index and the
+// common profiles answer on the debug mux, which is separate from the API
+// handler (the API mux must NOT expose /debug/pprof/).
+func TestDebugMuxServesPprof(t *testing.T) {
+	dbg := httptest.NewServer(newDebugMux())
+	defer dbg.Close()
+	for _, path := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/heap",
+		"/debug/pprof/goroutine",
+		"/debug/pprof/cmdline",
+	} {
+		resp, err := http.Get(dbg.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	mgr := service.NewManager(service.Config{Workers: 1, QueueDepth: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		mgr.Shutdown(ctx) //nolint:errcheck // test teardown
+	}()
+	api := httptest.NewServer(service.NewHandler(mgr))
+	defer api.Close()
+	resp, err := http.Get(api.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("API handler exposes /debug/pprof/ — profiles must stay on -debug-addr")
 	}
 }
 

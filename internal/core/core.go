@@ -13,6 +13,7 @@ import (
 	"repro/internal/detailed"
 	"repro/internal/legalize"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/placer"
 	"repro/internal/wirelength"
 )
@@ -124,22 +125,33 @@ func RunFlowContext(ctx context.Context, d *netlist.Design, cfg FlowConfig) (*Fl
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: cancelled before legalization: %w", err)
 	}
+	o := cfg.GP.Obs
+	logger := o.Logger()
+	if o != nil {
+		// Post-GP spans are flow-level, not tied to an optimizer iteration.
+		o.Trace.SetIter(-1)
+	}
 
 	lgStart := time.Now()
+	sp := o.StartPhase(obs.PhaseLegalize)
 	if cfg.UseTetris {
 		lg, err := legalize.Tetris(d)
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("core: legalization: %w", err)
 		}
 		res.LGWL = lg.HPWL
 	} else {
 		lg, err := legalize.Abacus(d, legalize.Options{SiteAlign: true})
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("core: legalization: %w", err)
 		}
 		res.LGWL = lg.HPWL
 	}
+	sp.End()
 	res.LGSeconds = time.Since(lgStart).Seconds()
+	logger.Info("lg: done", "hpwl", res.LGWL, "seconds", res.LGSeconds)
 
 	if cfg.SkipDetailed {
 		res.DPWL = res.LGWL
@@ -148,12 +160,15 @@ func RunFlowContext(ctx context.Context, d *netlist.Design, cfg FlowConfig) (*Fl
 			return nil, fmt.Errorf("core: cancelled before detailed placement: %w", err)
 		}
 		dpStart := time.Now()
+		sp = o.StartPhase(obs.PhaseDetailed)
 		dp, err := detailed.Place(d, cfg.DP)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: detailed placement: %w", err)
 		}
 		res.DPWL = dp.HPWL
 		res.DPSeconds = time.Since(dpStart).Seconds()
+		logger.Info("dp: done", "hpwl", res.DPWL, "seconds", res.DPSeconds)
 	}
 
 	res.LegalizationOK = legalize.CheckLegal(d) == nil

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/fft"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -28,6 +29,11 @@ import (
 type Electro struct {
 	g       *Grid
 	workers int
+
+	// Obs, when non-nil, receives sub-spans for each stage of Solve
+	// (forward DCT, then one synthesis per output). Nil costs one pointer
+	// check per Solve.
+	Obs *obs.Observer
 
 	// planXs/planYs hold one CosPlan per worker and axis; plans carry
 	// mutable FFT scratch, so they are never shared between workers.
@@ -225,19 +231,27 @@ func (e *Electro) scaleCoeff(numX, numY bool) {
 
 // Solve runs the spectral solve on the current contents of Rho.
 func (e *Electro) Solve() {
+	sp := e.Obs.StartPhase(obs.PhaseDCT)
 	e.dct2DForward(e.Coeff, e.Rho)
+	sp.End()
 
 	// Potential coefficients: A/(wu^2+wv^2), zero DC.
+	sp = e.Obs.StartPhase(obs.PhaseSynthPsi)
 	e.scaleCoeff(false, false)
 	e.synth2D(e.Psi, e.scaled, false, false)
+	sp.End()
 
 	// Ex = sum B*wu * sin(wu x) cos(wv y): sine along x.
+	sp = e.Obs.StartPhase(obs.PhaseSynthEx)
 	e.scaleCoeff(true, false)
 	e.synth2D(e.Ex, e.scaled, true, false)
+	sp.End()
 
 	// Ey: sine along y.
+	sp = e.Obs.StartPhase(obs.PhaseSynthEy)
 	e.scaleCoeff(false, true)
 	e.synth2D(e.Ey, e.scaled, false, true)
+	sp.End()
 }
 
 // Energy returns the total electrostatic energy sum_b q_b * psi_b over the

@@ -38,7 +38,20 @@ package moreau
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 )
+
+// Stats counts branch behaviour across envelope evaluations: how many nets
+// were evaluated, how many hit the degenerate (collapsed water levels)
+// branch, and how many exceeded the insertion-sort fast path. Counters are
+// atomic so one Stats may be shared by the per-worker evaluators of a
+// parallel wirelength model. A nil *Stats disables counting at the cost of
+// one pointer check per site.
+type Stats struct {
+	Evals      atomic.Int64
+	Degenerate atomic.Int64
+	LargeSorts atomic.Int64
+}
 
 // Result describes one envelope/prox evaluation of a net.
 type Result struct {
@@ -146,6 +159,9 @@ func envelopeFromLevels(x []float64, t float64, r *Result) {
 // use; create one Evaluator per worker goroutine.
 type Evaluator struct {
 	scratch []float64
+	// Stats, when non-nil, receives branch counters from every evaluation;
+	// typically one shared Stats across all per-worker evaluators.
+	Stats *Stats
 }
 
 // NewEvaluator returns an Evaluator whose scratch buffer is pre-sized for
@@ -185,9 +201,23 @@ func (ev *Evaluator) sortedCopy(x []float64) []float64 {
 	if len(s) <= insertionSortMax {
 		insertionSort(s)
 	} else {
+		if ev.Stats != nil {
+			ev.Stats.LargeSorts.Add(1)
+		}
 		sort.Float64s(s)
 	}
 	return s
+}
+
+// count records one evaluation's branch outcome into the attached Stats.
+func (ev *Evaluator) count(degenerate bool) {
+	if ev.Stats == nil {
+		return
+	}
+	ev.Stats.Evals.Add(1)
+	if degenerate {
+		ev.Stats.Degenerate.Add(1)
+	}
 }
 
 // checkArgs panics on invalid inputs; these are programming errors, not
@@ -206,10 +236,12 @@ func checkArgs(x []float64, t float64) {
 func (ev *Evaluator) Envelope(x []float64, t float64) float64 {
 	checkArgs(x, t)
 	if len(x) == 1 {
+		ev.count(true)
 		return 0
 	}
 	s := ev.sortedCopy(x)
 	r := Levels(s, t)
+	ev.count(r.Degenerate)
 	envelopeFromLevels(x, t, &r)
 	return r.Value
 }
@@ -220,6 +252,7 @@ func (ev *Evaluator) Envelope(x []float64, t float64) float64 {
 func (ev *Evaluator) EnvelopeGrad(x []float64, t float64, grad []float64) Result {
 	checkArgs(x, t)
 	if len(x) == 1 {
+		ev.count(true)
 		if grad != nil {
 			grad[0] = 0
 		}
@@ -227,6 +260,7 @@ func (ev *Evaluator) EnvelopeGrad(x []float64, t float64, grad []float64) Result
 	}
 	s := ev.sortedCopy(x)
 	r := Levels(s, t)
+	ev.count(r.Degenerate)
 	envelopeFromLevels(x, t, &r)
 	if grad != nil {
 		if r.Degenerate {
@@ -260,11 +294,13 @@ func (ev *Evaluator) Prox(x []float64, t float64, u []float64) Result {
 		panic("moreau: prox output length mismatch")
 	}
 	if len(x) == 1 {
+		ev.count(true)
 		u[0] = x[0]
 		return Result{Tau1: x[0], Tau2: x[0], Degenerate: true}
 	}
 	s := ev.sortedCopy(x)
 	r := Levels(s, t)
+	ev.count(r.Degenerate)
 	envelopeFromLevels(x, t, &r)
 	if r.Degenerate {
 		for i := range u {

@@ -28,6 +28,14 @@ type Optimizer interface {
 	Pos() []float64
 }
 
+// StepSizer is implemented by optimizers that can report the step size used
+// by their most recent Step; observability layers record it as a convergence
+// diagnostic (the Barzilai-Borwein alpha for Nesterov, the fixed learning
+// rate for the baselines).
+type StepSizer interface {
+	LastStepSize() float64
+}
+
 // norm2 returns the Euclidean norm of x.
 func norm2(x []float64) float64 {
 	s := 0.0
@@ -194,6 +202,9 @@ func NewMomentum(x0 []float64, lr, beta float64, project Project) *Momentum {
 // Pos returns the current iterate.
 func (o *Momentum) Pos() []float64 { return o.x }
 
+// LastStepSize returns the (fixed) learning rate.
+func (o *Momentum) LastStepSize() float64 { return o.LR }
+
 // Step performs one momentum update.
 func (o *Momentum) Step(eval Evaluate) float64 {
 	val := eval(o.x, o.g)
@@ -236,6 +247,9 @@ func NewAdam(x0 []float64, lr float64, project Project) *Adam {
 
 // Pos returns the current iterate.
 func (o *Adam) Pos() []float64 { return o.x }
+
+// LastStepSize returns the (fixed) base learning rate.
+func (o *Adam) LastStepSize() float64 { return o.LR }
 
 // Step performs one Adam update.
 func (o *Adam) Step(eval Evaluate) float64 {

@@ -1,0 +1,216 @@
+package placer
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/obs"
+	"repro/internal/wirelength"
+)
+
+// TestObservedRunTraceRoundTrip runs an instrumented placement and pins the
+// span accounting: the optimizer-step and iteration spans appear exactly
+// once per iteration, the four eval phases once per evaluation (>= once per
+// iteration: Nesterov backtracking re-evaluates), and the exported Chrome
+// trace decodes back to the identical event list.
+func TestObservedRunTraceRoundTrip(t *testing.T) {
+	d := testDesign(t, 80, 0)
+	cfg := fastConfig(wirelength.NewMoreau())
+	cfg.MaxIters = 25
+	cfg.StopOverflow = 1e-9
+	cfg.RecordEvery = 5 // HPWL is measured on recorded iterations; exercise the gauge
+	o := &obs.Observer{Trace: obs.NewTracer(), Metrics: obs.NewMetrics()}
+	cfg.Obs = o
+	res, err := Place(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != cfg.MaxIters {
+		t.Fatalf("ran %d iterations, want %d", res.Iterations, cfg.MaxIters)
+	}
+
+	perPhase := map[string]int{}
+	maxIterTag := -1
+	for _, ev := range o.Trace.Events() {
+		perPhase[ev.Name]++
+		if ev.Iter > maxIterTag {
+			maxIterTag = ev.Iter
+		}
+	}
+	if got := perPhase[obs.PhaseStep]; got != res.Iterations {
+		t.Errorf("%s spans = %d, want exactly %d (one per iteration)", obs.PhaseStep, got, res.Iterations)
+	}
+	if got := perPhase[obs.PhaseIteration]; got != res.Iterations {
+		t.Errorf("%s spans = %d, want exactly %d", obs.PhaseIteration, got, res.Iterations)
+	}
+	for _, p := range []string{obs.PhaseWirelength, obs.PhaseStamp, obs.PhaseSolve, obs.PhaseGather} {
+		if got := perPhase[p]; got != res.Evaluations {
+			t.Errorf("%s spans = %d, want %d (one per evaluation)", p, got, res.Evaluations)
+		}
+	}
+	if res.Evaluations < res.Iterations {
+		t.Errorf("evaluations %d < iterations %d", res.Evaluations, res.Iterations)
+	}
+	if perPhase[obs.PhaseSetup] != 1 {
+		t.Errorf("%s spans = %d, want 1", obs.PhaseSetup, perPhase[obs.PhaseSetup])
+	}
+	if maxIterTag != res.Iterations-1 {
+		t.Errorf("max iteration tag = %d, want %d", maxIterTag, res.Iterations-1)
+	}
+
+	var buf bytes.Buffer
+	if err := o.Trace.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := obs.ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatalf("exported trace does not decode: %v", err)
+	}
+	want := o.Trace.Events()
+	got := rt.Events
+	if len(got) != len(want) {
+		t.Fatalf("round trip lost spans: %d -> %d", len(want), len(got))
+	}
+	// The exporter reorders (ts asc, parents first) but must keep every span
+	// bit-identical; compare as multisets.
+	index := map[obs.SpanEvent]int{}
+	for _, ev := range want {
+		index[ev]++
+	}
+	for _, ev := range got {
+		index[ev]--
+		if index[ev] < 0 {
+			t.Fatalf("round trip invented span %+v", ev)
+		}
+	}
+
+	// The metrics registry agrees with the engine's own accounting, and the
+	// Moreau evaluator counters flow through for the ME model.
+	snap := o.Metrics.Snapshot()
+	if int(snap.Iterations) != res.Iterations || int(snap.Evaluations) != res.Evaluations {
+		t.Errorf("metrics iterations/evaluations = %d/%d, want %d/%d",
+			snap.Iterations, snap.Evaluations, res.Iterations, res.Evaluations)
+	}
+	if snap.Counters["moreau_net_evals"] <= 0 {
+		t.Errorf("moreau_net_evals = %d, want > 0 for the ME model", snap.Counters["moreau_net_evals"])
+	}
+	if snap.Iter != res.Iterations-1 {
+		t.Errorf("last recorded iteration gauge = %d, want %d", snap.Iter, res.Iterations-1)
+	}
+	if snap.HPWL <= 0 || snap.Overflow <= 0 {
+		t.Errorf("convergence gauges unset: hpwl=%g overflow=%g", snap.HPWL, snap.Overflow)
+	}
+}
+
+// TestObservedRunMatchesUnobserved: attaching a full observer must not
+// change the optimization itself — positions and HPWL stay bit-identical.
+func TestObservedRunMatchesUnobserved(t *testing.T) {
+	cfgA := fastConfig(wirelength.NewWA())
+	cfgA.MaxIters = 30
+	cfgA.StopOverflow = 1e-9
+	dA := testDesign(t, 80, 0)
+	resA, err := Place(dA, cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfgB := fastConfig(wirelength.NewWA())
+	cfgB.MaxIters = 30
+	cfgB.StopOverflow = 1e-9
+	cfgB.Obs = &obs.Observer{Trace: obs.NewTracer(), Metrics: obs.NewMetrics()}
+	dB := testDesign(t, 80, 0)
+	resB, err := Place(dB, cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.HPWL != resB.HPWL || resA.Evaluations != resB.Evaluations {
+		t.Errorf("observer changed the run: HPWL %v vs %v, evals %d vs %d",
+			resA.HPWL, resB.HPWL, resA.Evaluations, resB.Evaluations)
+	}
+	for c := range dA.Cells {
+		if dA.X[c] != dB.X[c] || dA.Y[c] != dB.Y[c] {
+			t.Fatalf("cell %d diverged under observation", c)
+		}
+	}
+	if !reflect.DeepEqual(resA.Trajectory, resB.Trajectory) {
+		t.Error("trajectory diverged under observation")
+	}
+}
+
+// TestObsCancelCheckpointRace cancels an instrumented run from its
+// OnIteration hook while checkpoint-on-cancel is armed. Under -race this
+// exercises the observer sinks, the engine goroutine, and the cancel path
+// together; the run must still leave a resumable snapshot behind.
+func TestObsCancelCheckpointRace(t *testing.T) {
+	dir := t.TempDir()
+	d := testDesign(t, 60, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	met := obs.NewMetrics()
+	var sinkCalls atomic.Int64
+	met.OnIteration = func(float64) { sinkCalls.Add(1) }
+	met.OnPhase = func(string, float64) { sinkCalls.Add(1) }
+
+	cfg := resumeBase(2) // parallel workers: eval spans come from pool goroutines
+	cfg.Checkpoint = CheckpointConfig{Dir: dir}
+	cfg.Obs = &obs.Observer{Trace: obs.NewTracer(), Metrics: met}
+	cfg.OnIteration = func(pt TrajectoryPoint) bool {
+		if pt.Iter >= 10 {
+			cancel()
+		}
+		return true
+	}
+	_, err := PlaceContext(ctx, d, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sinkCalls.Load() == 0 {
+		t.Error("metrics sinks never fired")
+	}
+
+	snap, _, err := checkpoint.LoadLatest(dir)
+	if err != nil {
+		t.Fatalf("no snapshot after cancel: %v", err)
+	}
+	if snap.Iter < 10 {
+		t.Fatalf("cancel snapshot at iteration %d, want >= 10", snap.Iter)
+	}
+	c := resumeBase(2)
+	c.Resume = snap
+	res, err := Place(testDesign(t, 60, 0), c)
+	if err != nil {
+		t.Fatalf("resume after observed cancel: %v", err)
+	}
+	if res.Iterations != c.MaxIters {
+		t.Errorf("resumed run did %d iterations, want %d", res.Iterations, c.MaxIters)
+	}
+}
+
+// TestValidateRejectsConflictingWorkers pins the Workers/WLWorkers
+// contract: both set and disagreeing is rejected; agreeing or alias-only
+// configs pass.
+func TestValidateRejectsConflictingWorkers(t *testing.T) {
+	cfg := DefaultConfig(wirelength.NewWA())
+	cfg.Workers, cfg.WLWorkers = 4, 2
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted conflicting Workers=4 WLWorkers=2")
+	}
+	if _, err := Place(testDesign(t, 60, 0), cfg); err == nil {
+		t.Fatal("Place accepted conflicting worker knobs")
+	}
+
+	cfg.WLWorkers = 4
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate rejected agreeing worker knobs: %v", err)
+	}
+	cfg.Workers = 0
+	cfg.WLWorkers = 3
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate rejected the legacy WLWorkers-only config: %v", err)
+	}
+}

@@ -21,7 +21,9 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/density"
+	"repro/internal/moreau"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/parallel"
 	"repro/internal/quadratic"
@@ -82,8 +84,16 @@ type Config struct {
 	// match the serial path up to floating-point addition order.
 	Workers int
 	// WLWorkers is a deprecated alias for Workers, kept for old callers;
-	// it is consulted only when Workers is 0.
+	// it is consulted only when Workers is 0. Setting both to different
+	// non-zero values is ambiguous and rejected by Validate — callers
+	// must migrate to Workers rather than rely on silent precedence.
 	WLWorkers int
+	// Obs, when non-nil, receives the run's observability streams:
+	// structured logs, per-phase trace spans (one per engine phase per
+	// iteration), and convergence metrics. A nil Obs — or an Obs with
+	// neither tracer nor metrics — costs one pointer check per phase and
+	// leaves the hot path unchanged.
+	Obs *obs.Observer
 	// OnIteration, when non-nil, is invoked after every optimizer
 	// iteration with the current trajectory sample (exact HPWL included).
 	// Returning false stops the run early; the partial result is returned
@@ -230,6 +240,9 @@ func (cfg *Config) Validate() error {
 	if cfg.WLWorkers < 0 {
 		return fmt.Errorf("placer: WLWorkers %d must be >= 0", cfg.WLWorkers)
 	}
+	if cfg.Workers > 0 && cfg.WLWorkers > 0 && cfg.Workers != cfg.WLWorkers {
+		return fmt.Errorf("placer: Workers (%d) and the deprecated WLWorkers alias (%d) are both set and disagree; set only Workers", cfg.Workers, cfg.WLWorkers)
+	}
 	if cfg.Checkpoint.Every < 0 {
 		return fmt.Errorf("placer: Checkpoint.Every %d must be >= 0", cfg.Checkpoint.Every)
 	}
@@ -240,6 +253,14 @@ func (cfg *Config) Validate() error {
 		return fmt.Errorf("placer: Checkpoint.Every is set but Checkpoint.Dir is empty")
 	}
 	return nil
+}
+
+// optName resolves the optimizer config string to its canonical name.
+func optName(s string) string {
+	if s == "" {
+		return "nesterov"
+	}
+	return s
 }
 
 // effectiveWorkers resolves the worker-pool size, honoring the deprecated
@@ -278,6 +299,7 @@ func newEngine(d *netlist.Design, cfg Config, workers int) (*engine, []float64, 
 	}
 	en.grid = density.NewGrid(d.Region, gx, gy)
 	en.elec = density.NewElectroWorkers(en.grid, workers)
+	en.elec.Obs = cfg.Obs
 	en.stamper = density.NewStamper(en.grid, workers)
 
 	en.targetDensity = d.TargetDensity
@@ -413,15 +435,33 @@ func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 		return nil, fmt.Errorf("placer: %w", err)
 	}
 	workers := cfg.effectiveWorkers()
+	o := cfg.Obs
+	logger := o.Logger()
+	// With metrics enabled, rebuild the named model so its kernels share one
+	// branch-statistics counter; custom (unnamed) models stay untouched.
+	var mstats *moreau.Stats
+	if o != nil && o.Metrics != nil {
+		mstats = &moreau.Stats{}
+	}
 	if workers > 1 {
-		pm, err := wirelength.ParallelByName(cfg.Model.Name(), workers)
+		pm, err := wirelength.ParallelByNameStats(cfg.Model.Name(), workers, mstats)
 		if err != nil {
 			return nil, fmt.Errorf("placer: parallel wirelength: %w", err)
 		}
 		cfg.Model = pm
+	} else if mstats != nil {
+		if sm, err := wirelength.ByNameStats(cfg.Model.Name(), mstats); err == nil {
+			cfg.Model = sm
+		} else {
+			mstats = nil
+		}
+	}
+	if o != nil && o.Trace != nil {
+		o.Trace.SetWorkers(workers)
 	}
 
 	start := time.Now()
+	setup := o.StartPhase(obs.PhaseSetup)
 	en, pos, err := newEngine(d, cfg, workers)
 	if err != nil {
 		return nil, err
@@ -458,6 +498,7 @@ func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 		startIter = cfg.Resume.Iter
 		prevSetup = cfg.Resume.SetupSeconds
 		prevLoop = cfg.Resume.LoopSeconds
+		logger.Info("gp: resuming from checkpoint", "design", d.Name, "iter", startIter, "overflow", en.overflow)
 	} else {
 		// Measure the initial overflow and calibrate lambda0 from the ratio
 		// of wirelength to density gradient magnitudes (ePlace).
@@ -469,6 +510,12 @@ func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 		lu.Prime(lambda0, en.elec.Energy())
 		en.lambda = lu.Lambda()
 	}
+	setup.End()
+	logger.Info("gp: starting",
+		"design", d.Name, "cells", d.NumCells(), "nets", d.NumNets(),
+		"model", cfg.Model.Name(), "optimizer", optName(cfg.Optimizer),
+		"workers", workers, "grid", fmt.Sprintf("%dx%d", en.grid.Nx, en.grid.Ny),
+		"fillers", en.numFillers, "lambda0", en.lambda, "overflow0", en.overflow)
 
 	var opt optimizer.Optimizer
 	binScale := en.grid.BinW + en.grid.BinH
@@ -515,6 +562,16 @@ func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 		}
 		res.LoopSeconds = prevLoop + time.Since(loopStart).Seconds()
 		res.Seconds = prevSetup + prevLoop + time.Since(start).Seconds()
+		if mstats != nil {
+			m := o.Metrics
+			m.Count("moreau_net_evals", mstats.Evals.Load())
+			m.Count("moreau_degenerate", mstats.Degenerate.Load())
+			m.Count("moreau_large_sorts", mstats.LargeSorts.Load())
+		}
+		logger.Info("gp: done",
+			"design", d.Name, "hpwl", res.HPWL, "overflow", res.Overflow,
+			"iterations", res.Iterations, "evaluations", res.Evaluations,
+			"seconds", res.Seconds, "stopped", res.Stopped)
 	}
 
 	// writeCkpt snapshots the loop state after iter completed iterations.
@@ -532,9 +589,14 @@ func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 		}
 		if err == nil {
 			res.Checkpoints++
+			if o != nil {
+				o.Metrics.CheckpointDone()
+			}
+			logger.Debug("gp: checkpoint written", "iter", iter)
 			return nil
 		}
 		if bestEffort {
+			logger.Warn("gp: best-effort checkpoint failed", "iter", iter, "err", err)
 			return nil
 		}
 		return fmt.Errorf("placer: checkpoint at iteration %d: %w", iter, err)
@@ -544,15 +606,21 @@ func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 		if err := ctx.Err(); err != nil {
 			// Persist the freshest state so a graceful drain can resume
 			// exactly where the run stopped.
+			logger.Warn("gp: cancelled", "iter", k, "err", err)
 			writeCkpt(k, true) //nolint:errcheck // best-effort by design
 			finalize()
 			return res, err
 		}
+		it := o.StartIteration(k)
 		en.param = schedule(en.overflow)
+		sp := o.StartPhase(obs.PhaseStep)
 		obj := opt.Step(en.eval)
+		sp.End()
 		en.lambda = lu.Update(en.lastEnergy)
 		res.Iterations = k + 1
 
+		stop := false
+		hpwl := 0.0
 		record := cfg.RecordEvery > 0 && k%cfg.RecordEvery == 0
 		if record || cfg.OnIteration != nil {
 			en.unpack(opt.Pos())
@@ -564,22 +632,44 @@ func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 				Param:     en.param,
 				Lambda:    en.lambda,
 			}
+			hpwl = pt.HPWL
 			if record {
 				res.Trajectory = append(res.Trajectory, pt)
+				logger.Debug("gp: iteration",
+					"iter", k, "hpwl", pt.HPWL, "overflow", pt.Overflow,
+					"lambda", pt.Lambda, "param", pt.Param)
 			}
 			if cfg.OnIteration != nil && !cfg.OnIteration(pt) {
 				res.Stopped = true
-				writeCkpt(k+1, true) //nolint:errcheck // best-effort by design
-				break
+				stop = true
 			}
+		}
+		if o != nil && o.Metrics != nil {
+			step := 0.0
+			if ss, ok := opt.(optimizer.StepSizer); ok {
+				step = ss.LastStepSize()
+			}
+			o.Metrics.Record(obs.Point{
+				Iter: k, HPWL: hpwl, Overflow: en.overflow,
+				Lambda: en.lambda, Param: en.param, Step: step,
+			})
+		}
+		if stop {
+			logger.Info("gp: stopped by iteration hook", "iter", k)
+			writeCkpt(k+1, true) //nolint:errcheck // best-effort by design
+			it.End()
+			break
 		}
 		if cfg.Checkpoint.Every > 0 && (k+1)%cfg.Checkpoint.Every == 0 {
 			if err := writeCkpt(k+1, false); err != nil {
+				it.End()
 				finalize()
 				return res, err
 			}
 		}
+		it.End()
 		if en.overflow < cfg.StopOverflow {
+			logger.Info("gp: overflow target reached", "iter", k, "overflow", en.overflow)
 			break
 		}
 	}
@@ -689,14 +779,26 @@ func (en *engine) calibrateLambda0(pos []float64) float64 {
 // eval is the full objective W + lambda*D with gradient, used by the
 // optimizer (including its backtracking trials).
 func (en *engine) eval(pos, grad []float64) float64 {
+	o := en.cfg.Obs
+	if o != nil {
+		o.Metrics.EvalDone()
+	}
 	d := en.d
 	en.unpack(pos)
+	sp := o.StartPhase(obs.PhaseWirelength)
 	w := en.cfg.Model.WirelengthGrad(d, en.param, en.wgx, en.wgy)
+	sp.End()
 
+	sp = o.StartPhase(obs.PhaseStamp)
 	en.overflow = en.stampAndOverflow(pos)
+	sp.End()
+	sp = o.StartPhase(obs.PhaseSolve)
 	en.elec.SolveFromGrid()
 	energy := en.elec.Energy()
 	en.lastEnergy = energy
+	sp.End()
+	sp = o.StartPhase(obs.PhaseGather)
+	defer sp.End()
 
 	// The per-cell field gather is embarrassingly parallel: entry i writes
 	// only grad[i] and grad[n+i] and reads shared immutable state, so the

@@ -4,17 +4,20 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
+	"time"
 )
 
 // NewHandler wires the manager into the placerd JSON API:
 //
-//	POST   /jobs                 submit a JobSpec, returns the job snapshot
-//	GET    /jobs                 list retained jobs
-//	GET    /jobs/{id}            one job's live status
-//	GET    /jobs/{id}/trajectory the job's recorded HPWL-vs-overflow curve
-//	DELETE /jobs/{id}            cancel a queued or running job
-//	GET    /metrics              Prometheus text exposition
-//	GET    /healthz              liveness probe
+//	POST   /jobs                    submit a JobSpec, returns the job snapshot
+//	GET    /jobs                    list retained jobs
+//	GET    /jobs/{id}               one job's live status
+//	GET    /jobs/{id}/trajectory    the job's recorded HPWL-vs-overflow curve
+//	DELETE /jobs/{id}               cancel a queued or running job
+//	GET    /v1/jobs/{id}/trajectory stream trajectory points as NDJSON
+//	GET    /metrics                 Prometheus text exposition
+//	GET    /healthz                 liveness probe
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -52,6 +55,9 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"id": id, "trajectory": pts})
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trajectory", func(w http.ResponseWriter, r *http.Request) {
+		streamTrajectory(m, w, r)
+	})
 	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		v, err := m.Cancel(r.PathValue("id"))
 		if err != nil {
@@ -68,6 +74,65 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
+}
+
+// trajectoryPollInterval is how often the streaming endpoint checks a live
+// job for new points.
+const trajectoryPollInterval = 50 * time.Millisecond
+
+// streamTrajectory serves GET /v1/jobs/{id}/trajectory: newline-delimited
+// JSON, one trajectory point per line, flushed as the run produces them.
+// The stream ends when the job reaches a terminal state (or, with
+// ?follow=false, after the currently buffered points). The Fig. 3 curves of
+// the paper replay directly from this endpoint. Optional query parameters:
+//
+//	after  only stream points with iter > after (resume a dropped stream)
+//	follow "false" returns the current buffer and closes (default true)
+func streamTrajectory(m *Manager, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	after := -1
+	if s := r.URL.Query().Get("after"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad after parameter: "+err.Error())
+			return
+		}
+		after = v
+	}
+	follow := r.URL.Query().Get("follow") != "false"
+
+	// Fail with a proper status before committing to the stream.
+	if _, _, err := m.TrajectoryAfter(id, after); err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		pts, terminal, err := m.TrajectoryAfter(id, after)
+		if err != nil {
+			return // job pruned mid-stream; the line stream just ends
+		}
+		for _, p := range pts {
+			if err := enc.Encode(p); err != nil {
+				return // client went away
+			}
+			after = p.Iter
+		}
+		if len(pts) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal || !follow {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(trajectoryPollInterval):
+		}
+	}
 }
 
 // statusFor maps manager errors onto HTTP status codes.

@@ -1,12 +1,17 @@
 package service
 
 import (
+	"bufio"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Manager) {
@@ -130,6 +135,208 @@ func TestHandlerQueueFullIs429(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Errorf("queue-full submit status = %d, want 429", resp.StatusCode)
+	}
+}
+
+// readTrajectoryStream decodes an NDJSON trajectory stream to completion.
+func readTrajectoryStream(t *testing.T, body io.Reader) []JobTrajectoryPoint {
+	t.Helper()
+	var pts []JobTrajectoryPoint
+	sc := bufio.NewScanner(body)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var p JobTrajectoryPoint
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("stream line is not a trajectory point: %v\n%q", err, sc.Text())
+		}
+		pts = append(pts, p)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	return pts
+}
+
+// TestStreamTrajectoryFinishedJob: streaming a done job returns the whole
+// buffer and terminates without waiting.
+func TestStreamTrajectoryFinishedJob(t *testing.T) {
+	srv, m := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	v, err := m.Submit(synthSpec(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, v.ID, StateDone)
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + v.ID + "/trajectory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type = %q, want application/x-ndjson", ct)
+	}
+	pts := readTrajectoryStream(t, resp.Body)
+	if len(pts) != 40 {
+		t.Fatalf("streamed %d points, want 40 (one per iteration)", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Iter <= pts[i-1].Iter {
+			t.Fatalf("iterations not strictly increasing: %d then %d", pts[i-1].Iter, pts[i].Iter)
+		}
+	}
+	if pts[len(pts)-1].Iter != 39 {
+		t.Errorf("last iter = %d, want 39", pts[len(pts)-1].Iter)
+	}
+
+	// Resume semantics: after=K returns only later points.
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + v.ID + "/trajectory?after=35&follow=false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	tail := readTrajectoryStream(t, resp.Body)
+	if len(tail) != 4 || tail[0].Iter != 36 {
+		t.Errorf("after=35 returned %d points starting at %v, want 4 starting at 36", len(tail), tail)
+	}
+}
+
+// TestStreamTrajectoryFollowsLiveJob: the stream delivers points while the
+// job is still running and ends once it reaches a terminal state (here via
+// cancellation). Meaningful under -race: the stream reader polls the same
+// buffer the engine goroutine appends to.
+func TestStreamTrajectoryFollowsLiveJob(t *testing.T) {
+	srv, m := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	v, err := m.Submit(synthSpec(slowIters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, v.ID, StateRunning)
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + v.ID + "/trajectory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	got := 0
+	for got < 3 && sc.Scan() {
+		var p JobTrajectoryPoint
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("live stream line: %v", err)
+		}
+		got++
+	}
+	if got < 3 {
+		t.Fatalf("live stream ended after %d points: %v", got, sc.Err())
+	}
+	if _, err := m.Cancel(v.ID); err != nil {
+		t.Fatal(err)
+	}
+	for sc.Scan() { // must terminate once the job is cancelled
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("draining stream after cancel: %v", err)
+	}
+	waitState(t, m, v.ID, StateCancelled)
+}
+
+func TestStreamTrajectoryErrors(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	resp, err := http.Get(srv.URL + "/v1/jobs/job-999999/trajectory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job stream status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHandlerEngineMetrics: after one completed job /metrics exposes the
+// iteration-latency histogram and one per-phase histogram per engine phase.
+func TestHandlerEngineMetrics(t *testing.T) {
+	srv, m := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	v, err := m.Submit(synthSpec(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, v.ID, StateDone)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE placerd_gp_iteration_seconds histogram",
+		"# TYPE placerd_gp_phase_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	var iterCount int64
+	for _, line := range strings.Split(out, "\n") {
+		if n, ok := strings.CutPrefix(line, "placerd_gp_iteration_seconds_count "); ok {
+			if _, err := json.Number(n).Int64(); err != nil {
+				t.Fatalf("bad count line %q", line)
+			}
+			v, _ := json.Number(n).Int64()
+			iterCount = v
+		}
+	}
+	if iterCount < 30 {
+		t.Errorf("iteration histogram count = %d, want >= 30", iterCount)
+	}
+	for _, phase := range obs.EnginePhases() {
+		want := `placerd_gp_phase_seconds_count{phase="` + phase + `"}`
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing per-phase series %s", want)
+		}
+	}
+}
+
+// TestJobTraceExport: with TraceDir set every finished job leaves a Chrome
+// trace file that decodes back to one span per engine phase per iteration.
+func TestJobTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	_, m := newTestServer(t, Config{Workers: 1, QueueDepth: 4, TraceDir: dir})
+	v, err := m.Submit(synthSpec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, v.ID, StateDone)
+
+	f, err := os.Open(filepath.Join(dir, v.ID+".trace.json"))
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	defer f.Close()
+	tr, err := obs.ReadChromeTrace(f)
+	if err != nil {
+		t.Fatalf("trace does not decode: %v", err)
+	}
+	perPhase := map[string]int{}
+	for _, ev := range tr.Events {
+		perPhase[ev.Name]++
+	}
+	for _, phase := range obs.EnginePhases() {
+		if perPhase[phase] < 10 {
+			t.Errorf("trace has %d %q spans, want >= 10 (one per iteration)", perPhase[phase], phase)
+		}
+	}
+	if perPhase["iteration"] != 10 {
+		t.Errorf("trace has %d iteration spans, want 10", perPhase["iteration"])
 	}
 }
 

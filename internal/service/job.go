@@ -144,6 +144,26 @@ func (j *job) trajectory() []placer.TrajectoryPoint {
 	return out
 }
 
+// trajectoryAfter returns a copy of the buffered points with Iter strictly
+// greater than after, plus whether the job is terminal. Iter values are
+// ascending, so a binary search finds the resume position.
+func (j *job) trajectoryAfter(after int) ([]placer.TrajectoryPoint, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	lo, hi := 0, len(j.traj)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if j.traj[mid].Iter <= after {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	out := make([]placer.TrajectoryPoint, len(j.traj)-lo)
+	copy(out, j.traj[lo:])
+	return out, j.state.Terminal()
+}
+
 // recordIteration updates live progress and the bounded trajectory buffer.
 func (j *job) recordIteration(pt placer.TrajectoryPoint) {
 	j.mu.Lock()

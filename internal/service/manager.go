@@ -10,12 +10,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/placer"
 	"repro/internal/service/telemetry"
 )
@@ -56,6 +59,14 @@ type Config struct {
 	CheckpointEvery int
 	// Telemetry receives metrics; nil allocates a private collector.
 	Telemetry *telemetry.Collector
+	// Log receives the manager's structured log records (job lifecycle
+	// events plus the engine's own logging, tagged with the job id). Nil
+	// disables logging.
+	Log *obs.Logger
+	// TraceDir, when non-empty, enables span tracing for every job: each
+	// run exports a Chrome trace_event file <TraceDir>/<job-id>.trace.json
+	// on completion (loadable in chrome://tracing or Perfetto).
+	TraceDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -72,7 +83,7 @@ func (c Config) withDefaults() Config {
 		c.CheckpointEvery = 25
 	}
 	if c.Telemetry == nil {
-		c.Telemetry = telemetry.NewCollector()
+		c.Telemetry = telemetry.NewCollector(obs.EnginePhases()...)
 	}
 	return c
 }
@@ -81,6 +92,7 @@ func (c Config) withDefaults() Config {
 type Manager struct {
 	cfg Config
 	tel *telemetry.Collector
+	log *obs.Logger
 
 	// store is the durable job store; nil for an in-memory-only manager.
 	store *Store
@@ -136,6 +148,7 @@ func OpenManager(cfg Config) (*Manager, error) {
 	m := &Manager{
 		cfg:        cfg,
 		tel:        cfg.Telemetry,
+		log:        cfg.Log,
 		store:      store,
 		queue:      make(chan *job, cfg.QueueDepth+len(persisted)),
 		baseCtx:    ctx,
@@ -320,6 +333,29 @@ func (m *Manager) Trajectory(id string) ([]JobTrajectoryPoint, error) {
 	return out, nil
 }
 
+// TrajectoryAfter returns the job's trajectory points with Iter > after
+// (pass after = -1 for everything), plus whether the job has reached a
+// terminal state. The streaming trajectory endpoint polls this: filtering by
+// the monotonic Iter field stays correct even when the live buffer thins
+// itself in place (which shifts slice indices).
+func (m *Manager) TrajectoryAfter(id string, after int) ([]JobTrajectoryPoint, bool, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, false, ErrUnknownJob
+	}
+	pts, terminal := j.trajectoryAfter(after)
+	out := make([]JobTrajectoryPoint, len(pts))
+	for i, p := range pts {
+		out[i] = JobTrajectoryPoint{
+			Iter: p.Iter, Overflow: p.Overflow, HPWL: p.HPWL,
+			Objective: p.Objective, Param: p.Param, Lambda: p.Lambda,
+		}
+	}
+	return out, terminal, nil
+}
+
 // JobTrajectoryPoint is the JSON form of placer.TrajectoryPoint.
 type JobTrajectoryPoint struct {
 	Iter      int     `json:"iter"`
@@ -389,10 +425,53 @@ func (m *Manager) worker() {
 	}
 }
 
+// jobObserver builds the observability bundle for one job run: a logger
+// tagged with the job id, a tracer when TraceDir is set, and a metrics
+// registry whose latency sinks feed the shared Prometheus histograms.
+func (m *Manager) jobObserver(j *job) *obs.Observer {
+	met := obs.NewMetrics()
+	met.OnIteration = m.tel.IterationSeconds.Observe
+	met.OnPhase = m.tel.ObservePhase
+	o := &obs.Observer{
+		Log:     m.log.With("job", j.id),
+		Metrics: met,
+	}
+	if m.cfg.TraceDir != "" {
+		o.Trace = obs.NewTracer()
+	}
+	return o
+}
+
+// exportTrace writes a finished job's trace file (best-effort: a failed
+// export is logged, never fails the job).
+func (m *Manager) exportTrace(j *job, t *obs.Tracer) {
+	if t == nil {
+		return
+	}
+	path := filepath.Join(m.cfg.TraceDir, j.id+".trace.json")
+	if err := os.MkdirAll(m.cfg.TraceDir, 0o755); err != nil {
+		m.log.Warn("trace export failed", "job", j.id, "err", err)
+		return
+	}
+	f, err := os.Create(path)
+	if err == nil {
+		err = t.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		m.log.Warn("trace export failed", "job", j.id, "err", err)
+		return
+	}
+	m.log.Debug("trace exported", "job", j.id, "path", path, "spans", len(t.Events()), "dropped", t.Dropped())
+}
+
 // run executes one job's placement flow and records its terminal state.
 func (m *Manager) run(j *job) {
 	d, err := j.spec.buildDesign(m.cfg.AuxRoot)
 	if err != nil {
+		m.log.Warn("job rejected: bad design", "job", j.id, "err", err)
 		j.finish(StateFailed, nil, err.Error())
 		m.persist(j, "")
 		m.tel.JobsFailed.Inc()
@@ -408,6 +487,10 @@ func (m *Manager) run(j *job) {
 		m.tel.Iterations.Inc()
 		return true
 	}
+	o := m.jobObserver(j)
+	cfg.GP.Obs = o
+	defer m.exportTrace(j, o.Trace)
+	m.log.Info("job started", "job", j.id, "design", d.Name, "model", j.spec.modelName(), "resumes", j.resumes)
 	if m.store != nil {
 		// Durable mode: snapshot periodically into the job's directory,
 		// and warm-start recovered jobs from their latest snapshot. A
@@ -444,6 +527,8 @@ func (m *Manager) run(j *job) {
 		m.tel.LGSeconds.Observe(res.LGSeconds)
 		m.tel.DPSeconds.Observe(res.DPSeconds)
 		m.tel.TotalSeconds.Observe(res.TotalSeconds)
+		m.log.Info("job done", "job", j.id, "design", d.Name,
+			"hpwl", res.DPWL, "overflow", res.Overflow, "seconds", res.TotalSeconds)
 	case errors.Is(err, context.Canceled):
 		j.finish(StateCancelled, nil, "cancelled")
 		if m.isDraining() && !j.wasUserCancelled() {
@@ -452,18 +537,22 @@ func (m *Manager) run(j *job) {
 			// the engine just wrote on its way out.
 			m.persist(j, StateInterrupted)
 			m.tel.JobsInterrupted.Inc()
+			m.log.Info("job interrupted by drain", "job", j.id)
 		} else {
 			m.persist(j, "")
 			m.tel.JobsCancelled.Inc()
+			m.log.Info("job cancelled", "job", j.id)
 		}
 	case errors.Is(err, context.DeadlineExceeded):
 		j.finish(StateFailed, nil, "deadline exceeded")
 		m.persist(j, "")
 		m.tel.JobsFailed.Inc()
+		m.log.Warn("job failed: deadline exceeded", "job", j.id)
 	default:
 		j.finish(StateFailed, nil, err.Error())
 		m.persist(j, "")
 		m.tel.JobsFailed.Inc()
+		m.log.Warn("job failed", "job", j.id, "err", err)
 	}
 }
 

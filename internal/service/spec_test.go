@@ -6,7 +6,8 @@ import (
 )
 
 // TestPlacerSpecWorkers pins the JSON knob → placer.Config mapping for the
-// shared worker pool, including the deprecated wl_workers alias.
+// shared worker pool, including the deprecated wl_workers alias. Setting
+// both knobs to different values is ambiguous and rejected at validation.
 func TestPlacerSpecWorkers(t *testing.T) {
 	var spec JobSpec
 	body := `{"design": {"synth": {"cells": 100}}, "placer": {"workers": 4, "wl_workers": 2}}`
@@ -20,8 +21,16 @@ func TestPlacerSpecWorkers(t *testing.T) {
 	if cfg.WLWorkers != 2 {
 		t.Errorf("WLWorkers = %d, want 2", cfg.WLWorkers)
 	}
-	if err := spec.Validate(""); err != nil {
-		t.Fatalf("spec with workers failed validation: %v", err)
+	if err := spec.Validate(""); err == nil {
+		t.Fatal("spec with conflicting workers and wl_workers passed validation")
+	}
+
+	var agree JobSpec
+	if err := json.Unmarshal([]byte(`{"design": {"synth": {"cells": 100}}, "placer": {"workers": 4, "wl_workers": 4}}`), &agree); err != nil {
+		t.Fatal(err)
+	}
+	if err := agree.Validate(""); err != nil {
+		t.Fatalf("spec with agreeing workers knobs failed validation: %v", err)
 	}
 
 	var legacy JobSpec

@@ -66,6 +66,12 @@ func DurationBuckets() []float64 {
 	return []float64{0.005, 0.02, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300}
 }
 
+// EngineBuckets are latency bounds for per-iteration engine work, which is
+// orders of magnitude faster than whole jobs.
+func EngineBuckets() []float64 {
+	return []float64{1e-5, 5e-5, 2e-4, 1e-3, 5e-3, 0.02, 0.1, 0.5, 2, 10}
+}
+
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	idx := sort.SearchFloat64s(h.bounds, v)
@@ -114,16 +120,40 @@ type Collector struct {
 	DPSeconds    *Histogram
 	TotalSeconds *Histogram
 	QueueSeconds *Histogram // time from submit to start
+
+	// Engine-level latencies: one optimizer iteration, and the
+	// per-iteration phases keyed by obs phase name (wirelength gradient,
+	// density stamp, Poisson solve, field gather, optimizer step). The
+	// PhaseSeconds map is built once in NewCollector and never mutated, so
+	// concurrent ObservePhase calls need no locking.
+	IterationSeconds *Histogram
+	PhaseSeconds     map[string]*Histogram
 }
 
-// NewCollector returns a Collector with default histogram buckets.
-func NewCollector() *Collector {
-	return &Collector{
-		GPSeconds:    NewHistogram(DurationBuckets()...),
-		LGSeconds:    NewHistogram(DurationBuckets()...),
-		DPSeconds:    NewHistogram(DurationBuckets()...),
-		TotalSeconds: NewHistogram(DurationBuckets()...),
-		QueueSeconds: NewHistogram(DurationBuckets()...),
+// NewCollector returns a Collector with default histogram buckets. The
+// per-phase histograms cover the given phase names (obs.EnginePhases() for
+// the placement daemon).
+func NewCollector(phases ...string) *Collector {
+	c := &Collector{
+		GPSeconds:        NewHistogram(DurationBuckets()...),
+		LGSeconds:        NewHistogram(DurationBuckets()...),
+		DPSeconds:        NewHistogram(DurationBuckets()...),
+		TotalSeconds:     NewHistogram(DurationBuckets()...),
+		QueueSeconds:     NewHistogram(DurationBuckets()...),
+		IterationSeconds: NewHistogram(EngineBuckets()...),
+		PhaseSeconds:     make(map[string]*Histogram, len(phases)),
+	}
+	for _, p := range phases {
+		c.PhaseSeconds[p] = NewHistogram(EngineBuckets()...)
+	}
+	return c
+}
+
+// ObservePhase records one engine phase span. Phases not registered at
+// construction are dropped (the map is immutable for lock-free reads).
+func (c *Collector) ObservePhase(phase string, seconds float64) {
+	if h := c.PhaseSeconds[phase]; h != nil {
+		h.Observe(seconds)
 	}
 }
 
@@ -156,36 +186,40 @@ func (c *Collector) WritePrometheus(w io.Writer) {
 	gauge("placerd_last_hpwl", "Exact HPWL of the most recently finished job.", formatFloat(c.LastHPWL.Value()))
 	gauge("placerd_last_overflow", "Final density overflow of the most recently finished job.", formatFloat(c.LastOverflow.Value()))
 
-	c.writeHistogram(w, "placerd_stage_seconds", "Per-stage wall-clock latency in seconds.", map[string]*Histogram{
+	c.writeHistogram(w, "placerd_stage_seconds", "Per-stage wall-clock latency in seconds.", "stage", map[string]*Histogram{
 		"gp": c.GPSeconds, "lg": c.LGSeconds, "dp": c.DPSeconds,
 	})
-	c.writeHistogram(w, "placerd_job_seconds", "End-to-end job latency in seconds.", map[string]*Histogram{
+	c.writeHistogram(w, "placerd_job_seconds", "End-to-end job latency in seconds.", "", map[string]*Histogram{
 		"": c.TotalSeconds,
 	})
-	c.writeHistogram(w, "placerd_queue_wait_seconds", "Time jobs spent queued before starting.", map[string]*Histogram{
+	c.writeHistogram(w, "placerd_queue_wait_seconds", "Time jobs spent queued before starting.", "", map[string]*Histogram{
 		"": c.QueueSeconds,
 	})
+	c.writeHistogram(w, "placerd_gp_iteration_seconds", "Wall-clock latency of one optimizer iteration.", "", map[string]*Histogram{
+		"": c.IterationSeconds,
+	})
+	c.writeHistogram(w, "placerd_gp_phase_seconds", "Per-iteration engine phase latency in seconds.", "phase", c.PhaseSeconds)
 }
 
-// writeHistogram renders one histogram family; label keys become a
-// stage="..." label (empty key = no label).
-func (c *Collector) writeHistogram(w io.Writer, name, help string, hs map[string]*Histogram) {
+// writeHistogram renders one histogram family; map keys become a
+// labelKey="..." label (empty key = no label).
+func (c *Collector) writeHistogram(w io.Writer, name, help, labelKey string, hs map[string]*Histogram) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
-	stages := make([]string, 0, len(hs))
+	keys := make([]string, 0, len(hs))
 	for s := range hs {
-		stages = append(stages, s)
+		keys = append(keys, s)
 	}
-	sort.Strings(stages)
-	for _, stage := range stages {
-		h := hs[stage]
+	sort.Strings(keys)
+	for _, key := range keys {
+		h := hs[key]
 		if h == nil {
 			continue
 		}
 		labels := func(le string) string {
-			if stage == "" {
+			if key == "" || labelKey == "" {
 				return fmt.Sprintf("{le=%q}", le)
 			}
-			return fmt.Sprintf("{stage=%q,le=%q}", stage, le)
+			return fmt.Sprintf("{%s=%q,le=%q}", labelKey, key, le)
 		}
 		cum := int64(0)
 		for i, b := range h.bounds {
@@ -195,8 +229,8 @@ func (c *Collector) writeHistogram(w io.Writer, name, help string, hs map[string
 		cum += h.counts[len(h.bounds)].Load()
 		fmt.Fprintf(w, "%s_bucket%s %d\n", name, labels("+Inf"), cum)
 		suffix := ""
-		if stage != "" {
-			suffix = fmt.Sprintf("{stage=%q}", stage)
+		if key != "" && labelKey != "" {
+			suffix = fmt.Sprintf("{%s=%q}", labelKey, key)
 		}
 		fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, formatFloat(h.Sum()))
 		fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.Count())

@@ -90,6 +90,121 @@ func TestWritePrometheusFormat(t *testing.T) {
 	}
 }
 
+// TestHistogramExactExposition pins the exact Prometheus text a histogram
+// family renders: HELP/TYPE header, cumulative buckets (each le includes
+// everything below it), the +Inf bucket equal to the total count, and the
+// sum/count pair.
+func TestHistogramExactExposition(t *testing.T) {
+	c := &Collector{}
+	h := NewHistogram(0.5, 2)
+	for _, v := range []float64{0.1, 0.5, 1, 3} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	c.writeHistogram(&sb, "x_seconds", "Help text.", "stage", map[string]*Histogram{"gp": h})
+	want := `# HELP x_seconds Help text.
+# TYPE x_seconds histogram
+x_seconds_bucket{stage="gp",le="0.5"} 2
+x_seconds_bucket{stage="gp",le="2"} 3
+x_seconds_bucket{stage="gp",le="+Inf"} 4
+x_seconds_sum{stage="gp"} 4.6
+x_seconds_count{stage="gp"} 4
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition:\n got %q\nwant %q", got, want)
+	}
+
+	// Without a label key the series carry no labels beyond le.
+	sb.Reset()
+	c.writeHistogram(&sb, "y_seconds", "H.", "", map[string]*Histogram{"": h})
+	for _, line := range []string{
+		`y_seconds_bucket{le="+Inf"} 4`, "y_seconds_sum 4.6", "y_seconds_count 4",
+	} {
+		if !strings.Contains(sb.String(), line) {
+			t.Errorf("unlabeled exposition missing %q\n%s", line, sb.String())
+		}
+	}
+}
+
+// TestHistogramInfBucket: values above every bound land only in +Inf; the
+// +Inf cumulative count always equals Count().
+func TestHistogramInfBucket(t *testing.T) {
+	h := NewHistogram(1)
+	h.Observe(100)
+	h.Observe(1e18)
+	if got := h.counts[0].Load(); got != 0 {
+		t.Errorf("finite bucket = %d, want 0", got)
+	}
+	if got := h.counts[1].Load(); got != 2 {
+		t.Errorf("+Inf bucket = %d, want 2", got)
+	}
+	if got := h.Count(); got != 2 {
+		t.Errorf("count = %d, want 2", got)
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many goroutines
+// with values spread across buckets; meaningful under -race, and the CAS
+// float sum must not lose updates.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	vals := []float64{0.5, 5, 50, 500}
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(vals[(w+i)%len(vals)])
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Errorf("count = %d, want %d", got, workers*per)
+	}
+	perBucket := int64(workers * per / len(vals))
+	for i := range vals {
+		if got := h.counts[i].Load(); got != perBucket {
+			t.Errorf("bucket %d = %d, want %d", i, got, perBucket)
+		}
+	}
+	wantSum := float64(workers*per/len(vals)) * (0.5 + 5 + 50 + 500)
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6 {
+		t.Errorf("sum = %g, want %g (CAS lost updates)", got, wantSum)
+	}
+}
+
+// TestEngineHistograms covers the iteration-latency and per-phase families
+// added for the placement engine.
+func TestEngineHistograms(t *testing.T) {
+	c := NewCollector("wirelength", "poisson-solve")
+	c.IterationSeconds.Observe(0.01)
+	c.ObservePhase("wirelength", 0.002)
+	c.ObservePhase("wirelength", 0.004)
+	c.ObservePhase("poisson-solve", 0.008)
+	c.ObservePhase("unregistered", 1) // silently dropped
+
+	var sb strings.Builder
+	c.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE placerd_gp_iteration_seconds histogram",
+		"placerd_gp_iteration_seconds_count 1",
+		`placerd_gp_phase_seconds_count{phase="wirelength"} 2`,
+		`placerd_gp_phase_seconds_count{phase="poisson-solve"} 1`,
+		`placerd_gp_phase_seconds_bucket{phase="wirelength",le="+Inf"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "unregistered") {
+		t.Error("unregistered phase leaked into the exposition")
+	}
+}
+
 // TestConcurrentUpdates exercises every metric type from many goroutines;
 // meaningful under `go test -race`.
 func TestConcurrentUpdates(t *testing.T) {

@@ -7,7 +7,15 @@ import "repro/internal/moreau"
 // gradient is the exact envelope gradient of Corollary 1, which the +t
 // offset does not affect.
 func NewMoreauKernel() Kernel {
+	return NewMoreauKernelStats(nil)
+}
+
+// NewMoreauKernelStats is NewMoreauKernel with an optional shared branch
+// counter; each kernel instance gets private sort scratch but all feed the
+// same atomic Stats. stats == nil disables counting.
+func NewMoreauKernelStats(stats *moreau.Stats) Kernel {
 	ev := moreau.NewEvaluator(64)
+	ev.Stats = stats
 	return func(x []float64, t float64, grad []float64) float64 {
 		checkKernelArgs(x, t)
 		r := ev.EnvelopeGrad(x, t, grad)
@@ -24,4 +32,10 @@ func NetMoreau(x []float64, t float64, grad []float64) float64 {
 // NewMoreau returns the Moreau-envelope wirelength model ("ME", ours).
 func NewMoreau() Model {
 	return NewKernelModel("ME", ParamMoreauT, NewMoreauKernel())
+}
+
+// NewMoreauStats is NewMoreau with a shared branch counter (see
+// NewMoreauKernelStats).
+func NewMoreauStats(stats *moreau.Stats) Model {
+	return NewKernelModel("ME", ParamMoreauT, NewMoreauKernelStats(stats))
 }

@@ -3,6 +3,7 @@ package wirelength
 import (
 	"fmt"
 
+	"repro/internal/moreau"
 	"repro/internal/netlist"
 	"repro/internal/parallel"
 )
@@ -63,7 +64,13 @@ func Parallelize(m Model, workers int, factory func() Kernel) (Model, error) {
 
 // ParallelByName builds a parallel version of a named model.
 func ParallelByName(name string, workers int) (Model, error) {
-	base, err := ByName(name)
+	return ParallelByNameStats(name, workers, nil)
+}
+
+// ParallelByNameStats is ParallelByName with an optional Moreau branch
+// counter shared across every worker's evaluator (see ByNameStats).
+func ParallelByNameStats(name string, workers int, stats *moreau.Stats) (Model, error) {
+	base, err := ByNameStats(name, stats)
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +85,7 @@ func ParallelByName(name string, workers int) (Model, error) {
 	case "BiG_WA", "big_wa", "BIG_WA":
 		factory = NewBiGWAKernel
 	case "ME", "me", "moreau", "Moreau":
-		factory = NewMoreauKernel
+		factory = func() Kernel { return NewMoreauKernelStats(stats) }
 	case "HPWL", "hpwl":
 		factory = func() Kernel { return NetHPWL }
 	}

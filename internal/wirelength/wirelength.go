@@ -22,6 +22,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/moreau"
 	"repro/internal/netlist"
 )
 
@@ -198,6 +199,14 @@ func (m *kernelModel) WirelengthGrad(d *netlist.Design, p float64, gradX, gradY 
 // "LSE", "WA", "BiG_CHKS", "ME" (ours), or "HPWL" (exact subgradient
 // reference). The lookup is case-insensitive on these exact names.
 func ByName(name string) (Model, error) {
+	return ByNameStats(name, nil)
+}
+
+// ByNameStats is ByName with an optional Moreau branch counter: when stats
+// is non-nil and the model is the Moreau envelope, its evaluator reports
+// branch statistics (evaluations, degenerate collapses, large sorts) into
+// stats. Other models ignore stats.
+func ByNameStats(name string, stats *moreau.Stats) (Model, error) {
 	switch name {
 	case "LSE", "lse":
 		return NewLSE(), nil
@@ -208,7 +217,7 @@ func ByName(name string) (Model, error) {
 	case "BiG_WA", "big_wa", "BIG_WA":
 		return NewBiGWA(), nil
 	case "ME", "me", "moreau", "Moreau":
-		return NewMoreau(), nil
+		return NewMoreauStats(stats), nil
 	case "HPWL", "hpwl":
 		return NewKernelModel("HPWL", ParamGamma, NetHPWL), nil
 	}
