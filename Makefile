@@ -3,9 +3,9 @@ GO ?= go
 # Each PR writes its own trajectory file so earlier ones stay comparable.
 BENCH ?= BENCH_PR4.json
 
-.PHONY: check fmt vet build test race bench cover placerd trace-demo
+.PHONY: check fmt vet build test race fuzz-seeds fuzz bench cover placerd trace-demo
 
-check: fmt vet build test race
+check: fmt vet build test race fuzz-seeds
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -23,16 +23,30 @@ test:
 	$(GO) test ./...
 
 # The job manager (now including the durable store), the checkpoint codec,
-# telemetry, engine cancellation, and every parallel evaluation path (worker
-# pool, density pipeline, wirelength reduction) must be clean under the race
-# detector; the placer/density/wirelength suites include the
-# parallel-vs-serial equivalence tests, and the service suite includes the
-# kill-and-recover tests.
+# telemetry, engine cancellation, the numerical-health guard, the fault
+# injection harness, and every parallel evaluation path (worker pool, density
+# pipeline, wirelength reduction) must be clean under the race detector; the
+# placer/density/wirelength suites include the parallel-vs-serial equivalence
+# tests, and the service suite includes the kill-and-recover and
+# panic-isolation tests.
 race:
 	$(GO) test -race ./internal/service/... ./internal/placer/... \
 		./internal/checkpoint/... ./internal/density/... \
 		./internal/wirelength/... ./internal/parallel/... \
-		./internal/obs/...
+		./internal/obs/... ./internal/guard/... ./internal/faultinject/...
+
+# fuzz-seeds replays the FuzzParse seed corpus as regular tests (regression
+# mode, no exploration) so `make check` keeps the known-hostile Bookshelf
+# inputs covered without the open-ended fuzzing time.
+fuzz-seeds:
+	$(GO) test -run=FuzzParse ./internal/bookshelf/
+
+# fuzz explores: feed the Bookshelf parsers random inputs for a bounded time.
+# Any crasher is written to internal/bookshelf/testdata/fuzz/ — commit it as
+# a permanent regression seed after fixing.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/bookshelf/
 
 # bench refreshes the machine-readable perf trajectory: every benchmark runs
 # once and $(BENCH) records ns/op + allocs/op per benchmark plus the

@@ -17,6 +17,12 @@
 // the same design, model, and worker count it finishes bit-identically to a
 // never-interrupted run.
 //
+// With -guard the loop watches its own numerical health every iteration
+// (finite positions, bounded HPWL growth, overflow progress) and rolls back
+// to a recent in-memory snapshot on a violation, retrying with a shrunken
+// step; a run that cannot recover exits 3 with a divergence report instead
+// of emitting NaN positions.
+//
 // With -trace the run records one span per engine phase per iteration and
 // writes them on exit: a path ending in .jsonl gets line-delimited JSON,
 // anything else gets Chrome trace_event JSON for chrome://tracing or
@@ -40,6 +46,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/congestion"
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/placer"
@@ -70,6 +77,8 @@ func main() {
 		ckptDir = flag.String("checkpoint", "", "write placement snapshots into this directory")
 		ckptEv  = flag.Int("checkpoint-every", 50, "snapshot cadence in GP iterations (with -checkpoint)")
 		resume  = flag.Bool("resume", false, "warm-start from the latest snapshot in -checkpoint")
+		guardOn = flag.Bool("guard", false, "enable the numerical-health guard (divergence detection + rollback)")
+		guardRt = flag.Int("guard-retries", 0, "guard rollback budget per divergence episode (0 = default)")
 		traceTo = flag.String("trace", "", "write a span trace to this file (.jsonl = JSONL, else Chrome trace JSON)")
 		logFmt  = flag.String("log-format", "text", "log encoding: text or json")
 		logLvl  = flag.String("log-level", "warn", "log level: debug, info, warn, error")
@@ -119,13 +128,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "placer: -resume needs -checkpoint to know where the snapshots are")
 			os.Exit(1)
 		}
-		snap, path, err := checkpoint.LoadLatest(*ckptDir)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "placer: resume: %v\n", err)
-			os.Exit(1)
-		}
-		cfg.GP.Resume = snap
-		fmt.Printf("resuming from %s (iteration %d)\n", path, snap.Iter)
+		// ResumeDir skips corrupt and fingerprint-mismatched snapshots and
+		// degrades to a cold start when nothing usable is left.
+		cfg.GP.ResumeDir = *ckptDir
+	}
+	if *guardOn {
+		cfg.GP.Guard = &guard.Config{MaxRetries: *guardRt}
+	}
+	// Transient snapshot-write failures are retried with backoff; surface
+	// each retry as a warning so flaky storage is visible.
+	checkpoint.OnWriteRetry = func(path string, attempt int, err error) {
+		logger.Warn("checkpoint write retried", "path", path, "attempt", attempt, "err", err)
 	}
 
 	// Ctrl-C / SIGTERM cancels the flow at the next placement iteration;
@@ -150,8 +163,21 @@ func main() {
 			}
 			os.Exit(130)
 		}
+		var de *guard.DivergenceError
+		if errors.As(err, &de) {
+			fmt.Fprintf(os.Stderr, "placer: %v\n", err)
+			fmt.Fprintf(os.Stderr, "placer: the design was left at the last good iteration (%d); rerun with -log-level debug for the violation history\n", de.LastGood)
+			os.Exit(3)
+		}
 		fmt.Fprintf(os.Stderr, "placer: %v\n", err)
 		os.Exit(1)
+	}
+	if res.ResumedFrom > 0 {
+		fmt.Printf("resumed from snapshot at iteration %d\n", res.ResumedFrom)
+	}
+	if res.GuardTrips > 0 {
+		fmt.Printf("guard: %d trips, %d rollbacks, %d recoveries\n",
+			res.GuardTrips, res.GuardRollbacks, res.GuardRecoveries)
 	}
 	if *verbose {
 		fmt.Println("iter  overflow  hpwl        param      lambda")

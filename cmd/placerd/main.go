@@ -42,8 +42,10 @@ import (
 
 	"flag"
 
+	"repro/internal/checkpoint"
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/service/telemetry"
 )
 
 func main() {
@@ -86,6 +88,14 @@ func run(argv []string) error {
 		return err
 	}
 
+	// Count and log transient snapshot-write retries across all jobs.
+	// Installed before OpenManager so recovery-time writes are covered too.
+	tel := telemetry.NewCollector(obs.EnginePhases()...)
+	checkpoint.OnWriteRetry = func(path string, attempt int, err error) {
+		tel.CheckpointRetries.Inc()
+		logger.Warn("checkpoint write retried", "path", path, "attempt", attempt, "err", err)
+	}
+
 	mgr, err := service.OpenManager(service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -94,6 +104,7 @@ func run(argv []string) error {
 		AuxRoot:         *auxRoot,
 		DataDir:         *dataDir,
 		CheckpointEvery: *ckptEvery,
+		Telemetry:       tel,
 		Log:             logger,
 		TraceDir:        *traceDir,
 	})

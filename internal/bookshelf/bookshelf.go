@@ -11,6 +11,7 @@ package bookshelf
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -20,6 +21,27 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+)
+
+// Typed parse failures. errors.Is(err, ErrFormat) marks malformed input;
+// errors.Is(err, ErrLimit) marks input that is structurally parseable but
+// exceeds the parser's safety limits (hostile or corrupt files must not be
+// able to make the reader allocate or loop without bound).
+var (
+	ErrFormat = errors.New("malformed bookshelf input")
+	ErrLimit  = errors.New("bookshelf input exceeds parser limits")
+)
+
+const (
+	// maxLineBytes bounds one input line; longer lines fail with ErrLimit
+	// instead of growing the scanner buffer.
+	maxLineBytes = 1 << 20
+	// maxLineTokens bounds whitespace-separated tokens on one line. Real
+	// Bookshelf lines carry at most a handful.
+	maxLineTokens = 1024
+	// maxDeclaredCount bounds NumNodes/NumNets/NumPins/NetDegree headers, so
+	// a hostile header cannot demand absurd work.
+	maxDeclaredCount = 1 << 26
 )
 
 // Files names the five Bookshelf members of one design.
@@ -141,7 +163,7 @@ func ReadFiles(name string, f Files) (*netlist.Design, error) {
 // scanner wraps bufio.Scanner with comment/blank skipping.
 func newScanner(r io.Reader) *bufio.Scanner {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
 	return sc
 }
 
@@ -156,40 +178,107 @@ func contentLine(sc *bufio.Scanner) (string, bool) {
 	return "", false
 }
 
+// scanErr converts scanner failures into typed errors (an over-long line
+// surfaces as bufio.ErrTooLong and becomes ErrLimit).
+func scanErr(sc *bufio.Scanner, path string) error {
+	err := sc.Err()
+	if errors.Is(err, bufio.ErrTooLong) {
+		return fmt.Errorf("%w: %s: line longer than %d bytes", ErrLimit, path, maxLineBytes)
+	}
+	return err
+}
+
+// splitFields tokenizes one line under the token cap.
+func splitFields(line, path string) ([]string, error) {
+	f := strings.Fields(line)
+	if len(f) > maxLineTokens {
+		return nil, fmt.Errorf("%w: %s: %d tokens on one line (max %d)", ErrLimit, path, len(f), maxLineTokens)
+	}
+	return f, nil
+}
+
+// headerCount parses the N of a "NumNodes : N"-style header line.
+func headerCount(line, path string) (int, error) {
+	_, val, ok := strings.Cut(line, ":")
+	fs := strings.Fields(val)
+	if !ok || len(fs) == 0 {
+		return 0, fmt.Errorf("%w: %s: bad count header %q", ErrFormat, path, line)
+	}
+	n, err := strconv.Atoi(fs[0])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("%w: %s: bad count header %q", ErrFormat, path, line)
+	}
+	if n > maxDeclaredCount {
+		return 0, fmt.Errorf("%w: %s: declared count %d (max %d)", ErrLimit, path, n, maxDeclaredCount)
+	}
+	return n, nil
+}
+
 func readNodes(path string) (map[string]node, []string, error) {
 	fh, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer fh.Close()
-	sc := newScanner(fh)
+	return parseNodes(fh, path)
+}
+
+func parseNodes(r io.Reader, path string) (map[string]node, []string, error) {
+	sc := newScanner(r)
 	nodes := map[string]node{}
 	var order []string
+	declared := -1
 	for {
 		line, ok := contentLine(sc)
 		if !ok {
 			break
 		}
-		if strings.HasPrefix(line, "NumNodes") || strings.HasPrefix(line, "NumTerminals") {
+		if strings.HasPrefix(line, "NumNodes") {
+			n, err := headerCount(line, path)
+			if err != nil {
+				return nil, nil, err
+			}
+			declared = n
 			continue
 		}
-		fields := strings.Fields(line)
+		if strings.HasPrefix(line, "NumTerminals") {
+			if _, err := headerCount(line, path); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		fields, err := splitFields(line, path)
+		if err != nil {
+			return nil, nil, err
+		}
 		if len(fields) < 3 {
-			return nil, nil, fmt.Errorf("bookshelf: %s: bad node line %q", path, line)
+			return nil, nil, fmt.Errorf("%w: %s: bad node line %q", ErrFormat, path, line)
 		}
 		w, err1 := strconv.ParseFloat(fields[1], 64)
 		h, err2 := strconv.ParseFloat(fields[2], 64)
 		if err1 != nil || err2 != nil {
-			return nil, nil, fmt.Errorf("bookshelf: %s: bad node size %q", path, line)
+			return nil, nil, fmt.Errorf("%w: %s: bad node size %q", ErrFormat, path, line)
 		}
 		nd := node{name: fields[0], w: w, h: h}
 		if len(fields) > 3 && strings.EqualFold(fields[3], "terminal") {
 			nd.terminal = true
 		}
+		if _, dup := nodes[nd.name]; dup {
+			return nil, nil, fmt.Errorf("%w: %s: duplicate node %q", ErrFormat, path, nd.name)
+		}
+		if declared >= 0 && len(order) >= declared {
+			return nil, nil, fmt.Errorf("%w: %s: more nodes than the declared %d", ErrFormat, path, declared)
+		}
 		nodes[nd.name] = nd
 		order = append(order, nd.name)
 	}
-	return nodes, order, sc.Err()
+	if err := scanErr(sc, path); err != nil {
+		return nil, nil, err
+	}
+	if declared >= 0 && len(order) != declared {
+		return nil, nil, fmt.Errorf("%w: %s: declared %d nodes, found %d", ErrFormat, path, declared, len(order))
+	}
+	return nodes, order, nil
 }
 
 func readPl(path string) (map[string][2]float64, map[string]bool, error) {
@@ -198,7 +287,11 @@ func readPl(path string) (map[string][2]float64, map[string]bool, error) {
 		return nil, nil, err
 	}
 	defer fh.Close()
-	sc := newScanner(fh)
+	return parsePl(fh, path)
+}
+
+func parsePl(r io.Reader, path string) (map[string][2]float64, map[string]bool, error) {
+	sc := newScanner(r)
 	pos := map[string][2]float64{}
 	fixed := map[string]bool{}
 	for {
@@ -206,68 +299,112 @@ func readPl(path string) (map[string][2]float64, map[string]bool, error) {
 		if !ok {
 			break
 		}
-		fields := strings.Fields(line)
+		fields, err := splitFields(line, path)
+		if err != nil {
+			return nil, nil, err
+		}
 		if len(fields) < 3 {
 			continue
 		}
 		x, err1 := strconv.ParseFloat(fields[1], 64)
 		y, err2 := strconv.ParseFloat(fields[2], 64)
 		if err1 != nil || err2 != nil {
-			return nil, nil, fmt.Errorf("bookshelf: %s: bad pl line %q", path, line)
+			return nil, nil, fmt.Errorf("%w: %s: bad pl line %q", ErrFormat, path, line)
 		}
 		pos[fields[0]] = [2]float64{x, y}
 		if strings.Contains(line, "/FIXED") {
 			fixed[fields[0]] = true
 		}
 	}
-	return pos, fixed, sc.Err()
+	return pos, fixed, scanErr(sc, path)
 }
 
 func readNets(path, wtsPath string, b *netlist.Builder, nodes map[string]node) error {
-	weights := map[string]float64{}
-	if wtsPath != "" {
-		if fh, err := os.Open(wtsPath); err == nil {
-			sc := newScanner(fh)
-			for {
-				line, ok := contentLine(sc)
-				if !ok {
-					break
-				}
-				fields := strings.Fields(line)
-				if len(fields) == 2 {
-					if w, err := strconv.ParseFloat(fields[1], 64); err == nil {
-						weights[fields[0]] = w
-					}
-				}
-			}
-			fh.Close()
-		}
-	}
+	weights := readWts(wtsPath)
 	fh, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer fh.Close()
+	return parseNets(fh, path, weights, b, nodes)
+}
+
+// readWts loads the optional net-weight file; any problem (missing file,
+// malformed line) degrades to default weights, matching contest practice.
+func readWts(path string) map[string]float64 {
+	weights := map[string]float64{}
+	if path == "" {
+		return weights
+	}
+	fh, err := os.Open(path)
+	if err != nil {
+		return weights
+	}
+	defer fh.Close()
 	sc := newScanner(fh)
-	netIdx := -1
-	remaining := 0
 	for {
 		line, ok := contentLine(sc)
 		if !ok {
 			break
 		}
-		if strings.HasPrefix(line, "NumNets") || strings.HasPrefix(line, "NumPins") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 {
+			if w, err := strconv.ParseFloat(fields[1], 64); err == nil {
+				weights[fields[0]] = w
+			}
+		}
+	}
+	return weights
+}
+
+func parseNets(r io.Reader, path string, weights map[string]float64, b *netlist.Builder, nodes map[string]node) error {
+	sc := newScanner(r)
+	netIdx := -1
+	remaining := 0
+	declaredNets, declaredPins := -1, -1
+	numNets, numPins := 0, 0
+	for {
+		line, ok := contentLine(sc)
+		if !ok {
+			break
+		}
+		if strings.HasPrefix(line, "NumNets") {
+			n, err := headerCount(line, path)
+			if err != nil {
+				return err
+			}
+			declaredNets = n
+			continue
+		}
+		if strings.HasPrefix(line, "NumPins") {
+			n, err := headerCount(line, path)
+			if err != nil {
+				return err
+			}
+			declaredPins = n
 			continue
 		}
 		if strings.HasPrefix(line, "NetDegree") {
+			if remaining > 0 {
+				return fmt.Errorf("%w: %s: net truncated (%d pins missing before %q)", ErrFormat, path, remaining, line)
+			}
 			// "NetDegree : d [name]"
-			fields := strings.Fields(line)
+			fields, err := splitFields(line, path)
+			if err != nil {
+				return err
+			}
 			if len(fields) < 3 {
-				return fmt.Errorf("bookshelf: %s: bad NetDegree line %q", path, line)
+				return fmt.Errorf("%w: %s: bad NetDegree line %q", ErrFormat, path, line)
 			}
 			deg, err := strconv.Atoi(fields[2])
-			if err != nil {
-				return fmt.Errorf("bookshelf: %s: bad degree %q", path, line)
+			if err != nil || deg < 0 {
+				return fmt.Errorf("%w: %s: bad degree %q", ErrFormat, path, line)
+			}
+			if deg > maxDeclaredCount {
+				return fmt.Errorf("%w: %s: net degree %d (max %d)", ErrLimit, path, deg, maxDeclaredCount)
+			}
+			if declaredNets >= 0 && numNets >= declaredNets {
+				return fmt.Errorf("%w: %s: more nets than the declared %d", ErrFormat, path, declaredNets)
 			}
 			name := fmt.Sprintf("net%d", netIdx+1)
 			if len(fields) > 3 {
@@ -278,17 +415,21 @@ func readNets(path, wtsPath string, b *netlist.Builder, nodes map[string]node) e
 				w = ww
 			}
 			netIdx = b.AddNet(name, w)
+			numNets++
 			remaining = deg
 			continue
 		}
 		if remaining <= 0 {
-			return fmt.Errorf("bookshelf: %s: pin line %q outside a net", path, line)
+			return fmt.Errorf("%w: %s: pin line %q outside a net", ErrFormat, path, line)
 		}
 		// "nodename I/O/B : dx dy" (offsets from node center; optional)
-		fields := strings.Fields(line)
+		fields, err := splitFields(line, path)
+		if err != nil {
+			return err
+		}
 		ci, ok2 := b.CellIndex(fields[0])
 		if !ok2 {
-			return fmt.Errorf("bookshelf: %s: pin references unknown node %q", path, fields[0])
+			return fmt.Errorf("%w: %s: pin references unknown node %q", ErrFormat, path, fields[0])
 		}
 		nd := nodes[fields[0]]
 		dx, dy := 0.0, 0.0
@@ -296,15 +437,31 @@ func readNets(path, wtsPath string, b *netlist.Builder, nodes map[string]node) e
 			dxv, err1 := strconv.ParseFloat(fields[colon+1], 64)
 			dyv, err2 := strconv.ParseFloat(fields[colon+2], 64)
 			if err1 != nil || err2 != nil {
-				return fmt.Errorf("bookshelf: %s: bad pin offsets %q", path, line)
+				return fmt.Errorf("%w: %s: bad pin offsets %q", ErrFormat, path, line)
 			}
 			dx, dy = dxv, dyv
 		}
+		if declaredPins >= 0 && numPins >= declaredPins {
+			return fmt.Errorf("%w: %s: more pins than the declared %d", ErrFormat, path, declaredPins)
+		}
 		// Center-relative -> lower-left-relative.
 		b.AddPin(netIdx, ci, dx+nd.w/2, dy+nd.h/2)
+		numPins++
 		remaining--
 	}
-	return sc.Err()
+	if err := scanErr(sc, path); err != nil {
+		return err
+	}
+	if remaining > 0 {
+		return fmt.Errorf("%w: %s: last net truncated (%d pins missing)", ErrFormat, path, remaining)
+	}
+	if declaredNets >= 0 && numNets != declaredNets {
+		return fmt.Errorf("%w: %s: declared %d nets, found %d", ErrFormat, path, declaredNets, numNets)
+	}
+	if declaredPins >= 0 && numPins != declaredPins {
+		return fmt.Errorf("%w: %s: declared %d pins, found %d", ErrFormat, path, declaredPins, numPins)
+	}
+	return nil
 }
 
 func indexOf(fields []string, tok string) int {
@@ -322,7 +479,11 @@ func readScl(path string) ([]netlist.Row, geom.Rect, error) {
 		return nil, geom.Rect{}, err
 	}
 	defer fh.Close()
-	sc := newScanner(fh)
+	return parseScl(fh, path)
+}
+
+func parseScl(r io.Reader, path string) ([]netlist.Row, geom.Rect, error) {
+	sc := newScanner(r)
 	var rows []netlist.Row
 	var cur *netlist.Row
 	var numSites float64
@@ -352,11 +513,12 @@ func readScl(path string) ([]netlist.Row, geom.Rect, error) {
 			flush()
 		case cur != nil:
 			key, val, found := strings.Cut(low, ":")
-			if !found {
-				continue
+			vf := strings.Fields(val)
+			if !found || len(vf) == 0 {
+				continue // "key :" with no value: ignore, don't panic
 			}
 			key = strings.TrimSpace(key)
-			v, err := strconv.ParseFloat(strings.Fields(val)[0], 64)
+			v, err := strconv.ParseFloat(vf[0], 64)
 			if err != nil {
 				continue
 			}
@@ -375,5 +537,5 @@ func readScl(path string) ([]netlist.Row, geom.Rect, error) {
 		}
 	}
 	flush()
-	return rows, region, sc.Err()
+	return rows, region, scanErr(sc, path)
 }

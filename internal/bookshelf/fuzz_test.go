@@ -1,0 +1,150 @@
+package bookshelf
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// typedOrNil fails the test when a parser returned an error outside the
+// package's typed taxonomy: every parse failure must be ErrFormat or
+// ErrLimit, never a raw strconv/bufio error or — worse — a panic upstream.
+func typedOrNil(t *testing.T, err error, what string) {
+	t.Helper()
+	if err != nil && !errors.Is(err, ErrFormat) && !errors.Is(err, ErrLimit) {
+		t.Errorf("%s returned an untyped error: %v", what, err)
+	}
+}
+
+// fuzzParseAll drives every reader-based parser over one input. parseNets
+// needs a builder populated with the parsed nodes; when the nodes parse
+// fails it runs against an empty builder (exercising the unknown-node path).
+func fuzzParseAll(t *testing.T, data []byte) {
+	nodes, order, err := parseNodes(bytes.NewReader(data), "fuzz.nodes")
+	typedOrNil(t, err, "parseNodes")
+	if err != nil {
+		nodes, order = map[string]node{}, nil
+	}
+	_, _, err = parsePl(bytes.NewReader(data), "fuzz.pl")
+	typedOrNil(t, err, "parsePl")
+
+	b := netlist.NewBuilder("fuzz")
+	for _, nm := range order {
+		nd := nodes[nm]
+		b.AddCell(nm, netlist.Movable, nd.w, nd.h, 0, 0)
+	}
+	err = parseNets(bytes.NewReader(data), "fuzz.nets", map[string]float64{}, b, nodes)
+	typedOrNil(t, err, "parseNets")
+
+	_, _, err = parseScl(bytes.NewReader(data), "fuzz.scl")
+	typedOrNil(t, err, "parseScl")
+}
+
+// FuzzParse feeds arbitrary bytes through all four Bookshelf parsers. The
+// property under test: no panic, no unbounded allocation, and every failure
+// is a typed error. `make fuzz` explores; `make check` replays the seeds.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// Valid members of a tiny design.
+		"UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 1\na 2 1\npad 0 0 terminal\n",
+		"UCLA nets 1.0\nNumNets : 1\nNumPins : 2\nNetDegree : 2 n0\na I : 0.5 0.25\npad O : 0 0\n",
+		"UCLA pl 1.0\na 1 2 : N\npad 0 20 : N /FIXED\n",
+		"UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\nCoordinate : 0\nHeight : 1\nSitewidth : 1\nNumSites : 20\nSubrowOrigin : 0\nEnd\n",
+		// Edge shapes that used to be (or could become) crashes.
+		"CoreRow Horizontal\nCoordinate :\nEnd\n", // valueless key: former panic
+		"NumNodes : -1\n",
+		"NumNodes : 99999999999999999999\n",
+		"NetDegree : 3 n0\na I : 0 0\n", // truncated net
+		"a 1\n",                         // short node line
+		"a x y\n",                       // non-numeric size
+		"",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(fuzzParseAll)
+}
+
+func TestParseLimits(t *testing.T) {
+	// Declared count beyond the cap is ErrLimit, not an allocation attempt.
+	_, _, err := parseNodes(strings.NewReader("NumNodes : 999999999\n"), "t.nodes")
+	if !errors.Is(err, ErrLimit) {
+		t.Errorf("oversized NumNodes: err = %v, want ErrLimit", err)
+	}
+
+	// A single line longer than the scanner cap is ErrLimit.
+	long := strings.Repeat("x", maxLineBytes+16)
+	_, _, err = parseNodes(strings.NewReader(long), "t.nodes")
+	if !errors.Is(err, ErrLimit) {
+		t.Errorf("overlong line: err = %v, want ErrLimit", err)
+	}
+
+	// A token flood on one line is ErrLimit.
+	flood := strings.Repeat("a ", maxLineTokens+8) + "\n"
+	_, _, err = parsePl(strings.NewReader(flood), "t.pl")
+	if !errors.Is(err, ErrLimit) {
+		t.Errorf("token flood: err = %v, want ErrLimit", err)
+	}
+
+	// Hostile NetDegree is ErrLimit.
+	b := netlist.NewBuilder("t")
+	err = parseNets(strings.NewReader("NetDegree : 134217729 n0\n"), "t.nets", nil, b, nil)
+	if !errors.Is(err, ErrLimit) {
+		t.Errorf("huge NetDegree: err = %v, want ErrLimit", err)
+	}
+}
+
+func TestParseDeclaredCountMismatch(t *testing.T) {
+	// Fewer nodes than declared.
+	_, _, err := parseNodes(strings.NewReader("NumNodes : 3\na 1 1\nb 1 1\n"), "t.nodes")
+	if !errors.Is(err, ErrFormat) {
+		t.Errorf("undercount: err = %v, want ErrFormat", err)
+	}
+	// More nodes than declared.
+	_, _, err = parseNodes(strings.NewReader("NumNodes : 1\na 1 1\nb 1 1\n"), "t.nodes")
+	if !errors.Is(err, ErrFormat) {
+		t.Errorf("overcount: err = %v, want ErrFormat", err)
+	}
+	// Duplicate node name.
+	_, _, err = parseNodes(strings.NewReader("a 1 1\na 2 2\n"), "t.nodes")
+	if !errors.Is(err, ErrFormat) {
+		t.Errorf("duplicate: err = %v, want ErrFormat", err)
+	}
+
+	nodes := map[string]node{"a": {name: "a", w: 1, h: 1}}
+	build := func() *netlist.Builder {
+		b := netlist.NewBuilder("t")
+		b.AddCell("a", netlist.Movable, 1, 1, 0, 0)
+		return b
+	}
+	// Truncated final net.
+	err = parseNets(strings.NewReader("NetDegree : 2 n0\na I : 0 0\n"), "t.nets", nil, build(), nodes)
+	if !errors.Is(err, ErrFormat) {
+		t.Errorf("truncated net: err = %v, want ErrFormat", err)
+	}
+	// Declared pin count mismatch.
+	err = parseNets(strings.NewReader("NumPins : 2\nNetDegree : 1 n0\na I : 0 0\n"), "t.nets", nil, build(), nodes)
+	if !errors.Is(err, ErrFormat) {
+		t.Errorf("pin undercount: err = %v, want ErrFormat", err)
+	}
+	// Matching counts still parse.
+	err = parseNets(strings.NewReader("NumNets : 1\nNumPins : 1\nNetDegree : 1 n0\na I : 0 0\n"), "t.nets", nil, build(), nodes)
+	if err != nil {
+		t.Errorf("consistent file rejected: %v", err)
+	}
+}
+
+// TestSclValuelessKeyDoesNotPanic pins the fix for the "Coordinate :" panic
+// (strings.Fields on an empty value used to be indexed unconditionally).
+func TestSclValuelessKeyDoesNotPanic(t *testing.T) {
+	rows, _, err := parseScl(strings.NewReader("CoreRow Horizontal\nCoordinate :\nHeight : 1\nEnd\n"), "t.scl")
+	if err != nil {
+		t.Fatalf("valueless key: %v", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+}

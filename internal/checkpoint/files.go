@@ -3,10 +3,12 @@ package checkpoint
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // snapshot file names sort by iteration: ckpt-000000123.ckpt.
@@ -15,16 +17,69 @@ const (
 	fileSuffix = ".ckpt"
 )
 
+// writeAttempts bounds the transient-error retry loop in WriteFile: a
+// flaky filesystem (NFS hiccup, momentary ENOSPC) gets two more chances
+// before the error propagates.
+const writeAttempts = 3
+
+// WriteHook, when non-nil, is consulted once per write attempt before any
+// bytes land on disk; a non-nil return fails that attempt with the error.
+// It is a build-tag-free fault-injection seam for the write-retry tests:
+// production code pays one nil check per attempt and never sets it.
+var WriteHook func(path string) error
+
+// OnWriteRetry, when non-nil, observes every failed write attempt that is
+// about to be retried (attempt is 1-based; the final failure is not
+// reported here — it surfaces as WriteFile's error). Both CLIs install a
+// logger/counter here at startup.
+var OnWriteRetry func(path string, attempt int, err error)
+
+// sleepFn is the retry backoff sleep, stubbed out in tests.
+var sleepFn = time.Sleep
+
+// retryBackoff returns the jittered delay before retrying attempt
+// (1-based): 2ms·2^(attempt-1) plus up to 1ms of jitter, so concurrent
+// writers against the same flaky volume don't retry in lockstep.
+func retryBackoff(attempt int) time.Duration {
+	base := 2 * time.Millisecond << (attempt - 1)
+	return base + time.Duration(rand.Int63n(int64(time.Millisecond)))
+}
+
 // FileName returns the canonical snapshot file name for an iteration.
 func FileName(iter int) string {
 	return fmt.Sprintf("%s%09d%s", filePrefix, iter, fileSuffix)
 }
 
-// WriteFile atomically writes the snapshot to path: the bytes land in a
-// temp file in the same directory, are synced, and are renamed over the
+// WriteFile atomically writes the snapshot to path, retrying transient
+// failures with jittered exponential backoff (writeAttempts attempts
+// total) so a momentary I/O error degrades to an OnWriteRetry
+// notification instead of a lost snapshot. Each attempt lands the bytes
+// in a temp file in the same directory, syncs, and renames over the
 // destination, so a crash at any point leaves either the old file or the
 // new one — never a torn write.
 func WriteFile(path string, s *Snapshot) error {
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = writeFileOnce(path, s)
+		if err == nil {
+			return nil
+		}
+		if attempt >= writeAttempts {
+			return err
+		}
+		if f := OnWriteRetry; f != nil {
+			f(path, attempt, err)
+		}
+		sleepFn(retryBackoff(attempt))
+	}
+}
+
+func writeFileOnce(path string, s *Snapshot) error {
+	if h := WriteHook; h != nil {
+		if err := h(path); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".ckpt-*.tmp")
 	if err != nil {
@@ -108,6 +163,17 @@ func List(dir string) ([]string, error) {
 // in favor of older ones; ErrNoSnapshot is returned when none works, or
 // when dir does not exist.
 func LoadLatest(dir string) (*Snapshot, string, error) {
+	return LoadLatestMatching(dir, nil)
+}
+
+// LoadLatestMatching returns the newest snapshot in dir that both decodes
+// and passes accept (nil accept passes everything), scanning backwards
+// past corrupt or rejected files, so one stale snapshot from a since-
+// tweaked config mid-directory doesn't wedge resume. Returns
+// ErrNoSnapshot when nothing qualifies or dir does not exist; the
+// caller's accept typically returns ErrMismatch for fingerprint checks
+// but any non-nil error skips the file.
+func LoadLatestMatching(dir string, accept func(*Snapshot) error) (*Snapshot, string, error) {
 	names, err := List(dir)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
@@ -118,9 +184,15 @@ func LoadLatest(dir string) (*Snapshot, string, error) {
 	for i := len(names) - 1; i >= 0; i-- {
 		path := filepath.Join(dir, names[i])
 		s, err := ReadFile(path)
-		if err == nil {
-			return s, path, nil
+		if err != nil {
+			continue
 		}
+		if accept != nil {
+			if err := accept(s); err != nil {
+				continue
+			}
+		}
+		return s, path, nil
 	}
 	return nil, "", ErrNoSnapshot
 }

@@ -71,6 +71,14 @@ type FlowResult struct {
 	// LegalizationOK reports whether the final placement passed the
 	// legality check.
 	LegalizationOK bool
+	// ResumedFrom is the snapshot iteration a warm-started run continued
+	// from (0 for a cold start).
+	ResumedFrom int
+	// GuardTrips/GuardRollbacks/GuardRecoveries count numerical-health guard
+	// activity during global placement (zero unless GP.Guard was set).
+	GuardTrips      int
+	GuardRollbacks  int
+	GuardRecoveries int
 }
 
 // RunFlow executes global placement, legalization, and detailed placement
@@ -115,6 +123,10 @@ func RunFlowContext(ctx context.Context, d *netlist.Design, cfg FlowConfig) (*Fl
 	res.GPSetupSeconds = gp.SetupSeconds
 	res.GPLoopSeconds = gp.LoopSeconds
 	res.Trajectory = gp.Trajectory
+	res.ResumedFrom = gp.ResumedFrom
+	res.GuardTrips = gp.GuardTrips
+	res.GuardRollbacks = gp.GuardRollbacks
+	res.GuardRecoveries = gp.GuardRecoveries
 
 	if cfg.GPOnly {
 		res.LGWL = gp.HPWL

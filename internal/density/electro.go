@@ -252,6 +252,10 @@ func (e *Electro) Solve() {
 	e.scaleCoeff(false, true)
 	e.synth2D(e.Ey, e.scaled, false, true)
 	sp.End()
+
+	if h := SolveHook; h != nil {
+		h(e)
+	}
 }
 
 // Energy returns the total electrostatic energy sum_b q_b * psi_b over the

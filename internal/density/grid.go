@@ -100,6 +100,18 @@ func (g *Grid) stampInto(dst []float64, xl, yl, xh, yh, scale float64) {
 	ix1 := int((xh - g.Region.XL) / g.BinW)
 	iy0 := int((yl - g.Region.YL) / g.BinH)
 	iy1 := int((yh - g.Region.YL) / g.BinH)
+	// The lower bounds are non-negative for any finite clipped rectangle,
+	// but a NaN coordinate sails through the clips above (every comparison
+	// is false) and int(NaN) is a huge negative number on amd64 — clamp so
+	// non-finite inputs degrade to an empty stamp instead of a slice panic.
+	// The divergence guard relies on this: it detects NaN positions after
+	// the step, which requires the evaluations on them not to crash first.
+	if ix0 < 0 {
+		ix0 = 0
+	}
+	if iy0 < 0 {
+		iy0 = 0
+	}
 	if ix1 >= g.Nx {
 		ix1 = g.Nx - 1
 	}
@@ -210,6 +222,14 @@ func (g *Grid) SampleSmoothed(ex, ey []float64, cx, cy, w, h float64) (fx, fy fl
 	ix1 := int((xh - g.Region.XL) / g.BinW)
 	iy0 := int((yl - g.Region.YL) / g.BinH)
 	iy1 := int((yh - g.Region.YL) / g.BinH)
+	// Same non-finite clamp as stampInto: int(NaN) is hugely negative, and
+	// the force sample must survive NaN positions for the guard to see them.
+	if ix0 < 0 {
+		ix0 = 0
+	}
+	if iy0 < 0 {
+		iy0 = 0
+	}
 	if ix1 >= g.Nx {
 		ix1 = g.Nx - 1
 	}

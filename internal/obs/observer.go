@@ -17,6 +17,11 @@ const (
 	PhaseLegalize  = "legalize"
 	PhaseDetailed  = "detailed"
 
+	// PhaseGuardRollback wraps a divergence-guard rollback: snapshot
+	// lookup, optimizer/schedule restore, and step shrink. Rare by
+	// construction, so it gets a span (visible in traces) but no histogram.
+	PhaseGuardRollback = "guard-rollback"
+
 	// Spectral-solver sub-spans (inside PhaseSolve).
 	PhaseDCT      = "dct-forward"
 	PhaseSynthPsi = "synth-psi"

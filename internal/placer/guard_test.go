@@ -1,0 +1,252 @@
+package placer
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/density"
+	"repro/internal/faultinject"
+	"repro/internal/guard"
+	"repro/internal/wirelength"
+)
+
+// finitePositions fails the test if any movable cell of d sits at a
+// non-finite coordinate.
+func finitePositions(t *testing.T, res *Result) {
+	t.Helper()
+	if math.IsNaN(res.HPWL) || math.IsInf(res.HPWL, 0) {
+		t.Fatalf("result HPWL is non-finite: %v", res.HPWL)
+	}
+	if math.IsNaN(res.Overflow) || math.IsInf(res.Overflow, 0) {
+		t.Fatalf("result overflow is non-finite: %v", res.Overflow)
+	}
+}
+
+// TestGuardNilAndIdleAreBitIdentical the acceptance equivalence check: a
+// run with the guard enabled but never tripping must be bit-identical to a
+// guardless run — every guard read is side-effect free — and Guard == nil
+// must cost nothing.
+func TestGuardNilAndIdleAreBitIdentical(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		dA := testDesign(t, 80, 0)
+		cfgA := resumeBase(workers)
+		resA, err := Place(dA, cfgA)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		dB := testDesign(t, 80, 0)
+		cfgB := resumeBase(workers)
+		cfgB.Guard = &guard.Config{}
+		resB, err := Place(dB, cfgB)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if resB.GuardTrips != 0 || resB.GuardRollbacks != 0 {
+			t.Fatalf("workers=%d: healthy run tripped the guard: %d trips, %d rollbacks",
+				workers, resB.GuardTrips, resB.GuardRollbacks)
+		}
+		if resA.HPWL != resB.HPWL || resA.Overflow != resB.Overflow {
+			t.Errorf("workers=%d: HPWL/overflow diverged: %v/%v vs %v/%v",
+				workers, resA.HPWL, resA.Overflow, resB.HPWL, resB.Overflow)
+		}
+		if resA.Evaluations != resB.Evaluations {
+			t.Errorf("workers=%d: Evaluations = %d vs %d", workers, resA.Evaluations, resB.Evaluations)
+		}
+		if !reflect.DeepEqual(resA.Trajectory, resB.Trajectory) {
+			t.Errorf("workers=%d: trajectories diverged", workers)
+		}
+		for c := range dA.Cells {
+			if dA.X[c] != dB.X[c] || dA.Y[c] != dB.Y[c] {
+				t.Fatalf("workers=%d: cell %d diverged: (%v,%v) vs (%v,%v)",
+					workers, c, dA.X[c], dA.Y[c], dB.X[c], dB.Y[c])
+			}
+		}
+	}
+}
+
+// TestGuardRecoversFromInjectedNaN the headline fault-injection test: one
+// NaN poisoned into the wirelength gradient mid-loop trips the guard in
+// the same iteration, rolls back, and — because the first retry replays at
+// full step and the fault is transient — finishes bit-identical to the
+// clean run (far inside the 1% acceptance tolerance).
+func TestGuardRecoversFromInjectedNaN(t *testing.T) {
+	dClean := testDesign(t, 80, 0)
+	clean, err := Place(dClean, resumeBase(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Eval 40 lands mid-loop: past setup calibration (1 visit) and well
+	// into the Nesterov iterations (1-3 evals each).
+	plan := faultinject.NewPlan(faultinject.Fault{
+		Site: faultinject.SiteWirelengthGrad, Mode: faultinject.ModeNaN, After: 40,
+	})
+	wirelength.GradHook = func(model string, gradX, gradY []float64) {
+		if _, ok := plan.Visit(faultinject.SiteWirelengthGrad); ok {
+			for i := range gradX {
+				gradX[i] = math.NaN()
+			}
+		}
+	}
+	defer func() { wirelength.GradHook = nil }()
+
+	var events []guard.Event
+	d := testDesign(t, 80, 0)
+	cfg := resumeBase(1)
+	cfg.Guard = &guard.Config{OnEvent: func(ev guard.Event) { events = append(events, ev) }}
+	res, err := Place(d, cfg)
+	if err != nil {
+		t.Fatalf("guarded run failed: %v", err)
+	}
+	if plan.Fired(faultinject.SiteWirelengthGrad) != 1 {
+		t.Fatalf("fault fired %d times, want 1", plan.Fired(faultinject.SiteWirelengthGrad))
+	}
+	if res.GuardTrips != 1 || res.GuardRollbacks != 1 {
+		t.Fatalf("GuardTrips=%d GuardRollbacks=%d, want 1/1", res.GuardTrips, res.GuardRollbacks)
+	}
+	if res.GuardRecoveries != 1 {
+		t.Errorf("GuardRecoveries = %d, want 1 (episode should close within the run)", res.GuardRecoveries)
+	}
+	finitePositions(t, res)
+	if res.HPWL != clean.HPWL {
+		t.Errorf("HPWL after recovery = %v, want bit-identical %v (diff %g)",
+			res.HPWL, clean.HPWL, res.HPWL-clean.HPWL)
+	}
+	if math.Abs(res.HPWL-clean.HPWL) > 0.01*clean.HPWL {
+		t.Errorf("HPWL after recovery off by more than 1%%: %v vs %v", res.HPWL, clean.HPWL)
+	}
+	for c := range d.Cells {
+		if d.X[c] != dClean.X[c] || d.Y[c] != dClean.Y[c] {
+			t.Fatalf("cell %d diverged after recovery", c)
+		}
+	}
+
+	var kinds []guard.EventKind
+	for _, ev := range events {
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []guard.EventKind{guard.EventTrip, guard.EventRollback, guard.EventRecover}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Errorf("event sequence = %v, want %v", kinds, want)
+	}
+	if events[0].Violation == nil || events[0].Violation.Kind != guard.KindNonFinitePositions {
+		t.Errorf("trip violation = %+v, want %s", events[0].Violation, guard.KindNonFinitePositions)
+	}
+}
+
+// TestGuardDivergenceErrorAfterRetryBudget a fault that poisons every
+// gradient evaluation can never be replayed past: the guard burns its
+// whole retry budget and fails with a typed DivergenceError — no panic,
+// and the returned result holds the restored (finite) last-good state.
+func TestGuardDivergenceErrorAfterRetryBudget(t *testing.T) {
+	plan := faultinject.NewPlan(faultinject.Fault{
+		Site: faultinject.SiteWirelengthGrad, Mode: faultinject.ModeNaN, After: 40, Forever: true,
+	})
+	wirelength.GradHook = func(model string, gradX, gradY []float64) {
+		if _, ok := plan.Visit(faultinject.SiteWirelengthGrad); ok {
+			for i := range gradX {
+				gradX[i] = math.NaN()
+			}
+		}
+	}
+	defer func() { wirelength.GradHook = nil }()
+
+	d := testDesign(t, 80, 0)
+	cfg := resumeBase(1)
+	cfg.Guard = &guard.Config{MaxRetries: 2}
+	res, err := Place(d, cfg)
+	var de *guard.DivergenceError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *guard.DivergenceError", err)
+	}
+	if de.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", de.Retries)
+	}
+	if len(de.Violations) != 3 {
+		t.Errorf("violation history has %d entries, want 3 (2 retries + final)", len(de.Violations))
+	}
+	if de.LastGood < 0 {
+		t.Errorf("LastGood = %d, want a valid iteration", de.LastGood)
+	}
+	if res == nil {
+		t.Fatal("failed run returned no partial result")
+	}
+	finitePositions(t, res)
+	for c := range d.Cells {
+		if math.IsNaN(d.X[c]) || math.IsNaN(d.Y[c]) {
+			t.Fatalf("cell %d left at NaN after divergence failure", c)
+		}
+	}
+	if res.GuardTrips != 3 {
+		t.Errorf("GuardTrips = %d, want 3", res.GuardTrips)
+	}
+}
+
+// TestGuardRecoversFromPoisonedSolve one poisoned Poisson field output
+// propagates NaN through the density gradient; the guard absorbs it the
+// same way as a wirelength fault.
+func TestGuardRecoversFromPoisonedSolve(t *testing.T) {
+	dClean := testDesign(t, 80, 0)
+	clean, err := Place(dClean, resumeBase(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan := faultinject.NewPlan(faultinject.Fault{
+		Site: faultinject.SitePoissonSolve, Mode: faultinject.ModePoison, After: 35,
+	})
+	density.SolveHook = func(e *density.Electro) {
+		if _, ok := plan.Visit(faultinject.SitePoissonSolve); ok {
+			for i := range e.Ex {
+				e.Ex[i] = math.NaN()
+			}
+		}
+	}
+	defer func() { density.SolveHook = nil }()
+
+	d := testDesign(t, 80, 0)
+	cfg := resumeBase(1)
+	cfg.Guard = &guard.Config{}
+	res, err := Place(d, cfg)
+	if err != nil {
+		t.Fatalf("guarded run failed: %v", err)
+	}
+	if res.GuardTrips < 1 {
+		t.Fatal("poisoned solve never tripped the guard")
+	}
+	finitePositions(t, res)
+	if res.HPWL != clean.HPWL {
+		t.Errorf("HPWL after recovery = %v, want bit-identical %v", res.HPWL, clean.HPWL)
+	}
+}
+
+// TestUnguardedNaNDoesNotPanic without the guard an injected NaN must
+// still not crash the process (the density stamp/sample clamps make NaN
+// footprints empty); the run just produces a garbage result. This pins
+// down the failure mode the EXPERIMENTS note contrasts with guarded runs.
+func TestUnguardedNaNDoesNotPanic(t *testing.T) {
+	plan := faultinject.NewPlan(faultinject.Fault{
+		Site: faultinject.SiteWirelengthGrad, Mode: faultinject.ModeNaN, After: 40,
+	})
+	wirelength.GradHook = func(model string, gradX, gradY []float64) {
+		if _, ok := plan.Visit(faultinject.SiteWirelengthGrad); ok {
+			for i := range gradX {
+				gradX[i] = math.NaN()
+			}
+		}
+	}
+	defer func() { wirelength.GradHook = nil }()
+
+	d := testDesign(t, 80, 0)
+	res, err := Place(d, resumeBase(1))
+	if err != nil {
+		t.Fatalf("unguarded run errored (want silent garbage): %v", err)
+	}
+	if !math.IsNaN(res.HPWL) {
+		t.Logf("unguarded HPWL survived as %v (positions clamped)", res.HPWL)
+	}
+}

@@ -14,6 +14,7 @@ package placer
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -21,6 +22,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/density"
+	"repro/internal/guard"
 	"repro/internal/moreau"
 	"repro/internal/netlist"
 	"repro/internal/obs"
@@ -110,6 +112,20 @@ type Config struct {
 	// matching setup the resumed run finishes bit-identical to an
 	// uninterrupted one.
 	Resume *checkpoint.Snapshot
+	// ResumeDir warm-starts the run from the newest snapshot in this
+	// directory whose config fingerprint matches the run, scanning
+	// backwards past corrupt or mismatched files; when nothing matches the
+	// run cold-starts (no error). Mutually exclusive with Resume.
+	ResumeDir string
+	// Guard, when non-nil, enables the divergence guard: per-iteration
+	// numerical-health checks (finite positions/objective, HPWL growth vs.
+	// a trailing window, optional overflow-stall and step-ceiling checks)
+	// with automatic rollback to an in-memory snapshot ring, step
+	// shrinking with exponential backoff on repeated trips, and a typed
+	// guard.DivergenceError once the retry budget is exhausted.
+	// &guard.Config{} selects all defaults. A nil Guard costs one pointer
+	// check per iteration and leaves results bit-identical.
+	Guard *guard.Config
 }
 
 // DefaultConfig returns the standard configuration for a model.
@@ -157,7 +173,14 @@ type Result struct {
 	ResumedFrom int
 	// Checkpoints counts the snapshots written during this run.
 	Checkpoints int
-	Trajectory  []TrajectoryPoint
+	// GuardTrips, GuardRollbacks, and GuardRecoveries count divergence-
+	// guard activity (all zero when Config.Guard is nil or the run stayed
+	// healthy): invariant violations detected, successful rollbacks, and
+	// episodes closed cleanly after their recovery window.
+	GuardTrips      int
+	GuardRollbacks  int
+	GuardRecoveries int
+	Trajectory      []TrajectoryPoint
 }
 
 // engine carries the mutable state of one global placement run.
@@ -251,6 +274,14 @@ func (cfg *Config) Validate() error {
 	}
 	if cfg.Checkpoint.Every > 0 && cfg.Checkpoint.Dir == "" {
 		return fmt.Errorf("placer: Checkpoint.Every is set but Checkpoint.Dir is empty")
+	}
+	if cfg.Resume != nil && cfg.ResumeDir != "" {
+		return fmt.Errorf("placer: Resume and ResumeDir are both set; pick one")
+	}
+	if cfg.Guard != nil {
+		if err := cfg.Guard.Validate(); err != nil {
+			return fmt.Errorf("placer: %w", err)
+		}
 	}
 	return nil
 }
@@ -486,6 +517,22 @@ func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 		return gammaSched.At(phi)
 	}
 
+	if cfg.Resume == nil && cfg.ResumeDir != "" {
+		fp := en.fingerprint()
+		snap, path, lerr := checkpoint.LoadLatestMatching(cfg.ResumeDir, func(s *checkpoint.Snapshot) error {
+			return fp.Match(s.Fingerprint)
+		})
+		switch {
+		case lerr == nil:
+			cfg.Resume = snap
+			logger.Info("gp: resume dir matched snapshot", "path", path, "iter", snap.Iter)
+		case errors.Is(lerr, checkpoint.ErrNoSnapshot):
+			logger.Info("gp: resume dir has no matching snapshot; cold start", "dir", cfg.ResumeDir)
+		default:
+			return nil, fmt.Errorf("placer: resume dir: %w", lerr)
+		}
+	}
+
 	lu := NewLambdaUpdater()
 	startIter := 0
 	var prevSetup, prevLoop float64
@@ -544,6 +591,10 @@ func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 		res.ResumedFrom = startIter
 		res.Iterations = startIter
 		res.Trajectory = resumeTrajectory(cfg.Resume)
+	}
+	var grd *guardian
+	if cfg.Guard != nil {
+		grd = newGuardian(en, cfg.Guard, lu, res, opt)
 	}
 	res.SetupSeconds = prevSetup + time.Since(start).Seconds()
 	loopStart := time.Now()
@@ -611,12 +662,31 @@ func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 			finalize()
 			return res, err
 		}
+		if grd != nil {
+			grd.release(k, opt)
+			grd.maybeSnapshot(k, opt)
+		}
 		it := o.StartIteration(k)
 		en.param = schedule(en.overflow)
 		sp := o.StartPhase(obs.PhaseStep)
 		obj := opt.Step(en.eval)
 		sp.End()
 		en.lambda = lu.Update(en.lastEnergy)
+		if grd != nil {
+			if v := grd.check(k, obj, opt); v != nil {
+				restart, gerr := grd.handle(k, v, opt)
+				it.End()
+				if gerr != nil {
+					finalize()
+					return res, gerr
+				}
+				// Replay from the restored iteration: the convergence break,
+				// recording, and periodic checkpoints below all belong to the
+				// abandoned pass and are skipped.
+				k = restart - 1
+				continue
+			}
+		}
 		res.Iterations = k + 1
 
 		stop := false

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -317,14 +318,23 @@ func TestJobTraceExport(t *testing.T) {
 	}
 	waitState(t, m, v.ID, StateDone)
 
-	f, err := os.Open(filepath.Join(dir, v.ID+".trace.json"))
-	if err != nil {
-		t.Fatalf("trace file not written: %v", err)
-	}
-	defer f.Close()
-	tr, err := obs.ReadChromeTrace(f)
-	if err != nil {
-		t.Fatalf("trace does not decode: %v", err)
+	// The export runs in a defer after the job is already Done, so poll: the
+	// file may not exist (or be mid-write) the instant the state flips.
+	var tr *obs.Trace
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		f, err := os.Open(filepath.Join(dir, v.ID+".trace.json"))
+		if err == nil {
+			tr, err = obs.ReadChromeTrace(f)
+			f.Close()
+			if err == nil {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace file not readable: %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 	perPhase := map[string]int{}
 	for _, ev := range tr.Events {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/placer"
 )
 
@@ -40,6 +41,16 @@ type Progress struct {
 	Param     float64 `json:"param,omitempty"`
 }
 
+// GuardStatus summarizes a job's numerical-health guard activity: how often
+// the per-iteration invariants tripped, how many rollbacks replayed from a
+// snapshot, and how many divergence episodes closed cleanly.
+type GuardStatus struct {
+	Trips      int    `json:"trips"`
+	Rollbacks  int    `json:"rollbacks"`
+	Recoveries int    `json:"recoveries"`
+	LastEvent  string `json:"last_event,omitempty"`
+}
+
 // JobView is the JSON snapshot served by GET /jobs and GET /jobs/{id}.
 type JobView struct {
 	ID          string           `json:"id"`
@@ -57,12 +68,22 @@ type JobView struct {
 	// Resumes counts daemon restarts this job survived; a non-zero value
 	// means the current run warm-started from a persisted snapshot.
 	Resumes int `json:"resumes,omitempty"`
+	// Guard is present once the run's numerical-health guard has tripped.
+	Guard *GuardStatus `json:"guard,omitempty"`
 }
 
 // maxTrajectoryPoints bounds the per-job live trajectory buffer; beyond it
 // the buffer keeps every other point (repeatedly), preserving shape without
 // unbounded growth on very long runs.
 const maxTrajectoryPoints = 2048
+
+// trajPoint pairs an engine trajectory point with the job's cumulative
+// guard-trip count at the moment it was recorded, so rollbacks are visible
+// in the streamed trajectory (the count jumps where the curve rewinds).
+type trajPoint struct {
+	placer.TrajectoryPoint
+	GuardTrips int
+}
 
 // job is the manager's internal record. All mutable fields are guarded by
 // mu; the context/cancel pair is immutable after creation.
@@ -96,8 +117,9 @@ type job struct {
 	progress   Progress
 	hasProg    bool
 	result     *core.FlowResult
-	traj       []placer.TrajectoryPoint
+	traj       []trajPoint
 	trajStride int // current sampling stride for the live buffer
+	guard      GuardStatus
 }
 
 // view snapshots the job for JSON serialization.
@@ -132,14 +154,18 @@ func (j *job) view() JobView {
 		p := j.progress
 		v.Progress = &p
 	}
+	if j.guard.Trips > 0 {
+		g := j.guard
+		v.Guard = &g
+	}
 	return v
 }
 
 // trajectory returns a copy of the live trajectory buffer.
-func (j *job) trajectory() []placer.TrajectoryPoint {
+func (j *job) trajectory() []trajPoint {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	out := make([]placer.TrajectoryPoint, len(j.traj))
+	out := make([]trajPoint, len(j.traj))
 	copy(out, j.traj)
 	return out
 }
@@ -147,7 +173,7 @@ func (j *job) trajectory() []placer.TrajectoryPoint {
 // trajectoryAfter returns a copy of the buffered points with Iter strictly
 // greater than after, plus whether the job is terminal. Iter values are
 // ascending, so a binary search finds the resume position.
-func (j *job) trajectoryAfter(after int) ([]placer.TrajectoryPoint, bool) {
+func (j *job) trajectoryAfter(after int) ([]trajPoint, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	lo, hi := 0, len(j.traj)
@@ -159,7 +185,7 @@ func (j *job) trajectoryAfter(after int) ([]placer.TrajectoryPoint, bool) {
 			hi = mid
 		}
 	}
-	out := make([]placer.TrajectoryPoint, len(j.traj)-lo)
+	out := make([]trajPoint, len(j.traj)-lo)
 	copy(out, j.traj[lo:])
 	return out, j.state.Terminal()
 }
@@ -176,6 +202,12 @@ func (j *job) recordIteration(pt placer.TrajectoryPoint) {
 		Param:     pt.Param,
 	}
 	j.hasProg = true
+	// A guard rollback rewinds the engine to an earlier iteration. Drop the
+	// buffered points from the abandoned future so Iter stays strictly
+	// ascending — trajectoryAfter binary-searches on that invariant.
+	for len(j.traj) > 0 && j.traj[len(j.traj)-1].Iter >= pt.Iter {
+		j.traj = j.traj[:len(j.traj)-1]
+	}
 	if j.trajStride == 0 {
 		j.trajStride = 1
 	}
@@ -196,7 +228,22 @@ func (j *job) recordIteration(pt placer.TrajectoryPoint) {
 			return
 		}
 	}
-	j.traj = append(j.traj, pt)
+	j.traj = append(j.traj, trajPoint{TrajectoryPoint: pt, GuardTrips: j.guard.Trips})
+}
+
+// recordGuardEvent folds one guard event into the job's guard status.
+func (j *job) recordGuardEvent(ev guard.Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch ev.Kind {
+	case guard.EventTrip:
+		j.guard.Trips++
+	case guard.EventRollback:
+		j.guard.Rollbacks++
+	case guard.EventRecover:
+		j.guard.Recoveries++
+	}
+	j.guard.LastEvent = string(ev.Kind)
 }
 
 // markRunning transitions queued -> running; returns false if the job was
@@ -269,6 +316,10 @@ func (j *job) persisted(override State) PersistedStatus {
 		Error:       j.err,
 		Result:      j.result,
 		Resumes:     j.resumes,
+	}
+	if j.guard.Trips > 0 {
+		g := j.guard
+		st.Guard = &g
 	}
 	if override != "" {
 		st.State = override

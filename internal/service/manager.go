@@ -12,16 +12,24 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/placer"
 	"repro/internal/service/telemetry"
 )
+
+// runHook, when non-nil, is called at the top of every job run with the job
+// id. It exists for fault injection in tests (e.g. a hook that panics proves
+// the worker's recover isolates the blast radius to one job); production
+// builds never set it.
+var runHook func(jobID string)
 
 // Errors returned by Submit and Cancel; the HTTP layer maps them to status
 // codes (429, 404, 409, 503).
@@ -188,6 +196,9 @@ func (m *Manager) recover(persisted []PersistedJob) {
 				result:    st.Result,
 				resumes:   st.Resumes,
 			}
+			if st.Guard != nil {
+				j.guard = *st.Guard
+			}
 			if j.model == "" {
 				j.model = pj.Spec.modelName()
 			}
@@ -328,6 +339,7 @@ func (m *Manager) Trajectory(id string) ([]JobTrajectoryPoint, error) {
 		out[i] = JobTrajectoryPoint{
 			Iter: p.Iter, Overflow: p.Overflow, HPWL: p.HPWL,
 			Objective: p.Objective, Param: p.Param, Lambda: p.Lambda,
+			GuardTrips: p.GuardTrips,
 		}
 	}
 	return out, nil
@@ -351,6 +363,7 @@ func (m *Manager) TrajectoryAfter(id string, after int) ([]JobTrajectoryPoint, b
 		out[i] = JobTrajectoryPoint{
 			Iter: p.Iter, Overflow: p.Overflow, HPWL: p.HPWL,
 			Objective: p.Objective, Param: p.Param, Lambda: p.Lambda,
+			GuardTrips: p.GuardTrips,
 		}
 	}
 	return out, terminal, nil
@@ -364,6 +377,9 @@ type JobTrajectoryPoint struct {
 	Objective float64 `json:"objective"`
 	Param     float64 `json:"param"`
 	Lambda    float64 `json:"lambda"`
+	// GuardTrips is the cumulative guard-trip count when the point was
+	// recorded; a jump marks where the run rolled back and replayed.
+	GuardTrips int `json:"guard_trips,omitempty"`
 }
 
 // List returns snapshots of all retained jobs in submission order.
@@ -467,8 +483,25 @@ func (m *Manager) exportTrace(j *job, t *obs.Tracer) {
 	m.log.Debug("trace exported", "job", j.id, "path", path, "spans", len(t.Events()), "dropped", t.Dropped())
 }
 
-// run executes one job's placement flow and records its terminal state.
+// run executes one job's placement flow and records its terminal state. A
+// panic anywhere in the flow (engine bug, poisoned input, injected fault) is
+// recovered here: the job fails with the stack in its status, the worker
+// survives, and the daemon keeps serving every other job.
 func (m *Manager) run(j *job) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		j.finish(StateFailed, nil, fmt.Sprintf("panic: %v\n%s", r, debug.Stack()))
+		m.persist(j, "")
+		m.tel.JobsPanicked.Inc()
+		m.tel.JobsFailed.Inc()
+		m.log.Error("job panicked, worker recovered", "job", j.id, "panic", fmt.Sprint(r))
+	}()
+	if h := runHook; h != nil {
+		h(j.id)
+	}
 	d, err := j.spec.buildDesign(m.cfg.AuxRoot)
 	if err != nil {
 		m.log.Warn("job rejected: bad design", "job", j.id, "err", err)
@@ -486,6 +519,21 @@ func (m *Manager) run(j *job) {
 		j.recordIteration(pt)
 		m.tel.Iterations.Inc()
 		return true
+	}
+	if gc := cfg.GP.Guard; gc != nil {
+		// Surface guard activity on the job (status + trajectory stream) and
+		// in the shared Prometheus counters.
+		gc.OnEvent = func(ev guard.Event) {
+			j.recordGuardEvent(ev)
+			switch ev.Kind {
+			case guard.EventTrip:
+				m.tel.GuardTrips.Inc()
+			case guard.EventRollback:
+				m.tel.GuardRollbacks.Inc()
+			case guard.EventRecover:
+				m.tel.GuardRecoveries.Inc()
+			}
+		}
 	}
 	o := m.jobObserver(j)
 	cfg.GP.Obs = o

@@ -1,0 +1,180 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/wirelength"
+)
+
+// TestWorkerPanicIsolatesJob a panic inside one job's run must mark only
+// that job failed (with the stack in its status), bump the panic counter,
+// and leave the worker pool and HTTP surface fully alive for later jobs.
+// Meaningful under -race: the panicking run and the follow-up job share the
+// manager, telemetry, and (with Workers > 1) the worker pool.
+func TestWorkerPanicIsolatesJob(t *testing.T) {
+	plan := faultinject.NewPlan(faultinject.Fault{
+		Site: faultinject.SiteServiceRun, Mode: faultinject.ModePanic,
+	})
+	// Install before the workers start and clear after they stop (cleanups
+	// run LIFO, so this one fires after newTestServer's Shutdown).
+	t.Cleanup(func() { runHook = nil })
+	runHook = func(jobID string) {
+		if f, ok := plan.Visit(faultinject.SiteServiceRun); ok {
+			panic(fmt.Sprintf("%s: injected %s fault in job %s", f.Site, f.Mode, jobID))
+		}
+	}
+	srv, m := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	// First job hits the panic (single worker: submission order = run order).
+	doomed, err := m.Submit(synthSpec(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv := waitState(t, m, doomed.ID, StateFailed)
+	if !strings.HasPrefix(fv.Error, "panic:") {
+		t.Errorf("panicked job error = %q, want a panic: prefix", fv.Error)
+	}
+	if !strings.Contains(fv.Error, "goroutine") {
+		t.Errorf("panicked job error carries no stack trace:\n%s", fv.Error)
+	}
+	if !strings.Contains(fv.Error, doomed.ID) {
+		t.Errorf("panic message lost the job id: %q", fv.Error)
+	}
+
+	// The daemon keeps serving: the next job on the same worker completes.
+	ok, err := m.Submit(synthSpec(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, ok.ID, StateDone)
+
+	if got := m.Telemetry().JobsPanicked.Value(); got != 1 {
+		t.Errorf("JobsPanicked = %d, want 1", got)
+	}
+	if got := m.Telemetry().JobsFailed.Value(); got != 1 {
+		t.Errorf("JobsFailed = %d, want 1", got)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "placerd_jobs_panicked_total 1") {
+		t.Error("/metrics missing placerd_jobs_panicked_total 1")
+	}
+
+	hz, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Errorf("/healthz after a worker panic = %d, want 200", hz.StatusCode)
+	}
+}
+
+// TestGuardTripSurfacesInJobAndStream a job submitted with the guard spec
+// knob recovers from an injected NaN, and the trip is visible everywhere the
+// API reports it: the job view's guard block, the trajectory stream's
+// cumulative guard_trips field, and the Prometheus counters.
+func TestGuardTripSurfacesInJobAndStream(t *testing.T) {
+	plan := faultinject.NewPlan(faultinject.Fault{
+		Site: faultinject.SiteWirelengthGrad, Mode: faultinject.ModeNaN, After: 40,
+	})
+	t.Cleanup(func() { wirelength.GradHook = nil })
+	wirelength.GradHook = func(model string, gradX, gradY []float64) {
+		if _, ok := plan.Visit(faultinject.SiteWirelengthGrad); ok {
+			for i := range gradX {
+				gradX[i] = math.NaN()
+			}
+		}
+	}
+	srv, m := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	spec := synthSpec(60)
+	spec.Placer.Guard = true
+	v, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, m, v.ID, StateDone)
+	if plan.Fired(faultinject.SiteWirelengthGrad) != 1 {
+		t.Fatalf("fault fired %d times, want 1", plan.Fired(faultinject.SiteWirelengthGrad))
+	}
+	if done.Guard == nil {
+		t.Fatal("job view has no guard block after a trip")
+	}
+	if done.Guard.Trips != 1 || done.Guard.Rollbacks != 1 {
+		t.Errorf("guard status = %+v, want 1 trip and 1 rollback", done.Guard)
+	}
+	if done.Guard.Recoveries != 1 {
+		t.Errorf("guard recoveries = %d, want 1", done.Guard.Recoveries)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + v.ID + "/trajectory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	pts := readTrajectoryStream(t, resp.Body)
+	if len(pts) == 0 {
+		t.Fatal("empty trajectory stream")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Iter <= pts[i-1].Iter {
+			t.Fatalf("stream iterations not ascending after rollback: %d then %d",
+				pts[i-1].Iter, pts[i].Iter)
+		}
+	}
+	if last := pts[len(pts)-1]; last.GuardTrips != 1 {
+		t.Errorf("final stream point guard_trips = %d, want 1", last.GuardTrips)
+	}
+	if first := pts[0]; first.GuardTrips != 0 {
+		t.Errorf("first stream point guard_trips = %d, want 0 (trip happened mid-run)", first.GuardTrips)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"placerd_guard_trips_total 1",
+		"placerd_guard_rollbacks_total 1",
+		"placerd_guard_recoveries_total 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestGuardSpecKnobIsOffByDefault a plain spec never builds a guard config,
+// so existing clients keep bit-identical behavior.
+func TestGuardSpecKnobIsOffByDefault(t *testing.T) {
+	spec := synthSpec(10)
+	if cfg := spec.placerConfig(); cfg.Guard != nil {
+		t.Error("placerConfig built a guard.Config without the spec knob")
+	}
+	spec.Placer.Guard = true
+	spec.Placer.GuardMaxRetries = 7
+	cfg := spec.placerConfig()
+	if cfg.Guard == nil || cfg.Guard.MaxRetries != 7 {
+		t.Errorf("guard spec knob not translated: %+v", cfg.Guard)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bookshelf"
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/netlist"
 	"repro/internal/placer"
 	"repro/internal/synth"
@@ -73,6 +74,12 @@ type PlacerSpec struct {
 	// it applies only when workers is absent.
 	WLWorkers    int  `json:"wl_workers,omitempty"`
 	Precondition bool `json:"precondition,omitempty"`
+	// Guard enables the numerical-health guard (divergence detection plus
+	// snapshot rollback, see internal/guard) with default thresholds.
+	// GuardMaxRetries overrides the per-episode rollback budget (0 keeps
+	// the default).
+	Guard           bool `json:"guard,omitempty"`
+	GuardMaxRetries int  `json:"guard_max_retries,omitempty"`
 }
 
 // FlowSpec selects which stages run after global placement.
@@ -163,9 +170,11 @@ func (s *JobSpec) auxPath(auxRoot string) (string, error) {
 }
 
 // placerConfig translates PlacerSpec into placer.Config (Model left nil).
+// Each call builds a fresh guard.Config, so per-run OnEvent wiring never
+// leaks between jobs sharing a spec.
 func (s *JobSpec) placerConfig() placer.Config {
 	p := s.Placer
-	return placer.Config{
+	cfg := placer.Config{
 		MaxIters:     p.MaxIters,
 		StopOverflow: p.StopOverflow,
 		GridX:        p.GridX,
@@ -179,6 +188,10 @@ func (s *JobSpec) placerConfig() placer.Config {
 		WLWorkers:    p.WLWorkers,
 		Precondition: p.Precondition,
 	}
+	if p.Guard {
+		cfg.Guard = &guard.Config{MaxRetries: p.GuardMaxRetries}
+	}
+	return cfg
 }
 
 // buildDesign materializes the design. Called inside a worker: generation of

@@ -65,6 +65,8 @@ type PersistedStatus struct {
 	// Resumes counts how many times the job was recovered after a daemon
 	// restart (each recovery warm-starts from the latest snapshot).
 	Resumes int `json:"resumes,omitempty"`
+	// Guard carries the run's numerical-health guard summary, when it tripped.
+	Guard *GuardStatus `json:"guard,omitempty"`
 }
 
 // PersistedJob pairs a job's spec with its last persisted status.

@@ -104,6 +104,18 @@ type Collector struct {
 	// JobsInterrupted counts running jobs persisted as interrupted by a drain.
 	JobsRecovered   Counter
 	JobsInterrupted Counter
+	// JobsPanicked counts worker runs that ended in a recovered panic. Each
+	// such job is also counted in JobsFailed; the daemon itself keeps serving.
+	JobsPanicked Counter
+
+	// Numerical-health guard activity across all jobs (see internal/guard).
+	GuardTrips      Counter
+	GuardRollbacks  Counter
+	GuardRecoveries Counter
+
+	// CheckpointRetries counts transient snapshot-write failures that were
+	// absorbed by the checkpoint retry loop.
+	CheckpointRetries Counter
 
 	// Live gauges.
 	QueueDepth  Gauge
@@ -178,6 +190,12 @@ func (c *Collector) WritePrometheus(w io.Writer) {
 
 	counter("placerd_jobs_recovered_total", "Jobs re-enqueued from the durable store at boot.", c.JobsRecovered.Value())
 	counter("placerd_jobs_interrupted_total", "Running jobs persisted as interrupted during shutdown.", c.JobsInterrupted.Value())
+	counter("placerd_jobs_panicked_total", "Worker runs that ended in a recovered panic.", c.JobsPanicked.Value())
+
+	counter("placerd_guard_trips_total", "Numerical-health guard invariant violations.", c.GuardTrips.Value())
+	counter("placerd_guard_rollbacks_total", "Guard rollbacks to an earlier snapshot.", c.GuardRollbacks.Value())
+	counter("placerd_guard_recoveries_total", "Divergence episodes closed cleanly after rollback.", c.GuardRecoveries.Value())
+	counter("placerd_checkpoint_write_retries_total", "Transient checkpoint write failures absorbed by retry.", c.CheckpointRetries.Value())
 
 	gauge("placerd_queue_depth", "Jobs waiting in the queue.", fmt.Sprintf("%d", c.QueueDepth.Value()))
 	gauge("placerd_jobs_running", "Jobs currently placing.", fmt.Sprintf("%d", c.JobsRunning.Value()))

@@ -184,6 +184,9 @@ func (m *parallelModel) WirelengthGrad(d *netlist.Design, p float64, gradX, grad
 				gradY[i] += gy[i]
 			}
 		}
+		if h := GradHook; h != nil {
+			h(m.Name(), gradX, gradY)
+		}
 	}
 	return total
 }

@@ -192,6 +192,9 @@ func (m *kernelModel) WirelengthGrad(d *netlist.Design, p float64, gradX, gradY 
 			}
 		}
 	}
+	if h := GradHook; h != nil && gradX != nil {
+		h(m.name, gradX, gradY)
+	}
 	return total
 }
 
