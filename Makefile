@@ -1,9 +1,9 @@
 # Standard verify entrypoint: `make check` is what CI (and humans) run.
 GO ?= go
 # Each PR writes its own trajectory file so earlier ones stay comparable.
-BENCH ?= BENCH_PR4.json
+BENCH ?= BENCH_PR6.json
 
-.PHONY: check fmt vet build test race fuzz-seeds fuzz bench cover placerd trace-demo
+.PHONY: check fmt vet build test race fuzz-seeds fuzz bench cover placerd trace-demo fleet-demo
 
 check: fmt vet build test race fuzz-seeds
 
@@ -33,7 +33,8 @@ race:
 	$(GO) test -race ./internal/service/... ./internal/placer/... \
 		./internal/checkpoint/... ./internal/density/... \
 		./internal/wirelength/... ./internal/parallel/... \
-		./internal/obs/... ./internal/guard/... ./internal/faultinject/...
+		./internal/obs/... ./internal/guard/... ./internal/faultinject/... \
+		./internal/fleet/...
 
 # fuzz-seeds replays the FuzzParse seed corpus as regular tests (regression
 # mode, no exploration) so `make check` keeps the known-hostile Bookshelf
@@ -73,3 +74,30 @@ trace-demo:
 	$(GO) run ./cmd/placer -cells 500 -iters 150 -model ME -skip-dp \
 		-trace trace-demo.trace.json -log-level info
 	@echo "open trace-demo.trace.json in chrome://tracing or ui.perfetto.dev"
+
+# fleet-demo boots a two-worker fleet (coordinator + two placerd nodes on a
+# shared checkpoint root), drives a short placerload smoke through it, and
+# merges the latency/affinity/steal report into $(BENCH) under "fleet_load".
+# placerload merges into the file while `make bench` rewrites it, so run
+# bench first when you want both in one file. Everything runs on localhost
+# and tears down when the load finishes.
+fleet-demo:
+	$(GO) build -o bin/placercoord ./cmd/placercoord
+	$(GO) build -o bin/placerd ./cmd/placerd
+	$(GO) build -o bin/placerload ./cmd/placerload
+	@mkdir -p /tmp/fleet-demo/a /tmp/fleet-demo/b
+	@./bin/placercoord -addr 127.0.0.1:7878 & echo $$! > /tmp/fleet-demo/coord.pid; \
+	sleep 0.3; \
+	./bin/placerd -addr 127.0.0.1:8081 -coordinator http://127.0.0.1:7878 \
+		-node-id demo-a -advertise http://127.0.0.1:8081 \
+		-data-dir /tmp/fleet-demo/a -resume-root /tmp/fleet-demo & echo $$! > /tmp/fleet-demo/a.pid; \
+	./bin/placerd -addr 127.0.0.1:8082 -coordinator http://127.0.0.1:7878 \
+		-node-id demo-b -advertise http://127.0.0.1:8082 \
+		-data-dir /tmp/fleet-demo/b -resume-root /tmp/fleet-demo & echo $$! > /tmp/fleet-demo/b.pid; \
+	sleep 1.5; \
+	./bin/placerload -coordinator http://127.0.0.1:7878 \
+		-jobs 24 -concurrency 6 -designs 4 -cells 300 -iters 40 -out $(BENCH); \
+	rc=$$?; \
+	kill $$(cat /tmp/fleet-demo/a.pid /tmp/fleet-demo/b.pid /tmp/fleet-demo/coord.pid) 2>/dev/null; \
+	rm -rf /tmp/fleet-demo; \
+	exit $$rc

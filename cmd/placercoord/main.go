@@ -1,0 +1,137 @@
+// Command placercoord runs the fleet coordinator: it registers placerd
+// workers through heartbeats, routes submitted jobs across them by
+// rendezvous hashing with checkpoint-affinity override, steals queued work
+// from hot nodes onto idle ones, re-routes jobs off dead workers (resuming
+// from their durable checkpoints when a shared filesystem makes them
+// reachable), and enforces multi-tenant admission control with 429 +
+// Retry-After backpressure.
+//
+// Usage:
+//
+//	placercoord [-addr :7878] [-heartbeat-ttl 5s] [-tick 500ms]
+//	            [-pending 256] [-retention 1024] [-tenants tenants.json]
+//	            [-log-format text|json] [-log-level info]
+//
+// The -tenants file is a JSON document:
+//
+//	{
+//	  "defaults": {"class": "batch", "rate": 0, "max_in_flight": 0},
+//	  "tenants": [
+//	    {"name": "ci", "class": "batch", "rate": 2, "burst": 4, "max_in_flight": 8},
+//	    {"name": "interactive", "class": "prod", "max_in_flight": 4},
+//	    {"name": "scavenger", "class": "free", "rate": 0.5}
+//	  ]
+//	}
+//
+// Endpoints: POST /v1/workers/heartbeat, POST /v1/jobs (X-Tenant header),
+// GET /v1/jobs, GET /v1/jobs/{id}, DELETE /v1/jobs/{id},
+// GET /v1/jobs/{id}/trajectory (proxied NDJSON stream), GET /v1/fleet,
+// GET /metrics, GET /healthz, GET /readyz.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flag"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "placercoord: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// tenantsFile is the -tenants JSON document.
+type tenantsFile struct {
+	Defaults fleet.TenantConfig   `json:"defaults"`
+	Tenants  []fleet.TenantConfig `json:"tenants"`
+}
+
+func run(argv []string) error {
+	fs := flag.NewFlagSet("placercoord", flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", ":7878", "listen address")
+		ttl       = fs.Duration("heartbeat-ttl", 5*time.Second, "worker expiry: re-route jobs after this long without a heartbeat")
+		tick      = fs.Duration("tick", 500*time.Millisecond, "maintenance loop period (expiry, state sync, dispatch, stealing)")
+		pending   = fs.Int("pending", 256, "admitted jobs held waiting for fleet capacity before 429")
+		retention = fs.Int("retention", 1024, "finished fleet jobs kept for inspection")
+		tenants   = fs.String("tenants", "", "tenant admission policy JSON file (empty admits everything)")
+		logFormat = fs.String("log-format", "text", "log encoding: text or json")
+		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn, error")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger, err := obs.New(os.Stderr, *logFormat, level)
+	if err != nil {
+		return err
+	}
+
+	var tf tenantsFile
+	if *tenants != "" {
+		data, err := os.ReadFile(*tenants)
+		if err != nil {
+			return fmt.Errorf("read tenants file: %w", err)
+		}
+		if err := json.Unmarshal(data, &tf); err != nil {
+			return fmt.Errorf("parse tenants file %s: %w", *tenants, err)
+		}
+	}
+	adm, err := fleet.NewAdmission(tf.Defaults, tf.Tenants, nil)
+	if err != nil {
+		return err
+	}
+
+	coord := fleet.NewCoordinator(fleet.Config{
+		HeartbeatTTL: *ttl,
+		PendingLimit: *pending,
+		Retention:    *retention,
+		Admission:    adm,
+		Log:          logger,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go coord.Run(ctx, *tick)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           fleet.NewHandler(coord),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Info("placercoord listening", "addr", *addr,
+		"heartbeat_ttl", ttl.String(), "tenants", len(tf.Tenants))
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Warn("http shutdown", "err", err)
+	}
+	logger.Info("bye")
+	return nil
+}

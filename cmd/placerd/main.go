@@ -10,12 +10,23 @@
 //	        [-timeout 0] [-aux-root dir] [-data-dir dir] [-checkpoint-every 25]
 //	        [-log-format text|json] [-log-level info] [-trace dir]
 //	        [-debug-addr :6060]
+//	        [-coordinator url] [-node-id id] [-advertise url]
+//	        [-heartbeat 1s] [-resume-root dir]
 //
 // Endpoints: POST /jobs, GET /jobs, GET /jobs/{id},
 // GET /jobs/{id}/trajectory, GET /v1/jobs/{id}/trajectory (NDJSON stream),
-// DELETE /jobs/{id}, GET /metrics, GET /healthz.
+// DELETE /jobs/{id} (?if=queued for steal-safe cancels), GET /stats,
+// GET /metrics, GET /healthz, GET /readyz.
 // SIGINT/SIGTERM drains gracefully: running jobs finish (up to -drain), then
 // remaining jobs are cancelled.
+//
+// With -coordinator the daemon joins a fleet: it heartbeats its identity
+// (-node-id), advertised URL (-advertise), capacity report, and -data-dir to
+// the coordinator, which then routes fleet jobs to it. -resume-root names the
+// shared-filesystem root under which job specs may point their resume
+// directories (cross-node checkpoint handoff); when empty, resume.dir jobs
+// are rejected. /readyz reports 503 until the coordinator acknowledges a
+// heartbeat (standalone daemons are always ready).
 //
 // With -data-dir the daemon is durable: specs, statuses, and placement
 // snapshots are persisted under the directory, jobs cancelled by the drain
@@ -43,6 +54,7 @@ import (
 	"flag"
 
 	"repro/internal/checkpoint"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/service/telemetry"
@@ -74,6 +86,12 @@ func run(argv []string) error {
 		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn, error")
 		traceDir  = fs.String("trace", "", "write per-job Chrome trace files into this directory")
 		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
+
+		coordinator = fs.String("coordinator", "", "fleet coordinator base URL (empty = standalone)")
+		nodeID      = fs.String("node-id", "", "stable fleet identity (default: hostname)")
+		advertise   = fs.String("advertise", "", "base URL other nodes reach this daemon at (default http://<hostname><addr>)")
+		heartbeat   = fs.Duration("heartbeat", time.Second, "fleet heartbeat interval")
+		resumeRoot  = fs.String("resume-root", "", "shared-filesystem root resume.dir job specs may point into (empty rejects them)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -104,6 +122,7 @@ func run(argv []string) error {
 		AuxRoot:         *auxRoot,
 		DataDir:         *dataDir,
 		CheckpointEvery: *ckptEvery,
+		ResumeRoot:      *resumeRoot,
 		Telemetry:       tel,
 		Log:             logger,
 		TraceDir:        *traceDir,
@@ -117,14 +136,41 @@ func run(argv []string) error {
 		}
 	}
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           service.NewHandler(mgr),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Fleet membership: heartbeat the coordinator; ready only once it acks.
+	// Standalone daemons (no -coordinator) are ready as soon as they listen.
+	ready := func() bool { return true }
+	if *coordinator != "" {
+		id := *nodeID
+		host, _ := os.Hostname()
+		if id == "" {
+			id = host
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + host + *addr
+		}
+		agent := &fleet.Agent{
+			Coordinator: *coordinator,
+			ID:          id,
+			URL:         adv,
+			DataDir:     *dataDir,
+			Stats:       mgr.Stats,
+			Interval:    *heartbeat,
+			Log:         logger.With("component", "fleet-agent"),
+		}
+		go agent.Run(ctx)
+		ready = agent.Registered
+		logger.Info("joining fleet", "coordinator", *coordinator, "node_id", id, "advertise", adv)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServeMux(mgr, ready),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 
 	var debugSrv *http.Server
 	if *debugAddr != "" {
@@ -169,6 +215,26 @@ func run(argv []string) error {
 	}
 	logger.Info("bye")
 	return nil
+}
+
+// newServeMux wraps the service API with the daemon-level /readyz probe:
+// liveness (/healthz, inside the service handler) says the process is up,
+// readiness says it can usefully take traffic — which for a fleet member
+// means the coordinator has acknowledged a heartbeat. Standalone daemons
+// pass ready = always-true.
+func newServeMux(mgr *service.Manager, ready func() bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if !ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":"not registered with coordinator"}`)
+			return
+		}
+		fmt.Fprintln(w, `{"status":"ready"}`)
+	})
+	mux.Handle("/", service.NewHandler(mgr))
+	return mux
 }
 
 // newDebugMux builds the pprof handler set explicitly instead of relying on

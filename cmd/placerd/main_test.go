@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"regexp"
 	"strconv"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -383,4 +384,45 @@ func scrapeMetrics(t *testing.T, base string) map[string]float64 {
 		t.Fatalf("no metrics parsed from scrape:\n%s", body)
 	}
 	return out
+}
+
+// TestServeMuxReadiness pins the daemon-level probes: /healthz (liveness,
+// from the service handler) always answers 200 while the process is up,
+// and /readyz follows the fleet-registration signal — 503 until the
+// coordinator acks a heartbeat, 200 after, and the rest of the API keeps
+// working either way.
+func TestServeMuxReadiness(t *testing.T) {
+	mgr := service.NewManager(service.Config{Workers: 1, QueueDepth: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		mgr.Shutdown(ctx) //nolint:errcheck // test teardown
+	}()
+	var ready atomic.Bool
+	api := httptest.NewServer(newServeMux(mgr, ready.Load))
+	defer api.Close()
+
+	status := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(api.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200", got)
+	}
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("/readyz before registration = %d, want 503", got)
+	}
+	if got := status("/jobs"); got != http.StatusOK {
+		t.Errorf("/jobs while unready = %d, want 200 (readiness must not block the API)", got)
+	}
+	ready.Store(true)
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Errorf("/readyz after registration = %d, want 200", got)
+	}
 }

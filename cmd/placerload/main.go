@@ -1,0 +1,299 @@
+// Command placerload is the fleet load/soak harness: it drives concurrent
+// placement jobs through a placercoord coordinator from several tenants,
+// honoring 429 + Retry-After backpressure, and records end-to-end latency
+// percentiles (p50/p95/p99), rejection counts, and the coordinator's
+// routing counters (affinity hits, steals, re-routes) into a benchmark
+// JSON file.
+//
+// Usage:
+//
+//	placerload -coordinator http://localhost:7878
+//	           [-jobs 32] [-concurrency 8] [-tenants default]
+//	           [-designs 4] [-cells 400] [-iters 60] [-out BENCH_PR6.json]
+//	           [-soak 0]
+//
+// -designs controls how many distinct synthetic designs the job stream
+// cycles through: fewer designs than jobs means resubmissions, which is
+// what exercises checkpoint-affinity routing. With -soak > 0 the harness
+// loops the whole job batch until the duration elapses (a soak run),
+// accumulating latencies across rounds.
+//
+// The output file is merged, not overwritten: placerload owns only the
+// top-level "fleet_load" key, so `make bench` results in the same file
+// survive.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/fleet/client"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "placerload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// jobResult is one job's outcome.
+type jobResult struct {
+	latency  time.Duration
+	state    string
+	rejected int // 429s absorbed before acceptance
+	err      error
+}
+
+// loadReport is the "fleet_load" document merged into the bench JSON.
+type loadReport struct {
+	Coordinator string  `json:"coordinator"`
+	Jobs        int     `json:"jobs"`
+	Concurrency int     `json:"concurrency"`
+	Tenants     int     `json:"tenants"`
+	Designs     int     `json:"designs"`
+	Cells       int     `json:"cells"`
+	Iters       int     `json:"iters"`
+	SoakSeconds float64 `json:"soak_seconds,omitempty"`
+	CPUs        int     `json:"cpus"`
+
+	Done      int     `json:"done"`
+	Failed    int     `json:"failed"`
+	Errors    int     `json:"errors"`
+	Rejected  int     `json:"rejected_429"`
+	P50Ms     float64 `json:"latency_p50_ms"`
+	P95Ms     float64 `json:"latency_p95_ms"`
+	P99Ms     float64 `json:"latency_p99_ms"`
+	MeanMs    float64 `json:"latency_mean_ms"`
+	MaxMs     float64 `json:"latency_max_ms"`
+	WallSecs  float64 `json:"wall_seconds"`
+	Throughpt float64 `json:"jobs_per_second"`
+
+	Fleet fleet.Counters `json:"fleet_counters"`
+}
+
+func run(argv []string) error {
+	fs := flag.NewFlagSet("placerload", flag.ExitOnError)
+	var (
+		coordinator = fs.String("coordinator", "http://localhost:7878", "coordinator base URL")
+		jobs        = fs.Int("jobs", 32, "jobs per round")
+		concurrency = fs.Int("concurrency", 8, "concurrent submitters")
+		tenants     = fs.String("tenants", "default", "comma-separated tenant names to spread load across")
+		designs     = fs.Int("designs", 4, "distinct synthetic designs cycled through (fewer than -jobs exercises checkpoint affinity)")
+		cells       = fs.Int("cells", 400, "movable cells per synthetic design")
+		iters       = fs.Int("iters", 60, "GP iteration budget per job")
+		soak        = fs.Duration("soak", 0, "repeat rounds until this duration elapses (0 = one round)")
+		out         = fs.String("out", "BENCH_PR6.json", "bench JSON file to merge the fleet_load report into")
+		timeout     = fs.Duration("timeout", 10*time.Minute, "overall harness deadline")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	tenantNames := strings.Split(*tenants, ",")
+	if *designs <= 0 {
+		*designs = 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	probe := &client.Client{Base: *coordinator}
+	if st, err := probe.Fleet(ctx); err != nil {
+		return fmt.Errorf("coordinator unreachable: %w", err)
+	} else if len(st.Workers) == 0 {
+		return errors.New("fleet has no registered workers; start placerd with -coordinator first")
+	}
+
+	var (
+		mu      sync.Mutex
+		results []jobResult
+	)
+	start := time.Now()
+	round := 0
+	for {
+		round++
+		runRound(ctx, *coordinator, tenantNames, *jobs, *concurrency, *designs, *cells, *iters, round, func(r jobResult) {
+			mu.Lock()
+			results = append(results, r)
+			mu.Unlock()
+		})
+		if *soak <= 0 || time.Since(start) >= *soak || ctx.Err() != nil {
+			break
+		}
+		fmt.Fprintf(os.Stderr, "placerload: round %d done (%d results, %s elapsed)\n",
+			round, len(results), time.Since(start).Round(time.Second))
+	}
+	wall := time.Since(start)
+
+	st, err := probe.Fleet(ctx)
+	if err != nil {
+		return fmt.Errorf("final fleet status: %w", err)
+	}
+
+	rep := buildReport(results, wall, st.Counters)
+	rep.Coordinator = *coordinator
+	rep.Jobs = *jobs
+	rep.Concurrency = *concurrency
+	rep.Tenants = len(tenantNames)
+	rep.Designs = *designs
+	rep.Cells = *cells
+	rep.Iters = *iters
+	rep.SoakSeconds = soak.Seconds()
+	rep.CPUs = runtime.NumCPU()
+
+	if err := mergeReport(*out, rep); err != nil {
+		return err
+	}
+	fmt.Printf("placerload: %d done, %d failed, %d errors, %d 429s | p50 %.0fms p95 %.0fms p99 %.0fms | affinity %d, stolen %d, rerouted %d | %s\n",
+		rep.Done, rep.Failed, rep.Errors, rep.Rejected, rep.P50Ms, rep.P95Ms, rep.P99Ms,
+		rep.Fleet.AffinityHits, rep.Fleet.Stolen, rep.Fleet.Rerouted, *out)
+	return nil
+}
+
+// runRound submits one batch of jobs through a bounded worker pool and
+// waits for every job to reach a terminal state.
+func runRound(ctx context.Context, base string, tenants []string, jobs, concurrency, designs, cells, iters, round int, record func(jobResult)) {
+	sem := make(chan struct{}, concurrency)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c := &client.Client{Base: base, Tenant: tenants[i%len(tenants)]}
+			record(oneJob(ctx, c, specFor(i%designs, cells, iters)))
+		}(i)
+	}
+	wg.Wait()
+	_ = round
+}
+
+// specFor builds the d-th synthetic design spec. The seed is a pure
+// function of d, so two jobs with the same d are byte-identical specs —
+// the coordinator's affinity map routes the repeat to the same worker.
+func specFor(d, cells, iters int) service.JobSpec {
+	return service.JobSpec{
+		Design: service.DesignSpec{Synth: &service.SynthSpec{
+			Name:  fmt.Sprintf("load-%03d", d),
+			Cells: cells,
+			Seed:  int64(1000 + d),
+		}},
+		Model:  "ME",
+		Placer: service.PlacerSpec{MaxIters: iters, Workers: 1, Seed: int64(1 + d)},
+		Flow:   service.FlowSpec{GPOnly: true},
+	}
+}
+
+// oneJob submits one spec (absorbing 429 backpressure with the advertised
+// Retry-After) and waits for it to finish.
+func oneJob(ctx context.Context, c *client.Client, spec service.JobSpec) jobResult {
+	var res jobResult
+	start := time.Now()
+	var v fleet.JobView
+	for {
+		var err error
+		v, err = c.Submit(ctx, spec)
+		if err == nil {
+			break
+		}
+		var ra *client.RetryAfterError
+		if !errors.As(err, &ra) {
+			res.err = err
+			return res
+		}
+		res.rejected++
+		select {
+		case <-ctx.Done():
+			res.err = ctx.Err()
+			return res
+		case <-time.After(ra.After):
+		}
+	}
+	final, err := c.WaitTerminal(ctx, v.ID)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.latency = time.Since(start)
+	res.state = final.State
+	return res
+}
+
+// buildReport folds results into the percentile summary.
+func buildReport(results []jobResult, wall time.Duration, counters fleet.Counters) loadReport {
+	rep := loadReport{Fleet: counters, WallSecs: wall.Seconds()}
+	var lats []float64
+	for _, r := range results {
+		rep.Rejected += r.rejected
+		switch {
+		case r.err != nil:
+			rep.Errors++
+		case r.state == string(service.StateDone):
+			rep.Done++
+			lats = append(lats, float64(r.latency.Milliseconds()))
+		default:
+			rep.Failed++
+		}
+	}
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		rep.P50Ms = percentile(lats, 50)
+		rep.P95Ms = percentile(lats, 95)
+		rep.P99Ms = percentile(lats, 99)
+		rep.MaxMs = lats[len(lats)-1]
+		sum := 0.0
+		for _, v := range lats {
+			sum += v
+		}
+		rep.MeanMs = sum / float64(len(lats))
+	}
+	if wall > 0 {
+		rep.Throughpt = float64(rep.Done) / wall.Seconds()
+	}
+	return rep
+}
+
+// percentile reads the p-th percentile from sorted values (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// mergeReport writes rep under the "fleet_load" key of the bench JSON,
+// preserving whatever other keys (benchjson output) the file already holds.
+func mergeReport(path string, rep loadReport) error {
+	doc := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(path); err == nil {
+		// Tolerate a non-object file (e.g. truncated) by starting fresh.
+		_ = json.Unmarshal(data, &doc)
+	}
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	doc["fleet_load"] = blob
+	outData, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(outData, '\n'), 0o644)
+}

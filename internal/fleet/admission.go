@@ -1,0 +1,195 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Class is a tenant priority class. Lower values dispatch first when the
+// fleet is saturated and the coordinator is draining its pending queue.
+type Class int
+
+const (
+	// ClassProd is interactive/production traffic: first to dispatch.
+	ClassProd Class = iota
+	// ClassBatch is the default class for throughput traffic.
+	ClassBatch
+	// ClassFree is best-effort traffic: dispatched only after everyone else.
+	ClassFree
+)
+
+// String returns the class's wire name.
+func (c Class) String() string {
+	switch c {
+	case ClassProd:
+		return "prod"
+	case ClassFree:
+		return "free"
+	default:
+		return "batch"
+	}
+}
+
+// ParseClass resolves a class name ("" means batch).
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "prod":
+		return ClassProd, nil
+	case "", "batch":
+		return ClassBatch, nil
+	case "free":
+		return ClassFree, nil
+	}
+	return ClassBatch, fmt.Errorf("fleet: unknown priority class %q (want prod, batch, or free)", s)
+}
+
+// TenantConfig is one tenant's admission policy.
+type TenantConfig struct {
+	Name string `json:"name"`
+	// Class is the priority class: "prod", "batch" (default), or "free".
+	Class string `json:"class,omitempty"`
+	// Rate is the sustained submit rate in jobs/second replenishing the
+	// tenant's token bucket; 0 disables rate limiting.
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the bucket capacity (max submits absorbed at once);
+	// defaults to max(1, ceil(Rate)).
+	Burst int `json:"burst,omitempty"`
+	// MaxInFlight caps the tenant's jobs that are pending or running
+	// anywhere in the fleet (the queue quota); 0 disables the quota.
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+}
+
+// Admission errors. The coordinator maps both onto HTTP 429 with a
+// Retry-After header.
+var (
+	ErrRateLimited    = errors.New("fleet: tenant rate limit exceeded")
+	ErrQuotaExhausted = errors.New("fleet: tenant in-flight quota exhausted")
+)
+
+// tenantState is one tenant's live bucket and quota accounting.
+type tenantState struct {
+	cfg      TenantConfig
+	class    Class
+	tokens   float64
+	last     time.Time
+	inFlight int
+}
+
+// Admission enforces per-tenant token-bucket rate limits and in-flight
+// quotas. The clock is injectable so tests drive refill deterministically.
+type Admission struct {
+	defaults TenantConfig
+	now      func() time.Time
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+}
+
+// NewAdmission builds an admission controller. Tenants not in the list get
+// the defaults policy (zero-valued defaults admit everything). A nil now
+// uses the wall clock.
+func NewAdmission(defaults TenantConfig, tenants []TenantConfig, now func() time.Time) (*Admission, error) {
+	if now == nil {
+		now = time.Now
+	}
+	a := &Admission{defaults: defaults, now: now, tenants: make(map[string]*tenantState)}
+	for _, tc := range tenants {
+		if tc.Name == "" {
+			return nil, errors.New("fleet: tenant config with empty name")
+		}
+		if tc.Rate < 0 || tc.Burst < 0 || tc.MaxInFlight < 0 {
+			return nil, fmt.Errorf("fleet: tenant %q has negative rate/burst/quota", tc.Name)
+		}
+		st, err := newTenantState(tc, a.now())
+		if err != nil {
+			return nil, err
+		}
+		a.tenants[tc.Name] = st
+	}
+	if _, err := ParseClass(defaults.Class); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func newTenantState(tc TenantConfig, now time.Time) (*tenantState, error) {
+	class, err := ParseClass(tc.Class)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: tenant %q: %w", tc.Name, err)
+	}
+	if tc.Burst <= 0 && tc.Rate > 0 {
+		tc.Burst = int(math.Max(1, math.Ceil(tc.Rate)))
+	}
+	return &tenantState{cfg: tc, class: class, tokens: float64(tc.Burst), last: now}, nil
+}
+
+// state returns (lazily creating) the tenant's accounting record.
+func (a *Admission) state(tenant string) *tenantState {
+	st, ok := a.tenants[tenant]
+	if !ok {
+		cfg := a.defaults
+		cfg.Name = tenant
+		st, _ = newTenantState(cfg, a.now()) // defaults.Class already validated
+		a.tenants[tenant] = st
+	}
+	return st
+}
+
+// Admit charges one submission to the tenant. On success the tenant's
+// in-flight count is incremented (balance it with Release when the job
+// reaches a terminal state). On rejection it returns ErrRateLimited or
+// ErrQuotaExhausted plus how long the caller should wait before retrying —
+// the coordinator turns that into a 429 with a Retry-After header.
+func (a *Admission) Admit(tenant string) (time.Duration, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.state(tenant)
+	now := a.now()
+	if st.cfg.Rate > 0 {
+		st.tokens = math.Min(float64(st.cfg.Burst), st.tokens+now.Sub(st.last).Seconds()*st.cfg.Rate)
+	}
+	st.last = now
+	if st.cfg.MaxInFlight > 0 && st.inFlight >= st.cfg.MaxInFlight {
+		// The quota frees when a job finishes; without visibility into run
+		// times, advise a one-second poll.
+		return time.Second, ErrQuotaExhausted
+	}
+	if st.cfg.Rate > 0 {
+		if st.tokens < 1 {
+			wait := time.Duration((1 - st.tokens) / st.cfg.Rate * float64(time.Second))
+			return wait, ErrRateLimited
+		}
+		st.tokens--
+	}
+	st.inFlight++
+	return 0, nil
+}
+
+// Release returns one in-flight slot to the tenant (its job reached a
+// terminal state or was never dispatched).
+func (a *Admission) Release(tenant string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.state(tenant)
+	if st.inFlight > 0 {
+		st.inFlight--
+	}
+}
+
+// Class returns the tenant's priority class.
+func (a *Admission) Class(tenant string) Class {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.state(tenant).class
+}
+
+// InFlight returns the tenant's current in-flight count (for status pages
+// and tests).
+func (a *Admission) InFlight(tenant string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.state(tenant).inFlight
+}

@@ -1,0 +1,63 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+func TestAgentRegistersAndDeregisters(t *testing.T) {
+	clock := newFakeClock()
+	c := newTestCoordinator(t, clock, nil)
+	handler := NewHandler(c)
+	var down atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "gone", http.StatusBadGateway)
+			return
+		}
+		handler.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	a := &Agent{
+		Coordinator: srv.URL,
+		ID:          "w1",
+		URL:         "http://w1.example",
+		DataDir:     "/data/w1",
+		Stats:       func() service.ManagerStats { return service.ManagerStats{PlaceWorkers: 2, QueueCap: 8} },
+		Interval:    5 * time.Millisecond,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go a.Run(ctx)
+
+	wait := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+
+	wait("registration", a.Registered)
+	hb, ok := c.Registry().Get("w1", clock.Now())
+	if !ok || hb.URL != "http://w1.example" || hb.DataDir != "/data/w1" || hb.Stats.PlaceWorkers != 2 {
+		t.Fatalf("registered heartbeat = %+v, %v", hb, ok)
+	}
+
+	// A failing coordinator clears the readiness flag; recovery restores it.
+	down.Store(true)
+	wait("deregistration", func() bool { return !a.Registered() })
+	down.Store(false)
+	wait("re-registration", a.Registered)
+}

@@ -1,0 +1,213 @@
+// Package client is the tenant-side SDK for the fleet coordinator: it
+// submits jobs, polls them to completion, and — critically — honors the
+// coordinator's admission-control backpressure, sleeping out 429 responses
+// for exactly the Retry-After the server advertised instead of hammering a
+// saturated fleet.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/service"
+)
+
+// RetryAfterError is a 429 pushback from the coordinator, carrying the
+// parsed Retry-After interval.
+type RetryAfterError struct {
+	After  time.Duration
+	Status int
+	Msg    string
+}
+
+// Error implements error.
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("fleet pushback (%d, retry after %s): %s", e.Status, e.After, e.Msg)
+}
+
+// Client talks to one coordinator on behalf of one tenant.
+type Client struct {
+	// Base is the coordinator base URL.
+	Base string
+	// Tenant is sent as the X-Tenant header ("" means the default tenant).
+	Tenant string
+	// HTTP is the transport (nil: 10s timeout default).
+	HTTP *http.Client
+	// Poll is the status poll interval for the wait helpers (default 100ms).
+	Poll time.Duration
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+func (c *Client) poll() time.Duration {
+	if c.Poll > 0 {
+		return c.Poll
+	}
+	return 100 * time.Millisecond
+}
+
+// Submit sends one job spec. A 429 returns *RetryAfterError so callers can
+// implement their own pacing; SubmitWait retries internally instead.
+func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (fleet.JobView, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return fleet.JobView{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return fleet.JobView{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.Tenant != "" {
+		req.Header.Set("X-Tenant", c.Tenant)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fleet.JobView{}, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		var v fleet.JobView
+		err := json.NewDecoder(resp.Body).Decode(&v)
+		return v, err
+	case http.StatusTooManyRequests:
+		after := parseRetryAfter(resp.Header.Get("Retry-After"))
+		msg := readError(resp.Body)
+		return fleet.JobView{}, &RetryAfterError{After: after, Status: resp.StatusCode, Msg: msg}
+	default:
+		return fleet.JobView{}, fmt.Errorf("fleet submit: status %d: %s", resp.StatusCode, readError(resp.Body))
+	}
+}
+
+// SubmitWait submits with backpressure compliance: on 429 it sleeps the
+// advertised Retry-After (bounded by ctx) and retries until accepted.
+func (c *Client) SubmitWait(ctx context.Context, spec service.JobSpec) (fleet.JobView, error) {
+	for {
+		v, err := c.Submit(ctx, spec)
+		if err == nil {
+			return v, nil
+		}
+		var ra *RetryAfterError
+		if !errors.As(err, &ra) {
+			return fleet.JobView{}, err
+		}
+		select {
+		case <-ctx.Done():
+			return fleet.JobView{}, ctx.Err()
+		case <-time.After(ra.After):
+		}
+	}
+}
+
+// Get fetches one job's fleet view.
+func (c *Client) Get(ctx context.Context, id string) (fleet.JobView, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return fleet.JobView{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fleet.JobView{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fleet.JobView{}, fmt.Errorf("fleet get %s: status %d: %s", id, resp.StatusCode, readError(resp.Body))
+	}
+	var v fleet.JobView
+	err = json.NewDecoder(resp.Body).Decode(&v)
+	return v, err
+}
+
+// WaitTerminal polls a job until its worker-reported state is terminal
+// (done, failed, or cancelled), returning the final view.
+func (c *Client) WaitTerminal(ctx context.Context, id string) (fleet.JobView, error) {
+	t := time.NewTicker(c.poll())
+	defer t.Stop()
+	for {
+		v, err := c.Get(ctx, id)
+		if err != nil {
+			return fleet.JobView{}, err
+		}
+		if service.State(v.State).Terminal() {
+			return v, nil
+		}
+		select {
+		case <-ctx.Done():
+			return v, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Cancel cancels a job wherever it lives.
+func (c *Client) Cancel(ctx context.Context, id string) (fleet.JobView, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.Base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return fleet.JobView{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fleet.JobView{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fleet.JobView{}, fmt.Errorf("fleet cancel %s: status %d: %s", id, resp.StatusCode, readError(resp.Body))
+	}
+	var v fleet.JobView
+	err = json.NewDecoder(resp.Body).Decode(&v)
+	return v, err
+}
+
+// Fleet fetches the fleet status document (workers + routing counters).
+func (c *Client) Fleet(ctx context.Context) (fleet.Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/fleet", nil)
+	if err != nil {
+		return fleet.Status{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fleet.Status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fleet.Status{}, fmt.Errorf("fleet status: %d: %s", resp.StatusCode, readError(resp.Body))
+	}
+	var s fleet.Status
+	err = json.NewDecoder(resp.Body).Decode(&s)
+	return s, err
+}
+
+// parseRetryAfter decodes a delta-seconds Retry-After value, falling back
+// to one second when missing or malformed.
+func parseRetryAfter(s string) time.Duration {
+	if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return time.Second
+}
+
+// readError extracts the {"error": ...} body, or raw text.
+func readError(r io.Reader) string {
+	data, _ := io.ReadAll(io.LimitReader(r, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(bytes.TrimSpace(data))
+}

@@ -1,0 +1,127 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/service"
+)
+
+// fakeCoord fakes just enough of the coordinator API: the first rejects
+// submits with a 429, then accepts and drives the job to done.
+func fakeCoord(rejects int32) (*httptest.Server, *atomic.Int32) {
+	var submits atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("X-Tenant") != "ci" {
+			http.Error(w, `{"error":"wrong tenant"}`, http.StatusBadRequest)
+			return
+		}
+		if submits.Add(1) <= rejects {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"tenant rate limit exceeded"}`)) //nolint:errcheck
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"fj-000001","tenant":"ci","class":"batch","state":"queued","submitted_at":"2026-01-01T00:00:00Z"}`)) //nolint:errcheck
+	})
+	mux.HandleFunc("GET /v1/jobs/fj-000001", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"id":"fj-000001","tenant":"ci","class":"batch","state":"done","submitted_at":"2026-01-01T00:00:00Z"}`)) //nolint:errcheck
+	})
+	mux.HandleFunc("GET /v1/fleet", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"workers":[{"id":"w1","url":"http://w1","stats":{"place_workers":1,"queue_cap":8,"queue_depth":0,"running":0},"last_seen":"2026-01-01T00:00:00Z"}],"pending":0,"counters":{"submitted":1,"rejected":1,"assigned":1,"rerouted":0,"stolen":0,"affinity_hits":0,"heartbeats":3}}`)) //nolint:errcheck
+	})
+	return httptest.NewServer(mux), &submits
+}
+
+func testSpec() service.JobSpec {
+	return service.JobSpec{Design: service.DesignSpec{Synth: &service.SynthSpec{Cells: 64}}}
+}
+
+func TestSubmitSurfacesRetryAfter(t *testing.T) {
+	srv, _ := fakeCoord(1)
+	defer srv.Close()
+	c := &Client{Base: srv.URL, Tenant: "ci"}
+
+	_, err := c.Submit(context.Background(), testSpec())
+	var ra *RetryAfterError
+	if !errors.As(err, &ra) {
+		t.Fatalf("first Submit err = %v, want *RetryAfterError", err)
+	}
+	if ra.After != time.Second || ra.Status != http.StatusTooManyRequests {
+		t.Errorf("RetryAfterError = %+v, want 1s/429", ra)
+	}
+	if ra.Msg == "" {
+		t.Error("pushback message should carry the server's error text")
+	}
+
+	v, err := c.Submit(context.Background(), testSpec())
+	if err != nil {
+		t.Fatalf("second Submit: %v", err)
+	}
+	if v.ID != "fj-000001" || v.Tenant != "ci" {
+		t.Errorf("accepted view = %+v", v)
+	}
+}
+
+func TestSubmitWaitHonorsBackpressure(t *testing.T) {
+	srv, submits := fakeCoord(2)
+	defer srv.Close()
+	c := &Client{Base: srv.URL, Tenant: "ci", Poll: time.Millisecond}
+
+	start := time.Now()
+	v, err := c.SubmitWait(context.Background(), testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := submits.Load(); got != 3 {
+		t.Errorf("submit attempts = %d, want 3 (two 429s absorbed)", got)
+	}
+	// Two advertised 1-second waits must actually have been slept out.
+	if elapsed := time.Since(start); elapsed < 2*time.Second {
+		t.Errorf("SubmitWait returned after %s, want >= 2s of Retry-After pacing", elapsed)
+	}
+	final, err := c.WaitTerminal(context.Background(), v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != "done" {
+		t.Errorf("final state = %q, want done", final.State)
+	}
+}
+
+func TestFleetStatus(t *testing.T) {
+	srv, _ := fakeCoord(0)
+	defer srv.Close()
+	c := &Client{Base: srv.URL}
+	st, err := c.Fleet(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fleet.Counters{Submitted: 1, Rejected: 1, Assigned: 1, Heartbeats: 3}
+	if len(st.Workers) != 1 || st.Workers[0].ID != "w1" || st.Counters != want {
+		t.Errorf("Fleet() = %+v", st)
+	}
+}
+
+func TestSubmitWaitRespectsContext(t *testing.T) {
+	srv, _ := fakeCoord(1000)
+	defer srv.Close()
+	c := &Client{Base: srv.URL, Tenant: "ci"}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := c.SubmitWait(ctx, testSpec()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("SubmitWait under a dead context = %v, want DeadlineExceeded", err)
+	}
+}

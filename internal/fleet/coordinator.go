@@ -1,0 +1,784 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/service/telemetry"
+)
+
+// ErrSaturated means admission passed but no worker could take the job and
+// the coordinator's pending queue is full. Mapped to 429 + Retry-After.
+var ErrSaturated = errors.New("fleet: cluster is saturated")
+
+// ErrUnknownJob mirrors the worker-side error for the fleet job table.
+var ErrUnknownJob = errors.New("fleet: unknown job")
+
+// Config tunes a Coordinator.
+type Config struct {
+	// HeartbeatTTL is how long a worker stays live without a heartbeat
+	// (default 5s). Expiry is the failure detector: jobs on an expired
+	// worker are re-routed.
+	HeartbeatTTL time.Duration
+	// PendingLimit bounds the coordinator-side queue of admitted jobs
+	// waiting for fleet capacity (default 256).
+	PendingLimit int
+	// Retention caps retained terminal job records (default 1024).
+	Retention int
+	// Admission is the multi-tenant admission controller; nil admits
+	// everything (a zero-valued policy for every tenant).
+	Admission *Admission
+	// Telemetry receives fleet metrics; nil allocates a private collector.
+	Telemetry *telemetry.FleetCollector
+	// Log receives coordinator events; nil disables logging.
+	Log *obs.Logger
+	// Client is the HTTP client for worker control calls (submit, status,
+	// cancel); nil uses a 10-second-timeout default. Trajectory streaming
+	// uses a separate timeout-free client bound to the request context.
+	Client *http.Client
+	// Now is the clock (tests inject a fake one); nil uses time.Now.
+	Now func() time.Time
+}
+
+// fleetJob is the coordinator's record of one submitted job. All mutable
+// fields are guarded by the coordinator's mu; assignment transitions happen
+// on the submit path (fresh records) or inside Tick, never concurrently for
+// the same record.
+type fleetJob struct {
+	id        string
+	tenant    string
+	class     Class
+	spec      service.JobSpec
+	key       uint64
+	submitted time.Time
+
+	state       string // "pending" until assigned, then the worker-reported state
+	worker      string
+	workerURL   string
+	remoteID    string
+	last        *service.JobView
+	affinityHit bool
+	reroutes    int
+	steals      int
+	terminal    bool
+	released    bool
+}
+
+// JobView is the fleet API's JSON snapshot of one job: coordinator routing
+// metadata plus the latest proxied worker view.
+type JobView struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	Class  string `json:"class"`
+	// State is "pending" while the job waits for fleet capacity, then the
+	// worker-reported lifecycle state (queued, running, done, ...).
+	State    string `json:"state"`
+	Worker   string `json:"worker,omitempty"`
+	RemoteID string `json:"remote_id,omitempty"`
+	// AffinityHit marks a submission routed to the worker already holding
+	// checkpoints for the same spec.
+	AffinityHit bool `json:"affinity_hit,omitempty"`
+	// Reroutes counts moves off dead workers; Steals counts queue steals.
+	Reroutes    int              `json:"reroutes,omitempty"`
+	Steals      int              `json:"steals,omitempty"`
+	SubmittedAt time.Time        `json:"submitted_at"`
+	Job         *service.JobView `json:"job,omitempty"`
+}
+
+// Coordinator owns the fleet: worker registry, router state, admission
+// controller, and the job table mapping fleet job IDs to worker-local ones.
+type Coordinator struct {
+	cfg    Config
+	reg    *Registry
+	aff    *Affinity
+	adm    *Admission
+	tel    *telemetry.FleetCollector
+	log    *obs.Logger
+	client *http.Client
+	stream *http.Client
+	now    func() time.Time
+
+	mu      sync.Mutex
+	jobs    map[string]*fleetJob
+	order   []*fleetJob
+	pending []*fleetJob
+	seq     int64
+}
+
+// NewCoordinator builds a coordinator from cfg.
+func NewCoordinator(cfg Config) *Coordinator {
+	if cfg.HeartbeatTTL <= 0 {
+		cfg.HeartbeatTTL = 5 * time.Second
+	}
+	if cfg.PendingLimit <= 0 {
+		cfg.PendingLimit = 256
+	}
+	if cfg.Retention <= 0 {
+		cfg.Retention = 1024
+	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewFleetCollector()
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Admission == nil {
+		cfg.Admission, _ = NewAdmission(TenantConfig{}, nil, cfg.Now) // zero policy never errors
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Coordinator{
+		cfg:    cfg,
+		reg:    NewRegistry(cfg.HeartbeatTTL),
+		aff:    NewAffinity(0),
+		adm:    cfg.Admission,
+		tel:    cfg.Telemetry,
+		log:    cfg.Log,
+		client: cfg.Client,
+		stream: &http.Client{},
+		now:    cfg.Now,
+		jobs:   make(map[string]*fleetJob),
+	}
+}
+
+// Telemetry returns the coordinator's metrics collector.
+func (c *Coordinator) Telemetry() *telemetry.FleetCollector { return c.tel }
+
+// Registry returns the worker registry (tests and the status endpoint).
+func (c *Coordinator) Registry() *Registry { return c.reg }
+
+// Run drives the background maintenance loop (expiry/re-route, state sync,
+// pending dispatch, work stealing) every interval until ctx ends.
+func (c *Coordinator) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.Tick(c.now())
+		}
+	}
+}
+
+// Tick runs one maintenance pass at the given time. Exposed so tests drive
+// the fleet deterministically without a background goroutine.
+func (c *Coordinator) Tick(now time.Time) {
+	c.expireAndReroute(now)
+	c.syncWorkers()
+	c.dispatchPending()
+	c.stealOnce(now)
+	c.tel.WorkersLive.Set(int64(len(c.reg.Live(now))))
+	c.mu.Lock()
+	c.tel.JobsPending.Set(int64(len(c.pending)))
+	c.pruneLocked()
+	c.mu.Unlock()
+}
+
+// RecordHeartbeat folds one worker report into the registry.
+func (c *Coordinator) RecordHeartbeat(hb Heartbeat, now time.Time) error {
+	if hb.ID == "" || hb.URL == "" {
+		return fmt.Errorf("fleet: heartbeat needs id and url")
+	}
+	if c.reg.Update(hb, now) {
+		c.log.Info("worker registered", "worker", hb.ID, "url", hb.URL,
+			"place_workers", hb.Stats.PlaceWorkers, "data_dir", hb.DataDir)
+	}
+	c.tel.Heartbeats.Inc()
+	return nil
+}
+
+// Submit admits and routes one job. On rejection it returns a non-zero
+// retry-after hint with ErrRateLimited, ErrQuotaExhausted, or ErrSaturated;
+// the HTTP layer maps all three to 429 + Retry-After.
+func (c *Coordinator) Submit(spec service.JobSpec, tenant string) (JobView, time.Duration, error) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	if err := spec.Validate(""); err != nil {
+		return JobView{}, 0, fmt.Errorf("%w: %v", service.ErrSpecRejected, err)
+	}
+	start := c.now()
+	if after, err := c.adm.Admit(tenant); err != nil {
+		c.tel.JobsRejected.Inc()
+		return JobView{}, after, err
+	}
+	c.mu.Lock()
+	c.seq++
+	j := &fleetJob{
+		id:        fmt.Sprintf("fj-%06d", c.seq),
+		tenant:    tenant,
+		class:     c.adm.Class(tenant),
+		spec:      spec,
+		key:       SpecKey(spec),
+		submitted: start,
+		state:     "pending",
+	}
+	c.jobs[j.id] = j
+	c.order = append(c.order, j)
+	c.mu.Unlock()
+	c.tel.JobsSubmitted.Inc()
+
+	if c.assign(j) {
+		c.tel.SubmitSeconds.Observe(c.now().Sub(start).Seconds())
+		return c.view(j), 0, nil
+	}
+	// No worker took it: hold the job in the coordinator's pending queue if
+	// there is room, else push back on the client.
+	c.mu.Lock()
+	if len(c.pending) >= c.cfg.PendingLimit {
+		delete(c.jobs, j.id)
+		c.order = c.order[:len(c.order)-1]
+		c.mu.Unlock()
+		c.adm.Release(tenant)
+		c.tel.JobsRejected.Inc()
+		return JobView{}, 2 * time.Second, ErrSaturated
+	}
+	c.pending = append(c.pending, j)
+	c.tel.JobsPending.Set(int64(len(c.pending)))
+	c.mu.Unlock()
+	c.log.Info("job pending", "job", j.id, "tenant", tenant)
+	return c.view(j), 0, nil
+}
+
+// Get returns one job's fleet view, refreshing it from the worker when the
+// job is assigned and not yet known-terminal.
+func (c *Coordinator) Get(id string) (JobView, error) {
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	var url, remote string
+	var refresh bool
+	if ok {
+		url, remote = j.workerURL, j.remoteID
+		refresh = j.worker != "" && !j.terminal
+	}
+	c.mu.Unlock()
+	if !ok {
+		return JobView{}, ErrUnknownJob
+	}
+	if refresh {
+		if v, err := c.getRemote(url, remote); err == nil {
+			c.mu.Lock()
+			c.updateFromWorkerLocked(j, v)
+			c.mu.Unlock()
+		} else {
+			c.tel.ProxyErrors.Inc()
+		}
+	}
+	return c.view(j), nil
+}
+
+// Cancel cancels a job: pending jobs die in the coordinator, assigned ones
+// are cancelled on their worker.
+func (c *Coordinator) Cancel(id string) (JobView, error) {
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	var assigned bool
+	var url, remote string
+	if ok {
+		assigned = j.worker != ""
+		url, remote = j.workerURL, j.remoteID
+		if !assigned && !j.terminal {
+			j.terminal = true
+			j.state = "cancelled"
+			c.releaseLocked(j)
+			c.dropPendingLocked(j)
+		}
+	}
+	c.mu.Unlock()
+	if !ok {
+		return JobView{}, ErrUnknownJob
+	}
+	if assigned {
+		if v, err := c.cancelRemote(url, remote); err == nil {
+			c.mu.Lock()
+			c.updateFromWorkerLocked(j, v)
+			c.mu.Unlock()
+		} else {
+			c.tel.ProxyErrors.Inc()
+		}
+	}
+	return c.view(j), nil
+}
+
+// List returns every retained job in submission order.
+func (c *Coordinator) List() []JobView {
+	c.mu.Lock()
+	jobs := append([]*fleetJob(nil), c.order...)
+	c.mu.Unlock()
+	out := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		out[i] = c.view(j)
+	}
+	return out
+}
+
+// Status builds the GET /v1/fleet document.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	pending := len(c.pending)
+	c.mu.Unlock()
+	return Status{
+		Workers: c.reg.Snapshot(),
+		Pending: pending,
+		Counters: Counters{
+			Submitted:    c.tel.JobsSubmitted.Value(),
+			Rejected:     c.tel.JobsRejected.Value(),
+			Assigned:     c.tel.JobsAssigned.Value(),
+			Rerouted:     c.tel.JobsRerouted.Value(),
+			Stolen:       c.tel.JobsStolen.Value(),
+			AffinityHits: c.tel.AffinityHits.Value(),
+			Heartbeats:   c.tel.Heartbeats.Value(),
+		},
+	}
+}
+
+// Ready reports whether the fleet can serve: at least one live worker.
+func (c *Coordinator) Ready() bool { return len(c.reg.Live(c.now())) > 0 }
+
+// view snapshots a job under the lock.
+func (c *Coordinator) view(j *fleetJob) JobView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := JobView{
+		ID: j.id, Tenant: j.tenant, Class: j.class.String(),
+		State: j.state, Worker: j.worker, RemoteID: j.remoteID,
+		AffinityHit: j.affinityHit, Reroutes: j.reroutes, Steals: j.steals,
+		SubmittedAt: j.submitted,
+	}
+	if j.last != nil {
+		lv := *j.last
+		v.Job = &lv
+	}
+	return v
+}
+
+// releaseLocked returns the job's admission slot exactly once.
+func (c *Coordinator) releaseLocked(j *fleetJob) {
+	if !j.released {
+		j.released = true
+		c.adm.Release(j.tenant)
+	}
+}
+
+// dropPendingLocked removes a job from the pending slice.
+func (c *Coordinator) dropPendingLocked(j *fleetJob) {
+	for i, p := range c.pending {
+		if p == j {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// updateFromWorkerLocked folds a proxied worker view into the record.
+func (c *Coordinator) updateFromWorkerLocked(j *fleetJob, v service.JobView) {
+	vv := v
+	j.last = &vv
+	j.state = string(v.State)
+	if v.State.Terminal() {
+		j.terminal = true
+		c.releaseLocked(j)
+	}
+}
+
+// pruneLocked drops the oldest terminal records beyond the retention cap.
+func (c *Coordinator) pruneLocked() {
+	terminal := 0
+	for _, j := range c.order {
+		if j.terminal {
+			terminal++
+		}
+	}
+	drop := terminal - c.cfg.Retention
+	if drop <= 0 {
+		return
+	}
+	kept := c.order[:0]
+	for _, j := range c.order {
+		if drop > 0 && j.terminal {
+			delete(c.jobs, j.id)
+			drop--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	c.order = kept
+}
+
+// assign routes one unassigned job: the checkpoint-affinity worker first
+// (when live), then every live worker in rendezvous order, until one
+// accepts. Returns false when nobody can take the job right now.
+func (c *Coordinator) assign(j *fleetJob) bool {
+	now := c.now()
+	live := c.reg.Live(now)
+	if len(live) == 0 {
+		return false
+	}
+	var cands []Heartbeat
+	affine := ""
+	if wid, ok := c.aff.Get(j.key); ok {
+		if hb, live := c.reg.Get(wid, now); live {
+			cands = append(cands, hb)
+			affine = wid
+		}
+	}
+	for _, hb := range Rank(j.key, live) {
+		if hb.ID != affine {
+			cands = append(cands, hb)
+		}
+	}
+	for _, hb := range cands {
+		rv, busy, err := c.postJob(hb, j.spec)
+		if err != nil {
+			if !busy {
+				c.tel.ProxyErrors.Inc()
+			}
+			continue
+		}
+		c.mu.Lock()
+		j.worker, j.workerURL, j.remoteID = hb.ID, hb.URL, rv.ID
+		c.updateFromWorkerLocked(j, rv)
+		if hb.ID == affine {
+			j.affinityHit = true
+		}
+		c.mu.Unlock()
+		if hb.ID == affine {
+			c.tel.AffinityHits.Inc()
+		}
+		c.aff.Set(j.key, hb.ID)
+		c.tel.JobsAssigned.Inc()
+		c.log.Info("job assigned", "job", j.id, "tenant", j.tenant, "worker", hb.ID,
+			"remote", rv.ID, "affinity", hb.ID == affine, "reroutes", j.reroutes)
+		return true
+	}
+	return false
+}
+
+// expireAndReroute removes workers past their heartbeat TTL and re-routes
+// their unfinished jobs. When the dead worker advertised a reachable
+// DataDir, the resubmitted spec carries a resume pointer at its checkpoint
+// directory, so the new node warm-starts from the latest snapshot instead
+// of replaying the whole run (fingerprint mismatches cold-start safely).
+func (c *Coordinator) expireAndReroute(now time.Time) {
+	dead := c.reg.Expire(now)
+	if len(dead) == 0 {
+		return
+	}
+	byID := make(map[string]Heartbeat, len(dead))
+	for _, hb := range dead {
+		byID[hb.ID] = hb
+		c.log.Warn("worker expired", "worker", hb.ID, "url", hb.URL)
+	}
+	var orphans []*fleetJob
+	c.mu.Lock()
+	for _, j := range c.order {
+		if j.terminal || j.worker == "" {
+			continue
+		}
+		hb, isDead := byID[j.worker]
+		if !isDead {
+			continue
+		}
+		if hb.DataDir != "" && j.remoteID != "" {
+			dir := filepath.Join(hb.DataDir, "jobs", j.remoteID, "checkpoints")
+			j.spec.Resume = &service.ResumeSpec{Dir: dir}
+		}
+		c.aff.Drop(j.key)
+		j.worker, j.workerURL, j.remoteID = "", "", ""
+		j.state = "pending"
+		j.reroutes++
+		orphans = append(orphans, j)
+	}
+	c.mu.Unlock()
+	for _, j := range orphans {
+		c.tel.JobsRerouted.Inc()
+		c.log.Info("rerouting job off dead worker", "job", j.id, "resume", j.spec.Resume != nil)
+		if !c.assign(j) {
+			c.enqueuePending(j)
+		}
+	}
+}
+
+// enqueuePending parks an unassignable job in the pending queue (dropping
+// it with a released quota slot only if the queue is full).
+func (c *Coordinator) enqueuePending(j *fleetJob) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.pending) >= c.cfg.PendingLimit {
+		j.terminal = true
+		j.state = "failed"
+		c.releaseLocked(j)
+		c.log.Warn("pending queue full, dropping job", "job", j.id)
+		return
+	}
+	c.pending = append(c.pending, j)
+}
+
+// syncWorkers polls each live worker's job list, folds the states into the
+// fleet job table (releasing admission slots on terminal transitions), and
+// re-routes jobs the worker no longer knows (e.g. a worker that restarted
+// without a durable store).
+func (c *Coordinator) syncWorkers() {
+	now := c.now()
+	for _, hb := range c.reg.Live(now) {
+		views, err := c.listRemote(hb.URL)
+		if err != nil {
+			c.tel.ProxyErrors.Inc()
+			continue
+		}
+		byID := make(map[string]service.JobView, len(views))
+		for _, v := range views {
+			byID[v.ID] = v
+		}
+		var lost []*fleetJob
+		c.mu.Lock()
+		for _, j := range c.order {
+			if j.terminal || j.worker != hb.ID {
+				continue
+			}
+			v, ok := byID[j.remoteID]
+			if !ok {
+				j.worker, j.workerURL, j.remoteID = "", "", ""
+				j.state = "pending"
+				j.reroutes++
+				lost = append(lost, j)
+				continue
+			}
+			c.updateFromWorkerLocked(j, v)
+		}
+		c.mu.Unlock()
+		for _, j := range lost {
+			c.tel.JobsRerouted.Inc()
+			c.log.Warn("worker forgot job, rerouting", "job", j.id, "worker", hb.ID)
+			if !c.assign(j) {
+				c.enqueuePending(j)
+			}
+		}
+	}
+}
+
+// dispatchPending retries parked jobs, highest priority class first (FIFO
+// within a class). Each job gets one assignment attempt per tick.
+func (c *Coordinator) dispatchPending() {
+	c.mu.Lock()
+	batch := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	sort.SliceStable(batch, func(a, b int) bool { return batch[a].class < batch[b].class })
+	var still []*fleetJob
+	for _, j := range batch {
+		if j.terminal { // cancelled while pending
+			continue
+		}
+		if !c.assign(j) {
+			still = append(still, j)
+		}
+	}
+	c.mu.Lock()
+	c.pending = append(still, c.pending...)
+	c.mu.Unlock()
+}
+
+// stealOnce moves queued work from hot workers onto idle ones: for every
+// idle worker (free run slots, empty queue) it picks the highest-priority,
+// oldest fleet job queued on a busy worker, cancels it there with the
+// steal-safe ?if=queued cancel (never touching a running placement), and
+// resubmits it to the idle worker. Stale heartbeat stats are harmless: the
+// worker-side conditional cancel arbitrates races.
+func (c *Coordinator) stealOnce(now time.Time) {
+	live := c.reg.Live(now)
+	var idle []Heartbeat
+	hot := make(map[string]bool)
+	for _, hb := range live {
+		switch {
+		case hb.Stats.Running < hb.Stats.PlaceWorkers && hb.Stats.QueueDepth == 0:
+			idle = append(idle, hb)
+		case hb.Stats.QueueDepth > 0:
+			hot[hb.ID] = true
+		}
+	}
+	if len(idle) == 0 || len(hot) == 0 {
+		return
+	}
+	// Steal candidates: fleet jobs sitting in a hot worker's queue, best
+	// class first, oldest first.
+	c.mu.Lock()
+	var cands []*fleetJob
+	for _, j := range c.order {
+		if !j.terminal && j.worker != "" && hot[j.worker] && j.state == string(service.StateQueued) {
+			cands = append(cands, j)
+		}
+	}
+	c.mu.Unlock()
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].class < cands[b].class })
+	for _, target := range idle {
+		if len(cands) == 0 {
+			return
+		}
+		j := cands[0]
+		cands = cands[1:]
+		if !c.stealTo(j, target) {
+			continue
+		}
+	}
+}
+
+// stealTo moves one queued job onto the target worker. Returns false when
+// the steal was abandoned (the job started running, finished, or vanished
+// in the meantime — all safe outcomes).
+func (c *Coordinator) stealTo(j *fleetJob, target Heartbeat) bool {
+	c.mu.Lock()
+	url, remote := j.workerURL, j.remoteID
+	c.mu.Unlock()
+	if ok, err := c.cancelQueuedRemote(url, remote); err != nil {
+		c.tel.ProxyErrors.Inc()
+		return false
+	} else if !ok {
+		return false // already running or gone; leave it be
+	}
+	// The source accepted the conditional cancel: the job now runs nowhere
+	// and must be re-homed (the target, or anyone, or the pending queue).
+	rv, _, err := c.postJob(target, j.spec)
+	if err != nil {
+		c.mu.Lock()
+		j.worker, j.workerURL, j.remoteID = "", "", ""
+		j.state = "pending"
+		c.mu.Unlock()
+		if !c.assign(j) {
+			c.enqueuePending(j)
+		}
+		return true
+	}
+	c.mu.Lock()
+	j.worker, j.workerURL, j.remoteID = target.ID, target.URL, rv.ID
+	c.updateFromWorkerLocked(j, rv)
+	j.steals++
+	c.mu.Unlock()
+	c.aff.Set(j.key, target.ID)
+	c.tel.JobsStolen.Inc()
+	c.log.Info("job stolen onto idle worker", "job", j.id, "worker", target.ID, "remote", rv.ID)
+	return true
+}
+
+// --- worker HTTP calls -------------------------------------------------
+
+// postJob submits a spec to a worker. busy=true flags a 429/503 (queue
+// full or draining — try the next candidate, not a proxy error).
+func (c *Coordinator) postJob(hb Heartbeat, spec service.JobSpec) (service.JobView, bool, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return service.JobView{}, false, err
+	}
+	resp, err := c.client.Post(hb.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return service.JobView{}, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		var v service.JobView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			return service.JobView{}, false, err
+		}
+		return v, false, nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return service.JobView{}, true, fmt.Errorf("fleet: worker %s busy (%d)", hb.ID, resp.StatusCode)
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return service.JobView{}, false, fmt.Errorf("fleet: worker %s rejected job: %d %s", hb.ID, resp.StatusCode, msg)
+	}
+}
+
+// getRemote fetches one worker job view.
+func (c *Coordinator) getRemote(base, id string) (service.JobView, error) {
+	resp, err := c.client.Get(base + "/jobs/" + id)
+	if err != nil {
+		return service.JobView{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return service.JobView{}, fmt.Errorf("fleet: worker status %d", resp.StatusCode)
+	}
+	var v service.JobView
+	err = json.NewDecoder(resp.Body).Decode(&v)
+	return v, err
+}
+
+// listRemote fetches a worker's whole job table.
+func (c *Coordinator) listRemote(base string) ([]service.JobView, error) {
+	resp, err := c.client.Get(base + "/jobs")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: worker list status %d", resp.StatusCode)
+	}
+	var out struct {
+		Jobs []service.JobView `json:"jobs"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out.Jobs, err
+}
+
+// cancelRemote cancels a worker job unconditionally.
+func (c *Coordinator) cancelRemote(base, id string) (service.JobView, error) {
+	req, err := http.NewRequest(http.MethodDelete, base+"/jobs/"+id, nil)
+	if err != nil {
+		return service.JobView{}, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return service.JobView{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return service.JobView{}, fmt.Errorf("fleet: worker cancel status %d", resp.StatusCode)
+	}
+	var v service.JobView
+	err = json.NewDecoder(resp.Body).Decode(&v)
+	return v, err
+}
+
+// cancelQueuedRemote is the steal-safe conditional cancel: true only when
+// the worker confirmed the job was still queued and is now cancelled.
+func (c *Coordinator) cancelQueuedRemote(base, id string) (bool, error) {
+	req, err := http.NewRequest(http.MethodDelete, base+"/jobs/"+id+"?if=queued", nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusConflict, http.StatusNotFound:
+		return false, nil
+	}
+	return false, fmt.Errorf("fleet: conditional cancel status %d", resp.StatusCode)
+}

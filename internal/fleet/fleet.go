@@ -1,0 +1,63 @@
+// Package fleet scales the single-node placement daemon into a coordinated
+// multi-node service. A Coordinator registers placerd workers through
+// periodic heartbeats (carrying capacity and queue-depth reports), routes
+// submitted jobs to workers by rendezvous hashing with a checkpoint-affinity
+// override (a resubmitted design lands on the node whose durable store
+// already holds its snapshots), steals queued work from hot nodes onto idle
+// ones, re-routes jobs off dead workers after heartbeat expiry, and layers
+// multi-tenant admission control (priority classes, token-bucket rate
+// limits, in-flight quotas, Retry-After backpressure) over the whole fleet.
+// Everything is stdlib-only HTTP + JSON, reusing the placerd worker API from
+// internal/service as the node-to-node protocol.
+package fleet
+
+import (
+	"time"
+
+	"repro/internal/service"
+)
+
+// Heartbeat is the worker → coordinator report: a stable identity plus the
+// live capacity/load snapshot. The first heartbeat from an unknown worker
+// registers it; missing heartbeats past the registry TTL expire it.
+type Heartbeat struct {
+	// ID is the worker's stable identity (stable across restarts, so a
+	// rebooted worker re-claims its registration and its jobs).
+	ID string `json:"id"`
+	// URL is the base URL of the worker's placerd HTTP API.
+	URL string `json:"url"`
+	// DataDir, when non-empty, is the worker's durable store root on a
+	// filesystem the rest of the fleet can reach. The coordinator uses it
+	// to point a re-routed job at the dead worker's checkpoints.
+	DataDir string `json:"data_dir,omitempty"`
+	// Stats is the worker's live capacity/load report.
+	Stats service.ManagerStats `json:"stats"`
+}
+
+// WorkerStatus is one worker's row in the fleet status document.
+type WorkerStatus struct {
+	ID       string               `json:"id"`
+	URL      string               `json:"url"`
+	DataDir  string               `json:"data_dir,omitempty"`
+	Stats    service.ManagerStats `json:"stats"`
+	LastSeen time.Time            `json:"last_seen"`
+}
+
+// Counters is the machine-readable counter block of GET /v1/fleet, consumed
+// by the placerload harness (affinity-hit and steal accounting).
+type Counters struct {
+	Submitted    int64 `json:"submitted"`
+	Rejected     int64 `json:"rejected"`
+	Assigned     int64 `json:"assigned"`
+	Rerouted     int64 `json:"rerouted"`
+	Stolen       int64 `json:"stolen"`
+	AffinityHits int64 `json:"affinity_hits"`
+	Heartbeats   int64 `json:"heartbeats"`
+}
+
+// Status is the GET /v1/fleet document: live workers plus routing counters.
+type Status struct {
+	Workers  []WorkerStatus `json:"workers"`
+	Pending  int            `json:"pending"`
+	Counters Counters       `json:"counters"`
+}

@@ -1,0 +1,217 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+func hb(id string) Heartbeat { return Heartbeat{ID: id, URL: "http://" + id} }
+
+func TestRegistryLifecycle(t *testing.T) {
+	r := NewRegistry(time.Second)
+	t0 := time.Unix(1000, 0)
+
+	if !r.Update(hb("w1"), t0) {
+		t.Error("first Update should report a new worker")
+	}
+	if r.Update(hb("w1"), t0.Add(100*time.Millisecond)) {
+		t.Error("second Update should not report a new worker")
+	}
+	r.Update(hb("w2"), t0)
+
+	if live := r.Live(t0.Add(500 * time.Millisecond)); len(live) != 2 {
+		t.Fatalf("Live = %d workers, want 2", len(live))
+	}
+	// w2's heartbeat ages out; w1 stays fresh.
+	r.Update(hb("w1"), t0.Add(time.Second))
+	dead := r.Expire(t0.Add(1500 * time.Millisecond))
+	if len(dead) != 1 || dead[0].ID != "w2" {
+		t.Fatalf("Expire = %+v, want [w2]", dead)
+	}
+	if live := r.Live(t0.Add(1500 * time.Millisecond)); len(live) != 1 || live[0].ID != "w1" {
+		t.Fatalf("Live after expiry = %+v, want [w1]", live)
+	}
+	if _, ok := r.Get("w2", t0.Add(1500*time.Millisecond)); ok {
+		t.Error("Get(w2) after expiry should miss")
+	}
+	// An expired worker that heartbeats again re-registers as new.
+	if !r.Update(hb("w2"), t0.Add(2*time.Second)) {
+		t.Error("re-registration after expiry should report a new worker")
+	}
+}
+
+func TestSpecKeyIgnoresResume(t *testing.T) {
+	spec := service.JobSpec{
+		Design: service.DesignSpec{Synth: &service.SynthSpec{Cells: 64, Seed: 1}},
+		Model:  "WA",
+	}
+	k1 := SpecKey(spec)
+	withResume := spec
+	withResume.Resume = &service.ResumeSpec{Dir: "/somewhere/else"}
+	if k2 := SpecKey(withResume); k2 != k1 {
+		t.Errorf("SpecKey changed with resume block: %d vs %d (a re-routed job must keep its key)", k2, k1)
+	}
+	other := spec
+	other.Design.Synth = &service.SynthSpec{Cells: 128, Seed: 1}
+	if SpecKey(other) == k1 {
+		t.Error("different designs should not collide on the same key")
+	}
+}
+
+func TestRankDeterministicAndStable(t *testing.T) {
+	workers := []Heartbeat{hb("w1"), hb("w2"), hb("w3"), hb("w4")}
+	key := SpecKey(service.JobSpec{Design: service.DesignSpec{Synth: &service.SynthSpec{Cells: 64}}})
+
+	r1 := Rank(key, workers)
+	r2 := Rank(key, workers)
+	for i := range r1 {
+		if r1[i].ID != r2[i].ID {
+			t.Fatalf("Rank not deterministic: %v vs %v", r1, r2)
+		}
+	}
+
+	// Rendezvous stability: removing one worker must not change the relative
+	// order of the survivors (only jobs on the removed worker remap).
+	removed := r1[2].ID
+	var rest []Heartbeat
+	for _, w := range workers {
+		if w.ID != removed {
+			rest = append(rest, w)
+		}
+	}
+	r3 := Rank(key, rest)
+	var want []string
+	for _, w := range r1 {
+		if w.ID != removed {
+			want = append(want, w.ID)
+		}
+	}
+	for i := range r3 {
+		if r3[i].ID != want[i] {
+			t.Fatalf("removing %s reshuffled survivors: got %v, want %v", removed, r3, want)
+		}
+	}
+
+	// Different keys should not all agree on the top worker (spread check
+	// over a handful of keys; rendezvous makes collisions astronomically
+	// unlikely to all line up).
+	tops := map[string]bool{}
+	for seed := int64(0); seed < 16; seed++ {
+		k := SpecKey(service.JobSpec{Design: service.DesignSpec{Synth: &service.SynthSpec{Cells: 64, Seed: seed}}})
+		tops[Rank(k, workers)[0].ID] = true
+	}
+	if len(tops) < 2 {
+		t.Errorf("16 distinct keys all ranked the same worker first: no spread")
+	}
+}
+
+func TestAffinityBounded(t *testing.T) {
+	a := NewAffinity(2)
+	a.Set(1, "w1")
+	a.Set(2, "w2")
+	a.Set(3, "w3") // evicts key 1
+	if _, ok := a.Get(1); ok {
+		t.Error("key 1 should have been evicted at cap 2")
+	}
+	if id, ok := a.Get(3); !ok || id != "w3" {
+		t.Errorf("Get(3) = %q,%v", id, ok)
+	}
+	a.Drop(3)
+	if _, ok := a.Get(3); ok {
+		t.Error("Drop should remove the entry")
+	}
+}
+
+func TestAdmissionRateLimit(t *testing.T) {
+	now := time.Unix(5000, 0)
+	clock := func() time.Time { return now }
+	adm, err := NewAdmission(TenantConfig{}, []TenantConfig{
+		{Name: "ci", Rate: 1, Burst: 2},
+	}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Burst of 2 admits immediately, the third is rate-limited with a
+	// positive retry hint.
+	for i := 0; i < 2; i++ {
+		if wait, err := adm.Admit("ci"); err != nil {
+			t.Fatalf("Admit %d: %v (wait %s)", i, err, wait)
+		}
+	}
+	wait, err := adm.Admit("ci")
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("third Admit err = %v, want ErrRateLimited", err)
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Errorf("retry hint = %s, want (0, 1s]", wait)
+	}
+
+	// After the advertised wait the bucket has refilled exactly one token.
+	now = now.Add(wait)
+	if _, err := adm.Admit("ci"); err != nil {
+		t.Fatalf("Admit after waiting the hint: %v", err)
+	}
+	if _, err := adm.Admit("ci"); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("bucket should be empty again, got %v", err)
+	}
+}
+
+func TestAdmissionQuota(t *testing.T) {
+	adm, err := NewAdmission(TenantConfig{}, []TenantConfig{
+		{Name: "ci", MaxInFlight: 2},
+	}, func() time.Time { return time.Unix(5000, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := adm.Admit("ci"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := adm.Admit("ci"); !errors.Is(err, ErrQuotaExhausted) {
+		t.Fatalf("Admit over quota err = %v, want ErrQuotaExhausted", err)
+	}
+	if got := adm.InFlight("ci"); got != 2 {
+		t.Errorf("InFlight = %d, want 2", got)
+	}
+	adm.Release("ci")
+	if _, err := adm.Admit("ci"); err != nil {
+		t.Fatalf("Admit after Release: %v", err)
+	}
+	// Unknown tenants fall back to the (unlimited) defaults policy.
+	if _, err := adm.Admit("someone-else"); err != nil {
+		t.Fatalf("default-policy Admit: %v", err)
+	}
+}
+
+func TestAdmissionClassesAndValidation(t *testing.T) {
+	adm, err := NewAdmission(TenantConfig{Class: "free"}, []TenantConfig{
+		{Name: "interactive", Class: "prod"},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := adm.Class("interactive"); got != ClassProd {
+		t.Errorf("Class(interactive) = %v, want prod", got)
+	}
+	if got := adm.Class("anyone"); got != ClassFree {
+		t.Errorf("Class(anyone) = %v, want free (the defaults class)", got)
+	}
+
+	if _, err := NewAdmission(TenantConfig{}, []TenantConfig{{Name: "x", Class: "vip"}}, nil); err == nil {
+		t.Error("unknown class should be rejected")
+	}
+	if _, err := NewAdmission(TenantConfig{}, []TenantConfig{{Name: "", Rate: 1}}, nil); err == nil {
+		t.Error("empty tenant name should be rejected")
+	}
+	if _, err := NewAdmission(TenantConfig{}, []TenantConfig{{Name: "x", Rate: -1}}, nil); err == nil {
+		t.Error("negative rate should be rejected")
+	}
+	if c, err := ParseClass(""); err != nil || c != ClassBatch {
+		t.Errorf("ParseClass(\"\") = %v, %v, want batch", c, err)
+	}
+}

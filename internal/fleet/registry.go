@@ -1,0 +1,99 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// workerState is one registered worker: its latest heartbeat and when it
+// arrived.
+type workerState struct {
+	hb       Heartbeat
+	lastSeen time.Time
+}
+
+// Registry tracks the live worker set. A worker is live while its most
+// recent heartbeat is younger than the TTL; Expire removes (and returns)
+// everyone older, which is the fleet's failure detector: an expired worker's
+// jobs get re-routed by the coordinator.
+type Registry struct {
+	ttl time.Duration
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+}
+
+// NewRegistry creates a registry with the given heartbeat TTL.
+func NewRegistry(ttl time.Duration) *Registry {
+	return &Registry{ttl: ttl, workers: make(map[string]*workerState)}
+}
+
+// Update records a heartbeat, reporting whether it registered a new worker
+// (or re-registered one that had expired).
+func (r *Registry) Update(hb Heartbeat, now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, known := r.workers[hb.ID]
+	r.workers[hb.ID] = &workerState{hb: hb, lastSeen: now}
+	return !known
+}
+
+// Live returns the workers within their TTL, sorted by ID so every ranking
+// pass over the same fleet sees the same order.
+func (r *Registry) Live(now time.Time) []Heartbeat {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Heartbeat, 0, len(r.workers))
+	for _, w := range r.workers {
+		if now.Sub(w.lastSeen) <= r.ttl {
+			out = append(out, w.hb)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Get returns a live worker by ID.
+func (r *Registry) Get(id string, now time.Time) (Heartbeat, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[id]
+	if !ok || now.Sub(w.lastSeen) > r.ttl {
+		return Heartbeat{}, false
+	}
+	return w.hb, true
+}
+
+// Expire removes every worker whose last heartbeat is older than the TTL
+// and returns their final heartbeats (the coordinator re-routes their jobs,
+// using the remembered DataDir for checkpoint handoff).
+func (r *Registry) Expire(now time.Time) []Heartbeat {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var dead []Heartbeat
+	for id, w := range r.workers {
+		if now.Sub(w.lastSeen) > r.ttl {
+			dead = append(dead, w.hb)
+			delete(r.workers, id)
+		}
+	}
+	sort.Slice(dead, func(a, b int) bool { return dead[a].ID < dead[b].ID })
+	return dead
+}
+
+// Snapshot returns every registered worker (live or not yet expired) as
+// status rows, sorted by ID.
+func (r *Registry) Snapshot() []WorkerStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]WorkerStatus, 0, len(r.workers))
+	for _, w := range r.workers {
+		out = append(out, WorkerStatus{
+			ID: w.hb.ID, URL: w.hb.URL, DataDir: w.hb.DataDir,
+			Stats: w.hb.Stats, LastSeen: w.lastSeen,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}

@@ -190,27 +190,3 @@ func TestObsCancelCheckpointRace(t *testing.T) {
 		t.Errorf("resumed run did %d iterations, want %d", res.Iterations, c.MaxIters)
 	}
 }
-
-// TestValidateRejectsConflictingWorkers pins the Workers/WLWorkers
-// contract: both set and disagreeing is rejected; agreeing or alias-only
-// configs pass.
-func TestValidateRejectsConflictingWorkers(t *testing.T) {
-	cfg := DefaultConfig(wirelength.NewWA())
-	cfg.Workers, cfg.WLWorkers = 4, 2
-	if err := cfg.Validate(); err == nil {
-		t.Fatal("Validate accepted conflicting Workers=4 WLWorkers=2")
-	}
-	if _, err := Place(testDesign(t, 60, 0), cfg); err == nil {
-		t.Fatal("Place accepted conflicting worker knobs")
-	}
-
-	cfg.WLWorkers = 4
-	if err := cfg.Validate(); err != nil {
-		t.Fatalf("Validate rejected agreeing worker knobs: %v", err)
-	}
-	cfg.Workers = 0
-	cfg.WLWorkers = 3
-	if err := cfg.Validate(); err != nil {
-		t.Fatalf("Validate rejected the legacy WLWorkers-only config: %v", err)
-	}
-}

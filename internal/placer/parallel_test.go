@@ -71,34 +71,14 @@ func TestPlaceParallelMatchesSerialRun(t *testing.T) {
 	}
 }
 
-// TestWorkersAliasWLWorkers pins the deprecation contract: WLWorkers is
-// honored only when Workers is unset.
-func TestWorkersAliasWLWorkers(t *testing.T) {
-	cases := []struct {
-		workers, wlWorkers, want int
-	}{
-		{0, 0, 1},
-		{0, 4, 4},
-		{3, 0, 3},
-		{3, 8, 3}, // Workers wins over the alias
-	}
-	for _, c := range cases {
-		cfg := Config{Workers: c.workers, WLWorkers: c.wlWorkers}
+// TestEffectiveWorkersDefault pins that an unset worker knob means serial.
+// (The deprecated WLWorkers alias lives only in the service JSON layer now;
+// its one pinning test is service.TestPlacerSpecWorkers.)
+func TestEffectiveWorkersDefault(t *testing.T) {
+	for _, c := range []struct{ workers, want int }{{0, 1}, {1, 1}, {4, 4}} {
+		cfg := Config{Workers: c.workers}
 		if got := cfg.effectiveWorkers(); got != c.want {
-			t.Errorf("Workers=%d WLWorkers=%d: effectiveWorkers() = %d, want %d",
-				c.workers, c.wlWorkers, got, c.want)
+			t.Errorf("Workers=%d: effectiveWorkers() = %d, want %d", c.workers, got, c.want)
 		}
-	}
-}
-
-// TestPlaceHonorsDeprecatedWLWorkers exercises a full run configured only
-// through the legacy knob.
-func TestPlaceHonorsDeprecatedWLWorkers(t *testing.T) {
-	d := testDesign(t, 300, 0)
-	cfg := fastConfig(wirelength.NewMoreau())
-	cfg.MaxIters = 20
-	cfg.WLWorkers = 2
-	if _, err := Place(d, cfg); err != nil {
-		t.Fatal(err)
 	}
 }

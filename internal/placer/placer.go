@@ -84,12 +84,10 @@ type Config struct {
 	// pool of that many goroutines. Results are deterministic for a
 	// fixed worker count (per-worker partials reduce in index order) and
 	// match the serial path up to floating-point addition order.
+	// (The old WLWorkers alias is gone from this struct; the service
+	// layer still accepts the wl_workers JSON knob and folds it into
+	// Workers before the config reaches the placer.)
 	Workers int
-	// WLWorkers is a deprecated alias for Workers, kept for old callers;
-	// it is consulted only when Workers is 0. Setting both to different
-	// non-zero values is ambiguous and rejected by Validate — callers
-	// must migrate to Workers rather than rely on silent precedence.
-	WLWorkers int
 	// Obs, when non-nil, receives the run's observability streams:
 	// structured logs, per-phase trace spans (one per engine phase per
 	// iteration), and convergence metrics. A nil Obs — or an Obs with
@@ -260,12 +258,6 @@ func (cfg *Config) Validate() error {
 	if cfg.Workers < 0 {
 		return fmt.Errorf("placer: Workers %d must be >= 0", cfg.Workers)
 	}
-	if cfg.WLWorkers < 0 {
-		return fmt.Errorf("placer: WLWorkers %d must be >= 0", cfg.WLWorkers)
-	}
-	if cfg.Workers > 0 && cfg.WLWorkers > 0 && cfg.Workers != cfg.WLWorkers {
-		return fmt.Errorf("placer: Workers (%d) and the deprecated WLWorkers alias (%d) are both set and disagree; set only Workers", cfg.Workers, cfg.WLWorkers)
-	}
 	if cfg.Checkpoint.Every < 0 {
 		return fmt.Errorf("placer: Checkpoint.Every %d must be >= 0", cfg.Checkpoint.Every)
 	}
@@ -294,14 +286,10 @@ func optName(s string) string {
 	return s
 }
 
-// effectiveWorkers resolves the worker-pool size, honoring the deprecated
-// WLWorkers alias when Workers is unset.
+// effectiveWorkers resolves the worker-pool size (0 means serial).
 func (cfg *Config) effectiveWorkers() int {
 	if cfg.Workers > 0 {
 		return cfg.Workers
-	}
-	if cfg.WLWorkers > 0 {
-		return cfg.WLWorkers
 	}
 	return 1
 }

@@ -417,7 +417,7 @@ func TestPlaceParallelWirelengthMatches(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg2 := cfg
-	cfg2.WLWorkers = 3
+	cfg2.Workers = 3
 	r2, err := Place(d2, cfg2)
 	if err != nil {
 		t.Fatal(err)

@@ -218,7 +218,6 @@ func TestValidateRejectsNegativeKnobs(t *testing.T) {
 		mut  func(*Config)
 	}{
 		{"negative Workers", func(c *Config) { c.Workers = -1 }},
-		{"negative WLWorkers", func(c *Config) { c.WLWorkers = -2 }},
 		{"negative Checkpoint.Every", func(c *Config) { c.Checkpoint.Every = -5 }},
 		{"negative Checkpoint.Keep", func(c *Config) { c.Checkpoint.Keep = -1 }},
 		{"Every without Dir", func(c *Config) { c.Checkpoint.Every = 10 }},

@@ -14,8 +14,9 @@ import (
 //	GET    /jobs                    list retained jobs
 //	GET    /jobs/{id}               one job's live status
 //	GET    /jobs/{id}/trajectory    the job's recorded HPWL-vs-overflow curve
-//	DELETE /jobs/{id}               cancel a queued or running job
+//	DELETE /jobs/{id}               cancel a job (?if=queued: steal-safe cancel)
 //	GET    /v1/jobs/{id}/trajectory stream trajectory points as NDJSON
+//	GET    /stats                   capacity/queue-depth snapshot (fleet heartbeats)
 //	GET    /metrics                 Prometheus text exposition
 //	GET    /healthz                 liveness probe
 func NewHandler(m *Manager) http.Handler {
@@ -59,12 +60,26 @@ func NewHandler(m *Manager) http.Handler {
 		streamTrajectory(m, w, r)
 	})
 	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		v, err := m.Cancel(r.PathValue("id"))
+		// ?if=queued makes the cancel steal-safe: it refuses (409) when the
+		// job already started, so a fleet coordinator can pull queued work
+		// off a busy node without ever killing a running placement.
+		var (
+			v   JobView
+			err error
+		)
+		if r.URL.Query().Get("if") == "queued" {
+			v, err = m.CancelQueued(r.PathValue("id"))
+		} else {
+			v, err = m.Cancel(r.PathValue("id"))
+		}
 		if err != nil {
 			writeError(w, statusFor(err), err.Error())
 			return
 		}
 		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Stats())
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -145,6 +160,8 @@ func statusFor(err error) int {
 	case errors.Is(err, ErrUnknownJob):
 		return http.StatusNotFound
 	case errors.Is(err, ErrJobFinished):
+		return http.StatusConflict
+	case errors.Is(err, ErrJobRunning):
 		return http.StatusConflict
 	case errors.Is(err, ErrSpecRejected):
 		return http.StatusBadRequest

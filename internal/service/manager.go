@@ -38,6 +38,7 @@ var (
 	ErrDraining     = errors.New("service: manager is shutting down")
 	ErrUnknownJob   = errors.New("service: unknown job")
 	ErrJobFinished  = errors.New("service: job already finished")
+	ErrJobRunning   = errors.New("service: job is already running")
 	ErrSpecRejected = errors.New("service: invalid job spec")
 )
 
@@ -62,6 +63,11 @@ type Config struct {
 	// the next boot unfinished jobs are recovered and re-enqueued as
 	// warm-start resumes (see Store).
 	DataDir string
+	// ResumeRoot, when non-empty, allows jobs to carry a resume.dir
+	// pointing at a checkpoint directory under this root. The fleet
+	// coordinator uses it to hand a dead worker's snapshots to a live one
+	// on a shared filesystem; empty disables cross-node resume.
+	ResumeRoot string
 	// CheckpointEvery is the placement snapshot cadence (iterations) for
 	// store-backed jobs; default 25. Ignored without DataDir.
 	CheckpointEvery int
@@ -268,6 +274,10 @@ func (m *Manager) Submit(spec JobSpec) (JobView, error) {
 		m.tel.JobsRejected.Inc()
 		return JobView{}, fmt.Errorf("%w: %v", ErrSpecRejected, err)
 	}
+	if err := spec.validateResumeDir(m.cfg.ResumeRoot); err != nil {
+		m.tel.JobsRejected.Inc()
+		return JobView{}, fmt.Errorf("%w: %v", ErrSpecRejected, err)
+	}
 
 	jctx, cancel := m.jobContext(spec)
 
@@ -423,6 +433,59 @@ func (m *Manager) Cancel(id string) (JobView, error) {
 	return j.view(), nil
 }
 
+// CancelQueued cancels a job only while it is still waiting in the queue.
+// Unlike Cancel it never touches a running placement: the fleet
+// coordinator's work stealer uses it to pull queued jobs off a hot node,
+// and a job that started in the meantime answers ErrJobRunning (the steal
+// is simply abandoned). The race between checking and cancelling is closed
+// by markCancelledIfQueued's internal lock.
+func (m *Manager) CancelQueued(id string) (JobView, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobView{}, ErrUnknownJob
+	}
+	if j.currentState().Terminal() {
+		return j.view(), ErrJobFinished
+	}
+	if !j.markCancelledIfQueued() {
+		return j.view(), ErrJobRunning
+	}
+	// Stolen jobs must stay cancelled across a restart, exactly like an
+	// explicit user cancel (the coordinator re-owns the work).
+	j.markUserCancelled()
+	j.cancel()
+	m.persist(j, "")
+	m.tel.QueueDepth.Add(-1)
+	m.tel.JobsCancelled.Inc()
+	m.pruneFinished()
+	return j.view(), nil
+}
+
+// ManagerStats is the capacity/load report a worker sends the fleet
+// coordinator with every heartbeat.
+type ManagerStats struct {
+	// PlaceWorkers is the size of the placement worker pool (how many jobs
+	// can run concurrently).
+	PlaceWorkers int `json:"place_workers"`
+	// QueueCap is the configured bound on waiting jobs.
+	QueueCap int `json:"queue_cap"`
+	// QueueDepth and Running are the live counts.
+	QueueDepth int `json:"queue_depth"`
+	Running    int `json:"running"`
+}
+
+// Stats snapshots the manager's capacity and current load.
+func (m *Manager) Stats() ManagerStats {
+	return ManagerStats{
+		PlaceWorkers: m.cfg.Workers,
+		QueueCap:     m.cfg.QueueDepth,
+		QueueDepth:   int(m.tel.QueueDepth.Value()),
+		Running:      int(m.tel.JobsRunning.Value()),
+	}
+}
+
 // worker consumes the queue until Shutdown closes it.
 func (m *Manager) worker() {
 	defer m.wg.Done()
@@ -554,6 +617,14 @@ func (m *Manager) run(j *job) {
 				cfg.GP.Resume = snap
 			}
 		}
+	}
+	if cfg.GP.Resume == nil && j.spec.Resume != nil && j.spec.Resume.Dir != "" {
+		// Cross-node handoff: the coordinator re-routed this job here with a
+		// pointer at another node's checkpoint directory (shared filesystem).
+		// ResumeDir scans for the newest fingerprint-matching snapshot and
+		// silently cold-starts when nothing matches, so a changed spec or
+		// binary degrades to a fresh run instead of failing the job.
+		cfg.GP.ResumeDir = j.spec.Resume.Dir
 	}
 
 	res, err := core.RunFlowContext(j.ctx, d, cfg)

@@ -26,6 +26,18 @@ type JobSpec struct {
 	// TimeoutSeconds bounds the job's run time; 0 uses the manager's
 	// default (which may be unlimited).
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// Resume warm-starts the job from checkpoints recorded by another run
+	// (typically on another fleet node sharing a filesystem). Only honored
+	// when the daemon was started with -resume-root and the directory is
+	// inside that root; rejected otherwise.
+	Resume *ResumeSpec `json:"resume,omitempty"`
+}
+
+// ResumeSpec points a job at an existing checkpoint directory.
+type ResumeSpec struct {
+	// Dir is scanned for the newest snapshot whose config fingerprint
+	// matches this job; a mismatch (or no snapshot) cold-starts the run.
+	Dir string `json:"dir,omitempty"`
 }
 
 // DesignSpec selects exactly one design source.
@@ -71,7 +83,9 @@ type PlacerSpec struct {
 	// density stamping, spectral solve, field gather).
 	Workers int `json:"workers,omitempty"`
 	// WLWorkers is a deprecated alias for Workers kept for old clients;
-	// it applies only when workers is absent.
+	// it applies only when workers is absent. This JSON knob is the only
+	// place the alias still exists — placer.Config has a single Workers
+	// field, and placerConfig folds the alias into it.
 	WLWorkers    int  `json:"wl_workers,omitempty"`
 	Precondition bool `json:"precondition,omitempty"`
 	// Guard enables the numerical-health guard (divergence detection plus
@@ -125,6 +139,9 @@ func (s *JobSpec) Validate(auxRoot string) error {
 	if err != nil {
 		return err
 	}
+	if p := s.Placer; p.Workers > 0 && p.WLWorkers > 0 && p.Workers != p.WLWorkers {
+		return fmt.Errorf("placer.workers (%d) and the deprecated placer.wl_workers alias (%d) are both set and disagree; set only workers", p.Workers, p.WLWorkers)
+	}
 	cfg := s.placerConfig()
 	cfg.Model = m
 	if err := cfg.Validate(); err != nil {
@@ -159,6 +176,24 @@ func (s *JobSpec) modelName() string {
 	return s.Model
 }
 
+// validateResumeDir checks the optional cross-node resume pointer against
+// the manager's ResumeRoot sandbox. Kept out of Validate because the root is
+// manager state, not part of the spec contract (old persisted specs without
+// a resume block validate unchanged).
+func (s *JobSpec) validateResumeDir(resumeRoot string) error {
+	if s.Resume == nil || s.Resume.Dir == "" {
+		return nil
+	}
+	if resumeRoot == "" {
+		return fmt.Errorf("resume.dir jobs are disabled (daemon started without -resume-root)")
+	}
+	rel, err := filepath.Rel(resumeRoot, s.Resume.Dir)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return fmt.Errorf("resume.dir %q escapes the resume root", s.Resume.Dir)
+	}
+	return nil
+}
+
 // auxPath resolves the aux file inside the sandbox root, rejecting escapes.
 func (s *JobSpec) auxPath(auxRoot string) (string, error) {
 	p := filepath.Join(auxRoot, filepath.Clean("/"+s.Design.Aux))
@@ -171,9 +206,15 @@ func (s *JobSpec) auxPath(auxRoot string) (string, error) {
 
 // placerConfig translates PlacerSpec into placer.Config (Model left nil).
 // Each call builds a fresh guard.Config, so per-run OnEvent wiring never
-// leaks between jobs sharing a spec.
+// leaks between jobs sharing a spec. The deprecated wl_workers alias is
+// resolved here — downstream code only ever sees Workers (Validate has
+// already rejected conflicting non-zero values).
 func (s *JobSpec) placerConfig() placer.Config {
 	p := s.Placer
+	workers := p.Workers
+	if workers == 0 {
+		workers = p.WLWorkers
+	}
 	cfg := placer.Config{
 		MaxIters:     p.MaxIters,
 		StopOverflow: p.StopOverflow,
@@ -184,8 +225,7 @@ func (s *JobSpec) placerConfig() placer.Config {
 		Init:         p.Init,
 		Schedule:     p.Schedule,
 		RecordEvery:  p.RecordEvery,
-		Workers:      p.Workers,
-		WLWorkers:    p.WLWorkers,
+		Workers:      workers,
 		Precondition: p.Precondition,
 	}
 	if p.Guard {

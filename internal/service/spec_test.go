@@ -5,21 +5,19 @@ import (
 	"testing"
 )
 
-// TestPlacerSpecWorkers pins the JSON knob → placer.Config mapping for the
-// shared worker pool, including the deprecated wl_workers alias. Setting
-// both knobs to different values is ambiguous and rejected at validation.
+// TestPlacerSpecWorkers is the single test pinning the wl_workers
+// deprecation contract, which now lives entirely in this package: the JSON
+// alias folds into placer.Config.Workers when workers is absent, agrees
+// silently when the values match, and is rejected at validation when both
+// knobs are set and disagree. placer.Config itself has no alias field.
 func TestPlacerSpecWorkers(t *testing.T) {
 	var spec JobSpec
 	body := `{"design": {"synth": {"cells": 100}}, "placer": {"workers": 4, "wl_workers": 2}}`
 	if err := json.Unmarshal([]byte(body), &spec); err != nil {
 		t.Fatal(err)
 	}
-	cfg := spec.placerConfig()
-	if cfg.Workers != 4 {
-		t.Errorf("Workers = %d, want 4", cfg.Workers)
-	}
-	if cfg.WLWorkers != 2 {
-		t.Errorf("WLWorkers = %d, want 2", cfg.WLWorkers)
+	if cfg := spec.placerConfig(); cfg.Workers != 4 {
+		t.Errorf("Workers = %d, want 4 (workers wins over the alias)", cfg.Workers)
 	}
 	if err := spec.Validate(""); err == nil {
 		t.Fatal("spec with conflicting workers and wl_workers passed validation")
@@ -37,7 +35,10 @@ func TestPlacerSpecWorkers(t *testing.T) {
 	if err := json.Unmarshal([]byte(`{"design": {"synth": {"cells": 100}}, "placer": {"wl_workers": 3}}`), &legacy); err != nil {
 		t.Fatal(err)
 	}
-	if cfg := legacy.placerConfig(); cfg.Workers != 0 || cfg.WLWorkers != 3 {
-		t.Errorf("legacy spec mapped to Workers=%d WLWorkers=%d, want 0/3", cfg.Workers, cfg.WLWorkers)
+	if err := legacy.Validate(""); err != nil {
+		t.Fatalf("legacy wl_workers-only spec failed validation: %v", err)
+	}
+	if cfg := legacy.placerConfig(); cfg.Workers != 3 {
+		t.Errorf("legacy spec mapped to Workers=%d, want 3 (alias folded in)", cfg.Workers)
 	}
 }

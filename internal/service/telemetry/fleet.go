@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+)
+
+// FleetCollector aggregates the placement coordinator's metrics: admission
+// decisions, routing outcomes (affinity hits, steals, re-routes), worker
+// liveness, and submit-path latency. Rendered under the placercoord_ prefix
+// so a fleet's coordinator and its workers can be scraped side by side.
+type FleetCollector struct {
+	// Admission and routing outcomes.
+	JobsSubmitted Counter // jobs accepted by admission control
+	JobsRejected  Counter // 429s: rate limit, quota, or fleet saturation
+	JobsAssigned  Counter // jobs successfully placed on a worker
+	JobsRerouted  Counter // jobs moved off a dead worker after heartbeat expiry
+	JobsStolen    Counter // queued jobs stolen from a hot node onto an idle one
+	AffinityHits  Counter // submissions routed to the node holding their checkpoints
+	ProxyErrors   Counter // failed coordinator -> worker HTTP calls
+
+	// Worker fleet state.
+	Heartbeats  Counter // heartbeat reports received
+	WorkersLive Gauge   // workers currently within their heartbeat TTL
+
+	// Coordinator-side pending queue (jobs admitted but waiting for fleet
+	// capacity).
+	JobsPending Gauge
+
+	// SubmitSeconds is the coordinator-side latency of placing one job on a
+	// worker (admission through worker 202).
+	SubmitSeconds *Histogram
+}
+
+// NewFleetCollector returns a FleetCollector with default buckets.
+func NewFleetCollector() *FleetCollector {
+	return &FleetCollector{
+		SubmitSeconds: NewHistogram(DurationBuckets()...),
+	}
+}
+
+// WritePrometheus renders the fleet metrics in the Prometheus text
+// exposition format (version 0.0.4).
+func (c *FleetCollector) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("placercoord_jobs_submitted_total", "Jobs accepted by admission control.", c.JobsSubmitted.Value())
+	counter("placercoord_jobs_rejected_total", "Jobs rejected with 429 (rate limit, quota, or saturation).", c.JobsRejected.Value())
+	counter("placercoord_jobs_assigned_total", "Jobs successfully placed on a worker.", c.JobsAssigned.Value())
+	counter("placercoord_jobs_rerouted_total", "Jobs re-routed off a dead worker.", c.JobsRerouted.Value())
+	counter("placercoord_jobs_stolen_total", "Queued jobs stolen from a hot node onto an idle one.", c.JobsStolen.Value())
+	counter("placercoord_affinity_hits_total", "Submissions routed by checkpoint affinity.", c.AffinityHits.Value())
+	counter("placercoord_proxy_errors_total", "Failed coordinator-to-worker HTTP calls.", c.ProxyErrors.Value())
+	counter("placercoord_heartbeats_total", "Worker heartbeat reports received.", c.Heartbeats.Value())
+	gauge("placercoord_workers_live", "Workers currently within their heartbeat TTL.", c.WorkersLive.Value())
+	gauge("placercoord_jobs_pending", "Admitted jobs waiting for fleet capacity.", c.JobsPending.Value())
+
+	fmt.Fprintf(w, "# HELP placercoord_submit_seconds Coordinator-side submit-to-assignment latency.\n")
+	fmt.Fprintf(w, "# TYPE placercoord_submit_seconds histogram\n")
+	h := c.SubmitSeconds
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "placercoord_submit_seconds_bucket{le=%q} %d\n", formatFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "placercoord_submit_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "placercoord_submit_seconds_sum %s\n", formatFloat(h.Sum()))
+	fmt.Fprintf(w, "placercoord_submit_seconds_count %d\n", h.Count())
+}
