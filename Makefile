@@ -1,7 +1,7 @@
 # Standard verify entrypoint: `make check` is what CI (and humans) run.
 GO ?= go
 # Each PR writes its own trajectory file so earlier ones stay comparable.
-BENCH ?= BENCH_PR6.json
+BENCH ?= BENCH_PR7.json
 
 .PHONY: check fmt vet build test race fuzz-seeds fuzz bench cover placerd trace-demo fleet-demo
 
@@ -51,9 +51,14 @@ fuzz:
 
 # bench refreshes the machine-readable perf trajectory: every benchmark runs
 # once and $(BENCH) records ns/op + allocs/op per benchmark plus the
-# workers=N speedups of the parallel density/eval pipeline.
+# workers=N speedups of the parallel density/eval pipeline. benchjson is
+# prebuilt and packages run serially (-p 1) so neither the converter's
+# compile nor another package's build steals cycles from a measured
+# iteration — at -benchtime=1x on a small machine that contention is visible
+# in the numbers.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... | $(GO) run ./cmd/benchjson > $(BENCH)
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -p 1 -bench=. -benchtime=1x -run='^$$' ./... | ./bin/benchjson > $(BENCH)
 	@echo "wrote $(BENCH)"
 
 # cover writes an aggregate coverage profile and prints the per-package

@@ -21,13 +21,16 @@ import (
 	"strings"
 )
 
-// Benchmark is one parsed result line.
+// Benchmark is one parsed result line. BytesPerOp/AllocsPerOp are pointers
+// so that a measured zero (the contract the hot paths are tested against)
+// serializes as an explicit 0 rather than being omitted — absent means the
+// benchmark did not report allocations at all.
 type Benchmark struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
 }
 
 // Report is the BENCH_PR2.json document.
@@ -62,10 +65,12 @@ func main() {
 		b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
 		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
 		if m[4] != "" {
-			b.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+			v, _ := strconv.ParseFloat(m[4], 64)
+			b.BytesPerOp = &v
 		}
 		if m[5] != "" {
-			b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			v, _ := strconv.ParseInt(m[5], 10, 64)
+			b.AllocsPerOp = &v
 		}
 		report.Benchmarks = append(report.Benchmarks, b)
 	}

@@ -2,6 +2,7 @@ package density
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/geom"
@@ -24,6 +25,14 @@ func BenchmarkElectroSolve(b *testing.B) {
 			for i := range e.Rho {
 				e.Rho[i] = float64(i%97) / 97
 			}
+			// Warm up so short -benchtime runs measure the steady state
+			// (faulted-in buffers, hot caches), not process start-up, and
+			// settle construction garbage so no GC cycle lands inside a
+			// measured iteration.
+			for i := 0; i < 3; i++ {
+				e.Solve()
+			}
+			runtime.GC()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -19,13 +19,25 @@ import (
 // which is equivalent to solving with the mean charge removed — physically,
 // the neutralizing background charge of ePlace.
 //
+// The coefficient grid is kept column-major (coeffT, one contiguous column
+// per x index) so each synthesis starts directly on contiguous columns, and
+// the 1/(w_u^2+w_v^2) scaling (and its w_u/w_v numerators) lives in
+// precomputed column-major lanes that the fused fft.IDCTScale/IDXSTScale
+// entry points consume during the spectrum-packing pass — no separate
+// whole-grid scaling loop and no per-Solve divisions. A full Solve performs
+// five tiled transposes (two forward, one per synthesis back to row-major)
+// instead of the eight of a row-major pipeline.
+//
 // The 2-D transforms run on a fixed worker pool (NewElectroWorkers): row
-// transforms are partitioned across workers, and column transforms become
-// contiguous row transforms through a cache-friendly tiled transpose. Every
-// output element is computed by exactly one worker with the same per-vector
-// arithmetic as the serial path, so results are identical for any worker
-// count. A Solve is not safe for concurrent use; create one Electro per
-// placement run.
+// transforms are partitioned across workers, and column transforms are
+// contiguous in coeffT. Every output element is computed by exactly one
+// worker with the same per-vector arithmetic as the serial path, so results
+// are identical for any worker count. The per-worker CosPlans share their
+// twiddle/quarter-wave tables read-only through the fft plan cache but keep
+// private packing scratch. All loop bodies handed to the worker pool are
+// prebuilt at construction (parameters pass through struct fields), so a
+// Solve is allocation-free in steady state — and, for the same reason, not
+// safe for concurrent use; create one Electro per placement run.
 type Electro struct {
 	g       *Grid
 	workers int
@@ -44,18 +56,45 @@ type Electro struct {
 
 	// Rho is the input utilization per bin (filled by SolveFromGrid).
 	Rho []float64
-	// Coeff holds the 2-D DCT of Rho after Solve.
+	// Coeff holds the 2-D DCT of Rho after Solve (row-major, v*nx+u).
 	Coeff []float64
 	// Psi is the potential, Ex/Ey the field components, all per bin.
 	Psi, Ex, Ey []float64
 
-	// rowBufs/colBufs are per-worker copy buffers for the non-aliasing
-	// IDXST (length nx and ny respectively).
-	rowBufs, colBufs [][]float64
-	// tbuf is the transposed intermediate (nx rows of ny) the column
-	// transforms run over.
-	tbuf   []float64
-	scaled []float64
+	// coeffT is the canonical column-major coefficient store (nx columns of
+	// ny, index u*ny+v); Coeff is its row-major transpose kept for external
+	// consumers.
+	coeffT []float64
+	// tbuf is the column-major intermediate of each synthesis.
+	tbuf []float64
+
+	// recipT/scaleXT/scaleYT are the precomputed column-major synthesis
+	// scale lanes: 1/(wu^2+wv^2), wu/(wu^2+wv^2), wv/(wu^2+wv^2), with the
+	// DC entry zeroed.
+	recipT, scaleXT, scaleYT []float64
+
+	// Prebuilt worker-pool loop bodies and their per-call parameter fields.
+	// Closures passed to parallel.For escape to the heap when built at the
+	// call site, so Solve builds them once here and passes parameters
+	// through the fields below instead (Solve is single-caller, so plain
+	// fields are safe).
+	tDst, tSrc   []float64
+	tRows, tCols int
+	fnTranspose  func(w, lo, hi int)
+
+	fnFwdRows func(w, lo, hi int)
+	fnFwdCols func(w, lo, hi int)
+
+	csScale    []float64
+	csSine     bool
+	fnColSynth func(w, lo, hi int)
+
+	rsDst      []float64
+	rsSine     bool
+	fnRowSynth func(w, lo, hi int)
+
+	fnFill   func(w, lo, hi int)
+	fnEnergy func(w, lo, hi int) float64
 }
 
 // NewElectro builds a serial solver bound to grid g.
@@ -78,14 +117,15 @@ func NewElectroWorkers(g *Grid, workers int) *Electro {
 		Psi:     make([]float64, g.Nx*g.Ny),
 		Ex:      make([]float64, g.Nx*g.Ny),
 		Ey:      make([]float64, g.Nx*g.Ny),
+		coeffT:  make([]float64, g.Nx*g.Ny),
 		tbuf:    make([]float64, g.Nx*g.Ny),
-		scaled:  make([]float64, g.Nx*g.Ny),
+		recipT:  make([]float64, g.Nx*g.Ny),
+		scaleXT: make([]float64, g.Nx*g.Ny),
+		scaleYT: make([]float64, g.Nx*g.Ny),
 	}
 	for w := 0; w < workers; w++ {
 		e.planXs = append(e.planXs, fft.NewCosPlan(g.Nx))
 		e.planYs = append(e.planYs, fft.NewCosPlan(g.Ny))
-		e.rowBufs = append(e.rowBufs, make([]float64, g.Nx))
-		e.colBufs = append(e.colBufs, make([]float64, g.Ny))
 	}
 	for u := 0; u < g.Nx; u++ {
 		e.wu[u] = math.Pi * float64(u) / g.Region.W()
@@ -93,22 +133,29 @@ func NewElectroWorkers(g *Grid, workers int) *Electro {
 	for v := 0; v < g.Ny; v++ {
 		e.wv[v] = math.Pi * float64(v) / g.Region.H()
 	}
+	for u := 0; u < g.Nx; u++ {
+		wu2 := e.wu[u] * e.wu[u]
+		for v := 0; v < g.Ny; v++ {
+			i := u*g.Ny + v
+			if u == 0 && v == 0 {
+				continue // DC lanes stay zero
+			}
+			r := 1 / (wu2 + e.wv[v]*e.wv[v])
+			e.recipT[i] = r
+			e.scaleXT[i] = e.wu[u] * r
+			e.scaleYT[i] = e.wv[v] * r
+		}
+	}
+	e.buildLoopBodies()
 	return e
 }
 
-// Workers returns the solver's worker-pool size.
-func (e *Electro) Workers() int { return e.workers }
-
-// transposeTile is the blocking factor of the tiled transpose; 64 float64s
-// per tile row keeps both the read and write streams inside L1.
-const transposeTile = 64
-
-// transposeInto writes the rows-by-cols row-major matrix src into dst
-// transposed (cols rows of rows entries): dst[c*rows+r] = src[r*cols+c].
-// Workers partition the destination rows (source columns), so writes are
-// disjoint; tiling bounds the cache footprint of the strided reads.
-func (e *Electro) transposeInto(dst, src []float64, rows, cols int) {
-	parallel.For(e.workers, cols, func(_, lo, hi int) {
+// buildLoopBodies constructs the closures handed to parallel.For once, so
+// steady-state Solve/Energy calls never allocate.
+func (e *Electro) buildLoopBodies() {
+	nx, ny := e.g.Nx, e.g.Ny
+	e.fnTranspose = func(_, lo, hi int) {
+		dst, src, rows, cols := e.tDst, e.tSrc, e.tRows, e.tCols
 		for c0 := lo; c0 < hi; c0 += transposeTile {
 			c1 := c0 + transposeTile
 			if c1 > hi {
@@ -127,130 +174,129 @@ func (e *Electro) transposeInto(dst, src []float64, rows, cols int) {
 				}
 			}
 		}
-	})
-}
-
-// dct2DForward computes the per-axis DCT-II of src into dst (both nx*ny).
-// Rows transform in parallel; columns are transposed into contiguous rows,
-// transformed, and transposed back.
-func (e *Electro) dct2DForward(dst, src []float64) {
-	nx, ny := e.g.Nx, e.g.Ny
-	// Rows (x axis).
-	parallel.For(e.workers, ny, func(w, lo, hi int) {
+	}
+	e.fnFwdRows = func(w, lo, hi int) {
 		plan := e.planXs[w]
 		for iy := lo; iy < hi; iy++ {
-			plan.DCT2(dst[iy*nx:(iy+1)*nx], src[iy*nx:(iy+1)*nx])
+			plan.DCT2(e.tbuf[iy*nx:(iy+1)*nx], e.Rho[iy*nx:(iy+1)*nx])
 		}
-	})
-	// Columns (y axis): transpose so each column is a contiguous row.
-	e.transposeInto(e.tbuf, dst, ny, nx)
-	parallel.For(e.workers, nx, func(w, lo, hi int) {
+	}
+	e.fnFwdCols = func(w, lo, hi int) {
 		plan := e.planYs[w]
 		for ix := lo; ix < hi; ix++ {
-			col := e.tbuf[ix*ny : (ix+1)*ny]
+			col := e.coeffT[ix*ny : (ix+1)*ny]
 			plan.DCT2(col, col)
 		}
-	})
-	e.transposeInto(dst, e.tbuf, nx, ny)
-}
-
-// synth2D synthesizes dst from 2-D DCT coefficients src, applying transform
-// xT along rows and yT along columns (each either IDCT or IDXST).
-func (e *Electro) synth2D(dst, src []float64, xSine, ySine bool) {
-	nx, ny := e.g.Nx, e.g.Ny
-	// Columns first (y axis), as contiguous rows of the transpose.
-	e.transposeInto(e.tbuf, src, ny, nx)
-	parallel.For(e.workers, nx, func(w, lo, hi int) {
+	}
+	e.fnColSynth = func(w, lo, hi int) {
 		plan := e.planYs[w]
-		buf := e.colBufs[w]
+		scale, sine := e.csScale, e.csSine
 		for ix := lo; ix < hi; ix++ {
-			col := e.tbuf[ix*ny : (ix+1)*ny]
-			if ySine {
-				copy(buf, col)
-				plan.IDXST(col, buf)
+			dst := e.tbuf[ix*ny : (ix+1)*ny]
+			src := e.coeffT[ix*ny : (ix+1)*ny]
+			sc := scale[ix*ny : (ix+1)*ny]
+			if sine {
+				plan.IDXSTScale(dst, src, sc)
 			} else {
-				plan.IDCT(col, col)
+				plan.IDCTScale(dst, src, sc)
 			}
 		}
-	})
-	e.transposeInto(dst, e.tbuf, nx, ny)
-	// Rows (x axis).
-	parallel.For(e.workers, ny, func(w, lo, hi int) {
+	}
+	e.fnRowSynth = func(w, lo, hi int) {
 		plan := e.planXs[w]
-		buf := e.rowBufs[w]
+		dst, sine := e.rsDst, e.rsSine
 		for iy := lo; iy < hi; iy++ {
 			row := dst[iy*nx : (iy+1)*nx]
-			if xSine {
-				copy(buf, row)
-				plan.IDXST(row, buf)
+			if sine {
+				plan.IDXST(row, row)
 			} else {
 				plan.IDCT(row, row)
 			}
 		}
-	})
+	}
+	invBin := 1 / e.g.BinArea()
+	e.fnFill = func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e.Rho[i] = (e.g.Density[i] + e.g.FixedDensity[i]) * invBin
+		}
+	}
+	e.fnEnergy = func(_, lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += e.g.Density[i] * e.Psi[i]
+		}
+		return s
+	}
+}
+
+// Workers returns the solver's worker-pool size.
+func (e *Electro) Workers() int { return e.workers }
+
+// transposeTile is the blocking factor of the tiled transpose; 64 float64s
+// per tile row keeps both the read and write streams inside L1.
+const transposeTile = 64
+
+// transposeInto writes the rows-by-cols row-major matrix src into dst
+// transposed (cols rows of rows entries): dst[c*rows+r] = src[r*cols+c].
+// Workers partition the destination rows (source columns), so writes are
+// disjoint; tiling bounds the cache footprint of the strided reads.
+func (e *Electro) transposeInto(dst, src []float64, rows, cols int) {
+	e.tDst, e.tSrc, e.tRows, e.tCols = dst, src, rows, cols
+	parallel.For(e.workers, cols, e.fnTranspose)
+}
+
+// dct2DForward computes the 2-D DCT-II of Rho into coeffT (column-major) and
+// mirrors it into Coeff (row-major). Rows transform in parallel into tbuf;
+// the transpose makes each column a contiguous row of coeffT for the second
+// pass.
+func (e *Electro) dct2DForward() {
+	nx, ny := e.g.Nx, e.g.Ny
+	parallel.For(e.workers, ny, e.fnFwdRows)
+	e.transposeInto(e.coeffT, e.tbuf, ny, nx)
+	parallel.For(e.workers, nx, e.fnFwdCols)
+	e.transposeInto(e.Coeff, e.coeffT, nx, ny)
+}
+
+// synth2D synthesizes dst from the column-major coefficients coeffT: the
+// column pass fuses the elementwise scale lane into the y transform (IDCT,
+// or IDXST when ySine), one transpose brings the result row-major, and the
+// row pass applies the x transform in place (IDXST when xSine).
+func (e *Electro) synth2D(dst, scale []float64, xSine, ySine bool) {
+	nx, ny := e.g.Nx, e.g.Ny
+	e.csScale, e.csSine = scale, ySine
+	parallel.For(e.workers, nx, e.fnColSynth)
+	e.transposeInto(dst, e.tbuf, nx, ny)
+	e.rsDst, e.rsSine = dst, xSine
+	parallel.For(e.workers, ny, e.fnRowSynth)
 }
 
 // SolveFromGrid loads the grid's current total density (movable + fixed),
 // converts it to utilization, and solves for potential and field.
 func (e *Electro) SolveFromGrid() {
-	invBin := 1 / e.g.BinArea()
-	parallel.For(e.workers, len(e.Rho), func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			e.Rho[i] = (e.g.Density[i] + e.g.FixedDensity[i]) * invBin
-		}
-	})
+	parallel.For(e.workers, len(e.Rho), e.fnFill)
 	e.Solve()
-}
-
-// scaleCoeff fills e.scaled with Coeff[i] * num(u, v) / (wu^2 + wv^2),
-// zeroing the DC term; the numerator selects potential (1), Ex (wu), or Ey
-// (wv) synthesis. Rows are partitioned across workers; every element is
-// computed independently, so the result is worker-count independent.
-func (e *Electro) scaleCoeff(numX, numY bool) {
-	nx := e.g.Nx
-	parallel.For(e.workers, e.g.Ny, func(_, lo, hi int) {
-		for v := lo; v < hi; v++ {
-			wv2 := e.wv[v] * e.wv[v]
-			for u := 0; u < nx; u++ {
-				i := v*nx + u
-				if u == 0 && v == 0 {
-					e.scaled[i] = 0
-					continue
-				}
-				num := 1.0
-				if numX {
-					num = e.wu[u]
-				} else if numY {
-					num = e.wv[v]
-				}
-				e.scaled[i] = e.Coeff[i] * num / (e.wu[u]*e.wu[u] + wv2)
-			}
-		}
-	})
 }
 
 // Solve runs the spectral solve on the current contents of Rho.
 func (e *Electro) Solve() {
 	sp := e.Obs.StartPhase(obs.PhaseDCT)
-	e.dct2DForward(e.Coeff, e.Rho)
+	e.dct2DForward()
 	sp.End()
 
-	// Potential coefficients: A/(wu^2+wv^2), zero DC.
+	// Potential: A/(wu^2+wv^2), zero DC — the recip lane fused into the
+	// column IDCT.
 	sp = e.Obs.StartPhase(obs.PhaseSynthPsi)
-	e.scaleCoeff(false, false)
-	e.synth2D(e.Psi, e.scaled, false, false)
+	e.synth2D(e.Psi, e.recipT, false, false)
 	sp.End()
 
-	// Ex = sum B*wu * sin(wu x) cos(wv y): sine along x.
+	// Ex = sum B*wu * sin(wu x) cos(wv y): sine along x, wu numerator.
 	sp = e.Obs.StartPhase(obs.PhaseSynthEx)
-	e.scaleCoeff(true, false)
-	e.synth2D(e.Ex, e.scaled, true, false)
+	e.synth2D(e.Ex, e.scaleXT, true, false)
 	sp.End()
 
-	// Ey: sine along y.
+	// Ey: sine along y, wv numerator.
 	sp = e.Obs.StartPhase(obs.PhaseSynthEy)
-	e.scaleCoeff(false, true)
-	e.synth2D(e.Ey, e.scaled, false, true)
+	e.synth2D(e.Ey, e.scaleYT, false, true)
 	sp.End()
 
 	if h := SolveHook; h != nil {
@@ -263,13 +309,7 @@ func (e *Electro) Solve() {
 // reduced in worker order, so the value is deterministic for a fixed worker
 // count.
 func (e *Electro) Energy() float64 {
-	return parallel.SumOrdered(e.workers, len(e.g.Density), func(_, lo, hi int) float64 {
-		s := 0.0
-		for i := lo; i < hi; i++ {
-			s += e.g.Density[i] * e.Psi[i]
-		}
-		return s
-	})
+	return parallel.SumOrdered(e.workers, len(e.g.Density), e.fnEnergy)
 }
 
 // Grid returns the bound grid.

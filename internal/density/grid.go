@@ -89,10 +89,10 @@ func (g *Grid) stampInto(dst []float64, xl, yl, xh, yh, scale float64) {
 		return
 	}
 	// Clip to region.
-	xl = math.Max(xl, g.Region.XL)
-	yl = math.Max(yl, g.Region.YL)
-	xh = math.Min(xh, g.Region.XH)
-	yh = math.Min(yh, g.Region.YH)
+	xl = max(xl, g.Region.XL)
+	yl = max(yl, g.Region.YL)
+	xh = min(xh, g.Region.XH)
+	yh = min(yh, g.Region.YH)
 	if xh <= xl || yh <= yl {
 		return
 	}
@@ -120,14 +120,14 @@ func (g *Grid) stampInto(dst []float64, xl, yl, xh, yh, scale float64) {
 	}
 	for iy := iy0; iy <= iy1; iy++ {
 		by := g.Region.YL + float64(iy)*g.BinH
-		oy := math.Min(yh, by+g.BinH) - math.Max(yl, by)
+		oy := min(yh, by+g.BinH) - max(yl, by)
 		if oy <= 0 {
 			continue
 		}
 		row := iy * g.Nx
 		for ix := ix0; ix <= ix1; ix++ {
 			bx := g.Region.XL + float64(ix)*g.BinW
-			ox := math.Min(xh, bx+g.BinW) - math.Max(xl, bx)
+			ox := min(xh, bx+g.BinW) - max(xl, bx)
 			if ox <= 0 {
 				continue
 			}
@@ -211,10 +211,10 @@ func (g *Grid) Overflow(targetDensity, totalMovableArea float64) float64 {
 // the electric force on the cell, the exact adjoint of StampSmoothed.
 func (g *Grid) SampleSmoothed(ex, ey []float64, cx, cy, w, h float64) (fx, fy float64) {
 	xl, yl, xh, yh, scale := g.SmoothedFootprint(cx, cy, w, h)
-	xl = math.Max(xl, g.Region.XL)
-	yl = math.Max(yl, g.Region.YL)
-	xh = math.Min(xh, g.Region.XH)
-	yh = math.Min(yh, g.Region.YH)
+	xl = max(xl, g.Region.XL)
+	yl = max(yl, g.Region.YL)
+	xh = min(xh, g.Region.XH)
+	yh = min(yh, g.Region.YH)
 	if xh <= xl || yh <= yl {
 		return 0, 0
 	}
@@ -238,14 +238,14 @@ func (g *Grid) SampleSmoothed(ex, ey []float64, cx, cy, w, h float64) (fx, fy fl
 	}
 	for iy := iy0; iy <= iy1; iy++ {
 		by := g.Region.YL + float64(iy)*g.BinH
-		oy := math.Min(yh, by+g.BinH) - math.Max(yl, by)
+		oy := min(yh, by+g.BinH) - max(yl, by)
 		if oy <= 0 {
 			continue
 		}
 		row := iy * g.Nx
 		for ix := ix0; ix <= ix1; ix++ {
 			bx := g.Region.XL + float64(ix)*g.BinW
-			ox := math.Min(xh, bx+g.BinW) - math.Max(xl, bx)
+			ox := min(xh, bx+g.BinW) - max(xl, bx)
 			if ox <= 0 {
 				continue
 			}

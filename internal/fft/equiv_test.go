@@ -1,0 +1,210 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// refDCT2 computes the type-II DCT through a FULL-length complex FFT
+// (Makhoul's even permutation followed by an N-point complex transform and
+// the quarter-wave post-rotation). It shares no code with the half-size
+// real-input path in CosPlan.DCT2, so agreement between the two pins the
+// conjugate-symmetry unpack, not just the trig tables.
+func refDCT2(dst, src []float64) {
+	n := len(src)
+	if n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for m := 0; m < n; m++ {
+		if 2*m < n {
+			re[m] = src[2*m]
+		} else {
+			re[m] = src[2*n-2*m-1]
+		}
+	}
+	NewPlan(n).Transform(re, im, false)
+	for k := 0; k < n; k++ {
+		ang := math.Pi * float64(k) / float64(2*n)
+		dst[k] = math.Cos(ang)*re[k] + math.Sin(ang)*im[k]
+	}
+}
+
+// maxAbs returns max_i |s_i|.
+func maxAbs(s []float64) float64 {
+	m := 0.0
+	for _, v := range s {
+		m = math.Max(m, math.Abs(v))
+	}
+	return m
+}
+
+// TestDCT2MatchesComplexReference compares the half-size real-input DCT2
+// against the full-length complex-FFT reference at 1e-12 relative — far
+// tighter than the 1e-9 naive-trig-sum tests, because both sides use exact
+// table-driven twiddles.
+func TestDCT2MatchesComplexReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{2, 4, 8, 16, 32, 64, 128, 256, 512} {
+		src := randSlice(rng, n)
+		got := make([]float64, n)
+		want := make([]float64, n)
+		NewCosPlan(n).DCT2(got, src)
+		refDCT2(want, src)
+		scale := maxAbs(want) + 1
+		for k := range got {
+			if math.Abs(got[k]-want[k]) > 1e-12*scale {
+				t.Fatalf("n=%d: DCT2[%d] = %g, complex reference %g", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// TestSynthesisRoundTripTight pins IDCT as the exact inverse of DCT2 (and
+// IDXST against the cosine identity it is derived from) at 1e-12 relative.
+func TestSynthesisRoundTripTight(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{2, 4, 8, 16, 64, 256, 512} {
+		cp := NewCosPlan(n)
+		x := randSlice(rng, n)
+		coef := make([]float64, n)
+		back := make([]float64, n)
+		cp.DCT2(coef, x)
+		cp.IDCT(back, coef)
+		scale := maxAbs(x) + 1
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-12*scale {
+				t.Fatalf("n=%d: IDCT(DCT2(x))[%d] = %g, want %g", n, i, back[i], x[i])
+			}
+		}
+
+		// IDXST(b)[m] = (-1)^m * IDCT(a)[m] with a_j = b_{n-j}, a_0 = 0:
+		// the identity the sine synthesis is folded from.
+		b := randSlice(rng, n)
+		a := make([]float64, n)
+		for j := 1; j < n; j++ {
+			a[j] = b[n-j]
+		}
+		wantRaw := make([]float64, n)
+		cp.IDCT(wantRaw, a)
+		got := make([]float64, n)
+		cp.IDXST(got, b)
+		scale = maxAbs(wantRaw) + 1
+		for m := range got {
+			want := wantRaw[m]
+			if m%2 == 1 {
+				want = -want
+			}
+			if math.Abs(got[m]-want) > 1e-12*scale {
+				t.Fatalf("n=%d: IDXST[%d] = %g, want %g", n, m, got[m], want)
+			}
+		}
+	}
+}
+
+// TestScaledSynthesisBitExact pins the fused IDCTScale/IDXSTScale against
+// pre-scaling the coefficients and calling the plain transforms. The fusion
+// performs the identical multiply (src[k]*scale[k]) at the identical point in
+// the computation, so the outputs must match bit for bit.
+func TestScaledSynthesisBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, n := range []int{1, 2, 4, 16, 128, 256} {
+		cp := NewCosPlan(n)
+		src := randSlice(rng, n)
+		scale := randSlice(rng, n)
+		pre := make([]float64, n)
+		for i := range pre {
+			pre[i] = src[i] * scale[i]
+		}
+		want := make([]float64, n)
+		got := make([]float64, n)
+
+		cp.IDCT(want, pre)
+		cp.IDCTScale(got, src, scale)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: IDCTScale[%d] = %g, plain on pre-scaled = %g", n, i, got[i], want[i])
+			}
+		}
+
+		cp.IDXST(want, pre)
+		cp.IDXSTScale(got, src, scale)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: IDXSTScale[%d] = %g, plain on pre-scaled = %g", n, i, got[i], want[i])
+			}
+		}
+
+		// Nil scale must be the plain transform.
+		cp.IDCT(want, src)
+		cp.IDCTScale(got, src, nil)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: IDCTScale nil != IDCT at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestPlanCacheSharing verifies the structural contract of the plan cache:
+// plans of one length share the immutable tables (one copy process-wide) but
+// never the mutable packing scratch.
+func TestPlanCacheSharing(t *testing.T) {
+	p1 := NewCosPlan(64)
+	p2 := NewCosPlan(64)
+	if p1.t != p2.t {
+		t.Error("CosPlans of the same length should share cosTables")
+	}
+	if p1.half.t != p2.half.t {
+		t.Error("half Plans of the same length should share planTables")
+	}
+	if &p1.zre[0] == &p2.zre[0] || &p1.zim[0] == &p2.zim[0] {
+		t.Error("CosPlans must not share packing scratch")
+	}
+	if NewPlan(128).t != NewPlan(128).t {
+		t.Error("Plans of the same length should share planTables")
+	}
+}
+
+// TestPlanCacheConcurrent hammers the plan cache and the shared tables from
+// many goroutines, each with its own CosPlan of the same length, and checks
+// every result against a serially computed expectation. Under -race this
+// proves workers share only immutable tables, never mutable scratch.
+func TestPlanCacheConcurrent(t *testing.T) {
+	const n = 128
+	rng := rand.New(rand.NewSource(44))
+	src := randSlice(rng, n)
+	want := make([]float64, n)
+	NewCosPlan(n).DCT2(want, src)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cp := NewCosPlan(n) // concurrent cache hit on the shared tables
+			dst := make([]float64, n)
+			back := make([]float64, n)
+			for iter := 0; iter < 50; iter++ {
+				cp.DCT2(dst, src)
+				for k := range dst {
+					if dst[k] != want[k] {
+						errs <- "concurrent DCT2 diverged from serial result"
+						return
+					}
+				}
+				cp.IDCT(back, dst) // exercise the synthesis scratch too
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -128,6 +128,7 @@ func (b *Builder) Build() (*Design, error) {
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("netlist build: %w", err)
 	}
+	d.PinLanes() // build the SoA pin lanes eagerly while the caches are warm
 	return d, nil
 }
 

@@ -17,6 +17,7 @@ package netlist
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/geom"
 )
@@ -125,6 +126,52 @@ type Design struct {
 	// TargetDensity is the density upper bound per bin (utilization
 	// target), e.g. 1.0 for wirelength-driven contests.
 	TargetDensity float64
+
+	// lanes is the flat structure-of-arrays view of the pin topology,
+	// built once (lazily, or eagerly by Builder.Build/Clone) and immutable
+	// afterwards. Guarded by lanesOnce so concurrent evaluators share one
+	// copy safely.
+	lanesOnce sync.Once
+	lanes     Lanes
+}
+
+// Lanes is the structure-of-arrays mirror of Design.Pins used by the
+// evaluation hot paths: one contiguous lane per pin field, indexed like
+// Pins and delimited per net by Design.NetStart. Splitting the 24-byte Pin
+// records into an int32 lane and two float64 lanes lets the gather/scatter
+// loops stream each field sequentially with no struct padding in the way.
+//
+// Lanes hold only immutable topology — cell indices and pin offsets. Net
+// weights are deliberately absent: they are user-mutable after Build
+// (experiments re-weight nets in place), so evaluators read
+// Design.Nets[e].Weight at evaluation time.
+type Lanes struct {
+	// PinCell[i] == Pins[i].Cell.
+	PinCell []int32
+	// PinDx[i], PinDy[i] == Pins[i].Dx, Pins[i].Dy.
+	PinDx, PinDy []float64
+}
+
+// PinLanes returns the design's flat pin lanes, building them on first use.
+// The returned Lanes are shared and must be treated as read-only; the pin
+// topology (Pins, NetStart) must not change after the first call.
+func (d *Design) PinLanes() *Lanes {
+	d.lanesOnce.Do(d.buildLanes)
+	return &d.lanes
+}
+
+func (d *Design) buildLanes() {
+	n := len(d.Pins)
+	d.lanes = Lanes{
+		PinCell: make([]int32, n),
+		PinDx:   make([]float64, n),
+		PinDy:   make([]float64, n),
+	}
+	for i, p := range d.Pins {
+		d.lanes.PinCell[i] = p.Cell
+		d.lanes.PinDx[i] = p.Dx
+		d.lanes.PinDy[i] = p.Dy
+	}
 }
 
 // NetPins returns the pins of net e as a sub-slice of d.Pins.
@@ -310,6 +357,7 @@ func (d *Design) Clone() *Design {
 		Rows:          append([]Row(nil), d.Rows...),
 		TargetDensity: d.TargetDensity,
 	}
+	c.PinLanes()
 	return c
 }
 

@@ -2,6 +2,7 @@ package placer
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/wirelength"
@@ -30,6 +31,14 @@ func BenchmarkEvalGrad(b *testing.B) {
 			en.param = 1.5
 			en.lambda = 1e-3
 			grad := make([]float64, len(pos))
+			// Warm up so short -benchtime runs measure the steady state
+			// (faulted-in buffers, hot caches, trained branch predictors),
+			// and settle the garbage from engine construction so no GC cycle
+			// lands inside a measured iteration.
+			for i := 0; i < 3; i++ {
+				en.eval(pos, grad)
+			}
+			runtime.GC()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

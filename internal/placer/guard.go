@@ -8,7 +8,6 @@ import (
 	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/optimizer"
-	"repro/internal/wirelength"
 )
 
 // guardian wires a guard.Monitor into the placement loop: it keeps a ring
@@ -102,21 +101,22 @@ func (g *guardian) maybeSnapshot(k int, opt optimizer.Optimizer) {
 }
 
 // check runs the per-iteration invariants after the optimizer step of
-// iteration k. All reads are side-effect free with respect to the run
-// (unpack writes the design's scratch X/Y, which every eval overwrites
-// anyway), so an enabled-but-never-tripping guard leaves the trajectory
-// bit-identical to a guardless run.
-func (g *guardian) check(k int, obj float64, opt optimizer.Optimizer) *guard.Violation {
+// iteration k. hpwl is the exact HPWL of the current positions, computed
+// once per iteration by the placement loop and shared with trajectory
+// recording (it used to be re-derived here, doubling the probe whenever the
+// guard and the recorder ran in the same iteration). All reads are
+// side-effect free with respect to the run, so an enabled-but-never-
+// tripping guard leaves the trajectory bit-identical to a guardless run.
+func (g *guardian) check(k int, obj, hpwl float64, opt optimizer.Optimizer) *guard.Violation {
 	pos := opt.Pos()
 	step := 0.0
 	if ss, ok := opt.(optimizer.StepSizer); ok {
 		step = ss.LastStepSize()
 	}
-	g.en.unpack(pos)
 	v := g.mon.Check(guard.Sample{
 		Iter:      k,
 		Objective: obj,
-		HPWL:      wirelength.TotalHPWL(g.en.d),
+		HPWL:      hpwl,
 		Overflow:  g.en.overflow,
 		Step:      step,
 		Pos:       pos,

@@ -213,6 +213,18 @@ type engine struct {
 	overflow float64
 
 	lastEnergy float64
+
+	// Prebuilt hot-path closures and their parameter fields: closures
+	// handed to parallel.For / the stamper from inside eval would escape
+	// to the heap on every call, so they are constructed once (initHotPath)
+	// and read the current position/gradient vectors from pos/grad. eval
+	// is never called concurrently with itself, so plain fields are safe.
+	pos, grad    []float64
+	evalFn       func(pos, grad []float64) float64
+	fnGatherMov  func(w, lo, hi int)
+	fnGatherFill func(w, lo, hi int)
+	fnStampMov   func(i int) (float64, float64, float64, float64)
+	fnStampFill  func(f int) (float64, float64, float64, float64)
 }
 
 // autoGrid picks a power-of-two grid dimension from the design size.
@@ -420,7 +432,63 @@ func newEngine(d *netlist.Design, cfg Config, workers int) (*engine, []float64, 
 
 	en.wgx = make([]float64, d.NumCells())
 	en.wgy = make([]float64, d.NumCells())
+	en.initHotPath()
 	return en, pos, nil
+}
+
+// initHotPath constructs the closures used by every eval once, so the
+// steady-state objective/gradient evaluation performs no allocations: the
+// stamping callbacks, the per-cell and per-filler field gather bodies, and
+// the optimizer's evaluation function (a method value created per call would
+// itself allocate).
+func (en *engine) initHotPath() {
+	d := en.d
+	n := len(en.mov) + en.numFillers
+	nm := len(en.mov)
+	en.evalFn = en.eval
+	en.fnStampMov = func(i int) (float64, float64, float64, float64) {
+		return en.pos[i], en.pos[n+i], 2 * en.halfW[i], 2 * en.halfH[i]
+	}
+	en.fnStampFill = func(f int) (float64, float64, float64, float64) {
+		i := nm + f
+		return en.pos[i], en.pos[n+i], en.fillerW, en.fillerH
+	}
+	// The per-cell field gather is embarrassingly parallel: entry i writes
+	// only grad[i] and grad[n+i] and reads shared immutable state, so the
+	// result is worker-count independent.
+	en.fnGatherMov = func(_, lo, hi int) {
+		pos, grad := en.pos, en.grad
+		for i := lo; i < hi; i++ {
+			c := en.mov[i]
+			fx, fy := en.grid.SampleSmoothed(en.elec.Ex, en.elec.Ey, pos[i], pos[n+i], 2*en.halfW[i], 2*en.halfH[i])
+			grad[i] = en.wgx[c] - en.lambda*fx
+			grad[n+i] = en.wgy[c] - en.lambda*fy
+			if en.cfg.Precondition {
+				p := float64(len(d.PinsOfCell(c))) + en.lambda*d.Cells[c].Area()
+				if p < 1 {
+					p = 1
+				}
+				grad[i] /= p
+				grad[n+i] /= p
+			}
+		}
+	}
+	en.fnGatherFill = func(_, lo, hi int) {
+		pos, grad := en.pos, en.grad
+		fillerPre := 1.0
+		if en.cfg.Precondition {
+			fillerPre = en.lambda * en.fillerW * en.fillerH
+			if fillerPre < 1 {
+				fillerPre = 1
+			}
+		}
+		for f := lo; f < hi; f++ {
+			i := nm + f
+			fx, fy := en.grid.SampleSmoothed(en.elec.Ex, en.elec.Ey, pos[i], pos[n+i], en.fillerW, en.fillerH)
+			grad[i] = -en.lambda * fx / fillerPre
+			grad[n+i] = -en.lambda * fy / fillerPre
+		}
+	}
 }
 
 // Place runs global placement on d (in place) and returns the result.
@@ -657,11 +725,22 @@ func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 		it := o.StartIteration(k)
 		en.param = schedule(en.overflow)
 		sp := o.StartPhase(obs.PhaseStep)
-		obj := opt.Step(en.eval)
+		obj := opt.Step(en.evalFn)
 		sp.End()
 		en.lambda = lu.Update(en.lastEnergy)
+
+		// Exact HPWL is probed at most once per iteration and shared by
+		// every consumer (guard growth check, trajectory recording, the
+		// iteration hook); it used to be re-derived by each of them.
+		record := cfg.RecordEvery > 0 && k%cfg.RecordEvery == 0
+		wantHPWL := record || cfg.OnIteration != nil
+		hpwl := 0.0
+		if grd != nil || wantHPWL {
+			en.unpack(opt.Pos())
+			hpwl = wirelength.TotalHPWL(d)
+		}
 		if grd != nil {
-			if v := grd.check(k, obj, opt); v != nil {
+			if v := grd.check(k, obj, hpwl, opt); v != nil {
 				restart, gerr := grd.handle(k, v, opt)
 				it.End()
 				if gerr != nil {
@@ -678,19 +757,15 @@ func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 		res.Iterations = k + 1
 
 		stop := false
-		hpwl := 0.0
-		record := cfg.RecordEvery > 0 && k%cfg.RecordEvery == 0
-		if record || cfg.OnIteration != nil {
-			en.unpack(opt.Pos())
+		if wantHPWL {
 			pt := TrajectoryPoint{
 				Iter:      k,
 				Overflow:  en.overflow,
-				HPWL:      wirelength.TotalHPWL(d),
+				HPWL:      hpwl,
 				Objective: obj,
 				Param:     en.param,
 				Lambda:    en.lambda,
 			}
-			hpwl = pt.HPWL
 			if record {
 				res.Trajectory = append(res.Trajectory, pt)
 				logger.Debug("gp: iteration",
@@ -707,8 +782,14 @@ func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 			if ss, ok := opt.(optimizer.StepSizer); ok {
 				step = ss.LastStepSize()
 			}
+			// The gauge reports HPWL only on iterations that sampled it
+			// for the trajectory/hook, matching the historical stream.
+			gaugeHPWL := 0.0
+			if wantHPWL {
+				gaugeHPWL = hpwl
+			}
 			o.Metrics.Record(obs.Point{
-				Iter: k, HPWL: hpwl, Overflow: en.overflow,
+				Iter: k, HPWL: gaugeHPWL, Overflow: en.overflow,
 				Lambda: en.lambda, Param: en.param, Step: step,
 			})
 		}
@@ -801,17 +882,11 @@ func (en *engine) unpack(pos []float64) {
 // pool; per-worker partials reduce in worker order (deterministic for a
 // fixed worker count).
 func (en *engine) stampAndOverflow(pos []float64) float64 {
-	n := len(en.mov) + en.numFillers
-	nm := len(en.mov)
+	en.pos = pos
 	en.grid.Clear()
-	en.stamper.StampSmoothed(nm, func(i int) (float64, float64, float64, float64) {
-		return pos[i], pos[n+i], 2 * en.halfW[i], 2 * en.halfH[i]
-	})
+	en.stamper.StampSmoothed(len(en.mov), en.fnStampMov)
 	phi := en.grid.OverflowWorkers(en.targetDensity, en.movableArea, en.workers)
-	en.stamper.StampSmoothed(en.numFillers, func(f int) (float64, float64, float64, float64) {
-		i := nm + f
-		return pos[i], pos[n+i], en.fillerW, en.fillerH
-	})
+	en.stamper.StampSmoothed(en.numFillers, en.fnStampFill)
 	return phi
 }
 
@@ -858,41 +933,8 @@ func (en *engine) eval(pos, grad []float64) float64 {
 	sp = o.StartPhase(obs.PhaseGather)
 	defer sp.End()
 
-	// The per-cell field gather is embarrassingly parallel: entry i writes
-	// only grad[i] and grad[n+i] and reads shared immutable state, so the
-	// result is worker-count independent.
-	n := len(en.mov) + en.numFillers
-	parallel.For(en.workers, len(en.mov), func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			c := en.mov[i]
-			fx, fy := en.grid.SampleSmoothed(en.elec.Ex, en.elec.Ey, pos[i], pos[n+i], 2*en.halfW[i], 2*en.halfH[i])
-			grad[i] = en.wgx[c] - en.lambda*fx
-			grad[n+i] = en.wgy[c] - en.lambda*fy
-			if en.cfg.Precondition {
-				p := float64(len(d.PinsOfCell(c))) + en.lambda*d.Cells[c].Area()
-				if p < 1 {
-					p = 1
-				}
-				grad[i] /= p
-				grad[n+i] /= p
-			}
-		}
-	})
-	fillerPre := 1.0
-	if en.cfg.Precondition {
-		fillerPre = en.lambda * en.fillerW * en.fillerH
-		if fillerPre < 1 {
-			fillerPre = 1
-		}
-	}
-	nm := len(en.mov)
-	parallel.For(en.workers, en.numFillers, func(_, lo, hi int) {
-		for f := lo; f < hi; f++ {
-			i := nm + f
-			fx, fy := en.grid.SampleSmoothed(en.elec.Ex, en.elec.Ey, pos[i], pos[n+i], en.fillerW, en.fillerH)
-			grad[i] = -en.lambda * fx / fillerPre
-			grad[n+i] = -en.lambda * fy / fillerPre
-		}
-	})
+	en.pos, en.grad = pos, grad
+	parallel.For(en.workers, len(en.mov), en.fnGatherMov)
+	parallel.For(en.workers, en.numFillers, en.fnGatherFill)
 	return w + en.lambda*energy
 }

@@ -31,11 +31,15 @@ func NetMoreau(x []float64, t float64, grad []float64) float64 {
 
 // NewMoreau returns the Moreau-envelope wirelength model ("ME", ours).
 func NewMoreau() Model {
-	return NewKernelModel("ME", ParamMoreauT, NewMoreauKernel())
+	return NewMoreauStats(nil)
 }
 
 // NewMoreauStats is NewMoreau with a shared branch counter (see
-// NewMoreauKernelStats).
+// NewMoreauKernelStats). The returned model evaluates whole net ranges
+// through moreau.GradBatch over the design's SoA lanes — per-net arithmetic
+// identical to the kernel path, minus the per-net call overhead.
 func NewMoreauStats(stats *moreau.Stats) Model {
-	return NewKernelModel("ME", ParamMoreauT, NewMoreauKernelStats(stats))
+	ev := moreau.NewEvaluator(64)
+	ev.Stats = stats
+	return &kernelModel{name: "ME", kind: ParamMoreauT, batch: ev}
 }

@@ -9,42 +9,55 @@ import (
 )
 
 // parallelModel evaluates a kernel model with a pool of goroutines, one
-// kernel instance and one gradient accumulator per worker, reduced after the
-// barrier. Results are bit-identical to the sequential evaluator up to
-// floating-point addition order within a cell's accumulator (workers own
-// disjoint net ranges but cells are shared, so per-worker partial gradients
-// are summed deterministically worker-by-worker).
+// kernel instance (or Moreau batch evaluator), one lane scratch, and one
+// gradient accumulator per worker, reduced after the barrier. Each worker
+// runs the same SoA gather/kernel/scatter passes as the sequential
+// evaluator over its own contiguous net range, so per-cell gradients are
+// bit-identical to the sequential path up to the worker-order summation of
+// the per-worker accumulators (workers own disjoint net ranges but cells
+// are shared).
 //
 // A parallelModel is not safe for concurrent WirelengthGrad calls on the
-// same value: the workers it spawns own its per-worker scratch, but two
-// overlapping top-level calls would share it. Create one model per
-// concurrent placement run (ParallelByName is cheap).
+// same value: the workers it spawns own its per-worker scratch (and
+// parameters pass through struct fields so the steady state allocates
+// nothing), but two overlapping top-level calls would share both. Create
+// one model per concurrent placement run (ParallelByName is cheap).
 type parallelModel struct {
 	name    string
 	kind    ParamKind
 	workers int
 	kernels []Kernel
+	// batch, when non-nil, holds one Moreau batch evaluator per worker
+	// (private sort scratch, shared atomic Stats) and selects the batch
+	// path.
+	batch []*moreau.Evaluator
 
 	// Per-call scratch, reused across evaluations: totals holds one
 	// partial sum per worker; gxs/gys hold per-worker gradient
-	// accumulators, (re)sized only when the design's cell count changes.
+	// accumulators, (re)sized only when the design's cell count changes;
+	// lanes holds each worker's gather/scatter lanes.
 	totals   []float64
 	gxs, gys [][]float64
+	lanes    []laneScratch
 
-	// coords/pins are per-worker pin coordinate and gradient buffers,
-	// grown on demand to the largest net degree each worker has seen.
-	coords, pins [][]float64
+	// Prebuilt worker loop body and its per-call parameters: closures
+	// built inside WirelengthGrad would escape to the heap on every call,
+	// so the body is constructed once and reads these fields instead.
+	d        *netlist.Design
+	ln       *netlist.Lanes
+	prm      float64
+	needGrad bool
+	fnEval   func(w, lo, hi int)
 }
 
 // Parallelize wraps a kernel-backed model (anything built by
-// NewKernelModel, which includes every model ByName returns) in a
-// fixed-size worker pool. workers <= 1 returns the model unchanged.
+// NewKernelModel or ByName) in a fixed-size worker pool. Moreau batch
+// models get one batch evaluator per worker sharing the base model's Stats;
+// other models call factory once per worker for private kernel scratch.
+// workers <= 1 returns the model unchanged.
 func Parallelize(m Model, workers int, factory func() Kernel) (Model, error) {
 	if workers <= 1 {
 		return m, nil
-	}
-	if factory == nil {
-		return nil, fmt.Errorf("wirelength: Parallelize needs a kernel factory")
 	}
 	p := &parallelModel{
 		name:    m.Name(),
@@ -53,11 +66,37 @@ func Parallelize(m Model, workers int, factory func() Kernel) (Model, error) {
 		totals:  make([]float64, workers),
 		gxs:     make([][]float64, workers),
 		gys:     make([][]float64, workers),
-		coords:  make([][]float64, workers),
-		pins:    make([][]float64, workers),
+		lanes:   make([]laneScratch, workers),
 	}
-	for w := 0; w < workers; w++ {
-		p.kernels = append(p.kernels, factory())
+	if km, ok := m.(*kernelModel); ok && km.batch != nil {
+		for w := 0; w < workers; w++ {
+			ev := moreau.NewEvaluator(64)
+			ev.Stats = km.batch.Stats
+			p.batch = append(p.batch, ev)
+		}
+	} else {
+		if factory == nil {
+			return nil, fmt.Errorf("wirelength: Parallelize needs a kernel factory")
+		}
+		for w := 0; w < workers; w++ {
+			p.kernels = append(p.kernels, factory())
+		}
+	}
+	p.fnEval = func(w, lo, hi int) {
+		s := &p.lanes[w]
+		var gx, gy []float64
+		if p.needGrad {
+			gx, gy = p.gxs[w], p.gys[w]
+			for i := range gx {
+				gx[i] = 0
+				gy[i] = 0
+			}
+		}
+		if p.batch != nil {
+			p.totals[w] = evalBatchRange(p.d, p.ln, s, p.batch[w], lo, hi, p.prm, gx, gy)
+		} else {
+			p.totals[w] = evalKernelRange(p.d, p.ln, s, p.kernels[w], lo, hi, p.prm, gx, gy)
+		}
 	}
 	return p, nil
 }
@@ -117,56 +156,8 @@ func (m *parallelModel) WirelengthGrad(d *netlist.Design, p float64, gradX, grad
 
 	numNets := d.NumNets()
 	active := parallel.Active(m.workers, numNets)
-	parallel.For(m.workers, numNets, func(w, lo, hi int) {
-		kernel := m.kernels[w]
-		coord, pg := m.coords[w], m.pins[w]
-		var gx, gy []float64
-		if needGrad {
-			gx, gy = m.gxs[w], m.gys[w]
-			for i := range gx {
-				gx[i] = 0
-				gy[i] = 0
-			}
-		}
-		sum := 0.0
-		for e := lo; e < hi; e++ {
-			pins := d.NetPins(e)
-			np := len(pins)
-			if np == 0 {
-				continue
-			}
-			if cap(coord) < np {
-				coord = make([]float64, np)
-				pg = make([]float64, np)
-			}
-			c := coord[:np]
-			var g []float64
-			if needGrad {
-				g = pg[:np]
-			}
-			wgt := d.Nets[e].Weight
-			for i, pin := range pins {
-				c[i] = d.X[pin.Cell] + pin.Dx
-			}
-			sum += wgt * kernel(c, p, g)
-			if needGrad {
-				for i, pin := range pins {
-					gx[pin.Cell] += wgt * g[i]
-				}
-			}
-			for i, pin := range pins {
-				c[i] = d.Y[pin.Cell] + pin.Dy
-			}
-			sum += wgt * kernel(c, p, g)
-			if needGrad {
-				for i, pin := range pins {
-					gy[pin.Cell] += wgt * g[i]
-				}
-			}
-		}
-		m.coords[w], m.pins[w] = coord, pg
-		m.totals[w] = sum
-	})
+	m.d, m.ln, m.prm, m.needGrad = d, d.PinLanes(), p, needGrad
+	parallel.For(m.workers, numNets, m.fnEval)
 
 	total := 0.0
 	for w := 0; w < active; w++ {

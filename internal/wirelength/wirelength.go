@@ -59,29 +59,39 @@ type Model interface {
 
 // TotalHPWL returns the exact total weighted half-perimeter wirelength of
 // the design at its current placement. This is the evaluation metric used in
-// every table of the paper.
+// every table of the paper. It streams over the design's flat SoA pin lanes
+// (cell-index, dx, dy) instead of walking 24-byte Pin records; the
+// comparison order matches the record walk exactly, so the value is
+// bit-identical to it.
 func TotalHPWL(d *netlist.Design) float64 {
+	ln := d.PinLanes()
+	pc, pdx, pdy := ln.PinCell, ln.PinDx, ln.PinDy
+	X, Y := d.X, d.Y
 	total := 0.0
 	for e := range d.Nets {
-		pins := d.NetPins(e)
-		if len(pins) == 0 {
+		s0, s1 := int(d.NetStart[e]), int(d.NetStart[e+1])
+		if s1 == s0 {
 			continue
 		}
-		p0 := d.PinPos(pins[0])
-		xl, xh, yl, yh := p0.X, p0.X, p0.Y, p0.Y
-		for _, p := range pins[1:] {
-			pt := d.PinPos(p)
-			if pt.X < xl {
-				xl = pt.X
+		c := pc[s0]
+		xl := X[c] + pdx[s0]
+		yl := Y[c] + pdy[s0]
+		xh, yh := xl, yl
+		for i := s0 + 1; i < s1; i++ {
+			c := pc[i]
+			x := X[c] + pdx[i]
+			y := Y[c] + pdy[i]
+			if x < xl {
+				xl = x
 			}
-			if pt.X > xh {
-				xh = pt.X
+			if x > xh {
+				xh = x
 			}
-			if pt.Y < yl {
-				yl = pt.Y
+			if y < yl {
+				yl = y
 			}
-			if pt.Y > yh {
-				yh = pt.Y
+			if y > yh {
+				yh = y
 			}
 		}
 		total += d.Nets[e].Weight * ((xh - xl) + (yh - yl))
@@ -126,13 +136,18 @@ func NetHPWL(x []float64, _ float64, grad []float64) float64 {
 	return hi - lo
 }
 
-// kernelModel adapts a per-net Kernel into a whole-design Model.
+// kernelModel adapts a per-net Kernel (or the Moreau batch evaluator) into
+// a whole-design Model streaming over the design's SoA pin lanes: one gather
+// pass cells→pin coordinates, per-net kernels over contiguous slices of the
+// gathered lanes, and a scatter pass back onto cell gradients.
 type kernelModel struct {
 	name   string
 	kind   ParamKind
 	kernel Kernel
-	// scratch buffers sized to the design's maximum net degree.
-	coord, pg []float64
+	// batch, when non-nil, selects the Moreau batch path instead of the
+	// per-net kernel: whole net ranges evaluate in single GradBatch calls.
+	batch *moreau.Evaluator
+	s     laneScratch
 }
 
 // NewKernelModel wraps a one-dimensional kernel as a full-design Model.
@@ -153,43 +168,12 @@ func (m *kernelModel) WirelengthGrad(d *netlist.Design, p float64, gradX, gradY 
 		}
 	}
 	total := 0.0
-	for e := range d.Nets {
-		pins := d.NetPins(e)
-		n := len(pins)
-		if n == 0 {
-			continue
-		}
-		if cap(m.coord) < n {
-			m.coord = make([]float64, n)
-			m.pg = make([]float64, n)
-		}
-		coord := m.coord[:n]
-		var pg []float64
-		if gradX != nil {
-			pg = m.pg[:n]
-		}
-		w := d.Nets[e].Weight
-
-		// Horizontal axis.
-		for i, pin := range pins {
-			coord[i] = d.X[pin.Cell] + pin.Dx
-		}
-		total += w * m.kernel(coord, p, pg)
-		if gradX != nil {
-			for i, pin := range pins {
-				gradX[pin.Cell] += w * pg[i]
-			}
-		}
-
-		// Vertical axis.
-		for i, pin := range pins {
-			coord[i] = d.Y[pin.Cell] + pin.Dy
-		}
-		total += w * m.kernel(coord, p, pg)
-		if gradY != nil {
-			for i, pin := range pins {
-				gradY[pin.Cell] += w * pg[i]
-			}
+	if n := d.NumNets(); n > 0 {
+		ln := d.PinLanes()
+		if m.batch != nil {
+			total = evalBatchRange(d, ln, &m.s, m.batch, 0, n, p, gradX, gradY)
+		} else {
+			total = evalKernelRange(d, ln, &m.s, m.kernel, 0, n, p, gradX, gradY)
 		}
 	}
 	if h := GradHook; h != nil && gradX != nil {
