@@ -1,7 +1,7 @@
 # Standard verify entrypoint: `make check` is what CI (and humans) run.
 GO ?= go
 # Each PR writes its own trajectory file so earlier ones stay comparable.
-BENCH ?= BENCH_PR7.json
+BENCH ?= BENCH_PR8.json
 
 .PHONY: check fmt vet build test race fuzz-seeds fuzz bench cover placerd trace-demo fleet-demo
 
@@ -22,25 +22,29 @@ build:
 test:
 	$(GO) test ./...
 
-# The job manager (now including the durable store), the checkpoint codec,
-# telemetry, engine cancellation, the numerical-health guard, the fault
-# injection harness, and every parallel evaluation path (worker pool, density
-# pipeline, wirelength reduction) must be clean under the race detector; the
-# placer/density/wirelength suites include the parallel-vs-serial equivalence
-# tests, and the service suite includes the kill-and-recover and
-# panic-isolation tests.
+# The job manager (now including the durable store and result cache), the
+# checkpoint codec, telemetry, engine cancellation, the numerical-health
+# guard, the fault injection harness, and every parallel evaluation path
+# (worker pool, density pipeline, wirelength reduction) must be clean under
+# the race detector; the placer/density/wirelength suites include the
+# parallel-vs-serial equivalence tests, the service suite includes the
+# kill-and-recover, panic-isolation, and cache-hit tests, and the
+# ecocache/netlist suites cover the concurrent cache and content hashing the
+# ECO fast path keys on.
 race:
 	$(GO) test -race ./internal/service/... ./internal/placer/... \
 		./internal/checkpoint/... ./internal/density/... \
 		./internal/wirelength/... ./internal/parallel/... \
 		./internal/obs/... ./internal/guard/... ./internal/faultinject/... \
-		./internal/fleet/...
+		./internal/fleet/... ./internal/ecocache/... ./internal/netlist/...
 
-# fuzz-seeds replays the FuzzParse seed corpus as regular tests (regression
+# fuzz-seeds replays the fuzz seed corpora as regular tests (regression
 # mode, no exploration) so `make check` keeps the known-hostile Bookshelf
-# inputs covered without the open-ended fuzzing time.
+# inputs and the content-hash invariance properties covered without the
+# open-ended fuzzing time.
 fuzz-seeds:
 	$(GO) test -run=FuzzParse ./internal/bookshelf/
+	$(GO) test -run=FuzzContentHashInvariance ./internal/netlist/
 
 # fuzz explores: feed the Bookshelf parsers random inputs for a bounded time.
 # Any crasher is written to internal/bookshelf/testdata/fuzz/ — commit it as
@@ -101,7 +105,8 @@ fleet-demo:
 		-data-dir /tmp/fleet-demo/b -resume-root /tmp/fleet-demo & echo $$! > /tmp/fleet-demo/b.pid; \
 	sleep 1.5; \
 	./bin/placerload -coordinator http://127.0.0.1:7878 \
-		-jobs 24 -concurrency 6 -designs 4 -cells 300 -iters 40 -out $(BENCH); \
+		-jobs 24 -concurrency 6 -designs 4 -cells 300 -iters 40 \
+		-resubmit-ratio 0.5 -out $(BENCH); \
 	rc=$$?; \
 	kill $$(cat /tmp/fleet-demo/a.pid /tmp/fleet-demo/b.pid /tmp/fleet-demo/coord.pid) 2>/dev/null; \
 	rm -rf /tmp/fleet-demo; \

@@ -8,6 +8,7 @@
 //
 //	placerd [-addr :8080] [-workers 2] [-queue 16] [-retention 64]
 //	        [-timeout 0] [-aux-root dir] [-data-dir dir] [-checkpoint-every 25]
+//	        [-cache-entries 256] [-cache-bytes 268435456]
 //	        [-log-format text|json] [-log-level info] [-trace dir]
 //	        [-debug-addr :6060]
 //	        [-coordinator url] [-node-id id] [-advertise url]
@@ -31,7 +32,12 @@
 // With -data-dir the daemon is durable: specs, statuses, and placement
 // snapshots are persisted under the directory, jobs cancelled by the drain
 // are recorded as interrupted, and the next boot with the same -data-dir
-// re-enqueues them as warm-start resumes from their latest snapshot.
+// re-enqueues them as warm-start resumes from their latest snapshot. A
+// durable daemon also keeps a placement-result cache under
+// <data-dir>/ecocache (bounded by -cache-entries and -cache-bytes): an
+// identical resubmission is served bit-identically without running the GP
+// loop, and a job whose spec carries "parent" warm-starts from the parent's
+// cached placement with only the design delta's blast region re-placed.
 //
 // With -trace each job writes a Chrome trace_event JSON file
 // (<dir>/<job-id>.trace.json) with one span per engine phase per iteration;
@@ -82,6 +88,8 @@ func run(argv []string) error {
 		drain     = fs.Duration("drain", 30*time.Second, "graceful shutdown budget before cancelling jobs")
 		dataDir   = fs.String("data-dir", "", "durable job store directory (empty = in-memory only)")
 		ckptEvery = fs.Int("checkpoint-every", 25, "snapshot cadence in GP iterations for durable jobs")
+		cacheEnts = fs.Int("cache-entries", 0, "max placement-result cache entries (0 = default 256; needs -data-dir)")
+		cacheByte = fs.Int64("cache-bytes", 0, "max placement-result cache bytes (0 = default 256 MiB; needs -data-dir)")
 		logFormat = fs.String("log-format", "text", "log encoding: text or json")
 		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn, error")
 		traceDir  = fs.String("trace", "", "write per-job Chrome trace files into this directory")
@@ -122,6 +130,8 @@ func run(argv []string) error {
 		AuxRoot:         *auxRoot,
 		DataDir:         *dataDir,
 		CheckpointEvery: *ckptEvery,
+		CacheEntries:    *cacheEnts,
+		CacheBytes:      *cacheByte,
 		ResumeRoot:      *resumeRoot,
 		Telemetry:       tel,
 		Log:             logger,

@@ -9,14 +9,23 @@
 //
 //	placerload -coordinator http://localhost:7878
 //	           [-jobs 32] [-concurrency 8] [-tenants default]
-//	           [-designs 4] [-cells 400] [-iters 60] [-out BENCH_PR6.json]
-//	           [-soak 0]
+//	           [-designs 4] [-cells 400] [-iters 60] [-out BENCH_PR8.json]
+//	           [-resubmit-ratio 0] [-soak 0]
 //
 // -designs controls how many distinct synthetic designs the job stream
 // cycles through: fewer designs than jobs means resubmissions, which is
 // what exercises checkpoint-affinity routing. With -soak > 0 the harness
 // loops the whole job batch until the duration elapses (a soak run),
 // accumulating latencies across rounds.
+//
+// -resubmit-ratio turns on ECO resubmission traffic: that fraction of the
+// job stream re-sends designs that already completed once, alternating
+// between byte-identical duplicates (served from the workers' result cache
+// without a GP loop) and ECO children — the same design with a small
+// synthetic perturbation and a "parent" reference, which the coordinator
+// routes to the worker holding the parent's cached placement for a
+// warm start. The report then gains an "eco" section with cache-outcome
+// counts and warm-vs-cold latency percentiles.
 //
 // The output file is merged, not overwritten: placerload owns only the
 // top-level "fleet_load" key, so `make bench` results in the same file
@@ -53,7 +62,10 @@ func main() {
 type jobResult struct {
 	latency  time.Duration
 	state    string
-	rejected int // 429s absorbed before acceptance
+	rejected int    // 429s absorbed before acceptance
+	cache    string // worker cache outcome: "hit", "near_hit", "miss", or ""
+	resubmit bool   // job was injected by the -resubmit-ratio stream
+	fleetID  string // coordinator job ID (parent handle for ECO children)
 	err      error
 }
 
@@ -82,6 +94,68 @@ type loadReport struct {
 	Throughpt float64 `json:"jobs_per_second"`
 
 	Fleet fleet.Counters `json:"fleet_counters"`
+	Eco   *ecoReport     `json:"eco,omitempty"`
+}
+
+// ecoReport is the resubmission-traffic section of the fleet_load document,
+// present when -resubmit-ratio > 0. Latency percentiles are split by the
+// worker's cache outcome so the warm-vs-cold serving gap is visible: "hit"
+// jobs skip the GP loop entirely, "near_hit" jobs warm-start from a parent
+// placement with most lanes frozen, "cold" jobs run the full flow.
+type ecoReport struct {
+	ResubmitRatio float64 `json:"resubmit_ratio"`
+	Resubmitted   int     `json:"resubmitted"`
+	// Hits/NearHits/Misses count cache outcomes across ALL done jobs — in a
+	// soak run, later cold rounds of an already-seen design hit the cache
+	// too, not just the injected resubmissions. HitRate is narrower: the
+	// fraction of injected resubmissions served from cache (hit or near hit).
+	Hits     int     `json:"hits"`
+	NearHits int     `json:"near_hits"`
+	Misses   int     `json:"misses"`
+	HitRate  float64 `json:"hit_rate"`
+
+	HitP50Ms  float64 `json:"hit_latency_p50_ms"`
+	HitP95Ms  float64 `json:"hit_latency_p95_ms"`
+	WarmP50Ms float64 `json:"warm_latency_p50_ms"`
+	WarmP95Ms float64 `json:"warm_latency_p95_ms"`
+	ColdP50Ms float64 `json:"cold_latency_p50_ms"`
+	ColdP95Ms float64 `json:"cold_latency_p95_ms"`
+	// WarmVsColdP50 is warm p50 / cold p50 — below 1.0 means ECO
+	// resubmissions are served faster than cold starts.
+	WarmVsColdP50 float64 `json:"warm_vs_cold_p50,omitempty"`
+}
+
+// parentBook remembers, per design index, the fleet job ID of the first
+// completed cold run — the handle ECO children pass as spec.Parent. First
+// writer wins so every child of a design names the same parent.
+type parentBook struct {
+	mu  sync.Mutex
+	ids map[int]string
+	seq int // resubmission counter, alternates exact vs ECO
+}
+
+func newParentBook() *parentBook { return &parentBook{ids: make(map[int]string)} }
+
+func (b *parentBook) get(d int) (string, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id, ok := b.ids[d]
+	return id, ok
+}
+
+func (b *parentBook) put(d int, id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.ids[d]; !ok {
+		b.ids[d] = id
+	}
+}
+
+func (b *parentBook) nextSeq() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.seq++
+	return b.seq
 }
 
 func run(argv []string) error {
@@ -95,7 +169,8 @@ func run(argv []string) error {
 		cells       = fs.Int("cells", 400, "movable cells per synthetic design")
 		iters       = fs.Int("iters", 60, "GP iteration budget per job")
 		soak        = fs.Duration("soak", 0, "repeat rounds until this duration elapses (0 = one round)")
-		out         = fs.String("out", "BENCH_PR6.json", "bench JSON file to merge the fleet_load report into")
+		resubmit    = fs.Float64("resubmit-ratio", 0, "fraction of jobs re-sent as cache resubmissions (alternating exact duplicates and perturbed ECO children)")
+		out         = fs.String("out", "BENCH_PR8.json", "bench JSON file to merge the fleet_load report into")
 		timeout     = fs.Duration("timeout", 10*time.Minute, "overall harness deadline")
 	)
 	if err := fs.Parse(argv); err != nil {
@@ -104,6 +179,9 @@ func run(argv []string) error {
 	tenantNames := strings.Split(*tenants, ",")
 	if *designs <= 0 {
 		*designs = 1
+	}
+	if *resubmit < 0 || *resubmit > 1 {
+		return fmt.Errorf("-resubmit-ratio %v out of [0,1]", *resubmit)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -120,11 +198,12 @@ func run(argv []string) error {
 		mu      sync.Mutex
 		results []jobResult
 	)
+	book := newParentBook()
 	start := time.Now()
 	round := 0
 	for {
 		round++
-		runRound(ctx, *coordinator, tenantNames, *jobs, *concurrency, *designs, *cells, *iters, round, func(r jobResult) {
+		runRound(ctx, *coordinator, tenantNames, *jobs, *concurrency, *designs, *cells, *iters, round, *resubmit, book, func(r jobResult) {
 			mu.Lock()
 			results = append(results, r)
 			mu.Unlock()
@@ -142,7 +221,7 @@ func run(argv []string) error {
 		return fmt.Errorf("final fleet status: %w", err)
 	}
 
-	rep := buildReport(results, wall, st.Counters)
+	rep := buildReport(results, wall, st.Counters, *resubmit)
 	rep.Coordinator = *coordinator
 	rep.Jobs = *jobs
 	rep.Concurrency = *concurrency
@@ -159,12 +238,22 @@ func run(argv []string) error {
 	fmt.Printf("placerload: %d done, %d failed, %d errors, %d 429s | p50 %.0fms p95 %.0fms p99 %.0fms | affinity %d, stolen %d, rerouted %d | %s\n",
 		rep.Done, rep.Failed, rep.Errors, rep.Rejected, rep.P50Ms, rep.P95Ms, rep.P99Ms,
 		rep.Fleet.AffinityHits, rep.Fleet.Stolen, rep.Fleet.Rerouted, *out)
+	if rep.Eco != nil {
+		fmt.Printf("placerload: eco %d resubmitted, %d hits, %d near hits, %d misses | hit p50 %.0fms, warm p50 %.0fms, cold p50 %.0fms | parent routes %d\n",
+			rep.Eco.Resubmitted, rep.Eco.Hits, rep.Eco.NearHits, rep.Eco.Misses,
+			rep.Eco.HitP50Ms, rep.Eco.WarmP50Ms, rep.Eco.ColdP50Ms, rep.Fleet.ParentRoutes)
+	}
 	return nil
 }
 
 // runRound submits one batch of jobs through a bounded worker pool and
-// waits for every job to reach a terminal state.
-func runRound(ctx context.Context, base string, tenants []string, jobs, concurrency, designs, cells, iters, round int, record func(jobResult)) {
+// waits for every job to reach a terminal state. With ratio > 0 that
+// fraction of the stream (spread evenly across job indices) is turned into
+// resubmissions of designs whose first run already completed: even
+// resubmission slots re-send the byte-identical spec (exact cache hit), odd
+// slots send an ECO child — the same design plus a small perturbation and
+// the parent's fleet job ID (near hit via warm start).
+func runRound(ctx context.Context, base string, tenants []string, jobs, concurrency, designs, cells, iters, round int, ratio float64, book *parentBook, record func(jobResult)) {
 	sem := make(chan struct{}, concurrency)
 	var wg sync.WaitGroup
 	for i := 0; i < jobs; i++ {
@@ -173,12 +262,33 @@ func runRound(ctx context.Context, base string, tenants []string, jobs, concurre
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			d := i % designs
+			spec := specFor(d, cells, iters)
+			resub := false
+			// Deterministic even spread: slot i is a resubmission when the
+			// running count int(i*ratio) ticks up, and a parent exists.
+			if ratio > 0 && int(float64(i+1)*ratio) > int(float64(i)*ratio) {
+				if parentID, ok := book.get(d); ok {
+					resub = true
+					if book.nextSeq()%2 == 1 {
+						spec.Parent = parentID
+						spec.Design.Perturb = &service.PerturbSpec{
+							Seed:     int64(round)*100000 + int64(i),
+							CellFrac: 0.01,
+						}
+					}
+				}
+			}
 			c := &client.Client{Base: base, Tenant: tenants[i%len(tenants)]}
-			record(oneJob(ctx, c, specFor(i%designs, cells, iters)))
+			r := oneJob(ctx, c, spec)
+			r.resubmit = resub
+			record(r)
+			if !resub && r.err == nil && r.state == string(service.StateDone) {
+				book.put(d, r.fleetID)
+			}
 		}(i)
 	}
 	wg.Wait()
-	_ = round
 }
 
 // specFor builds the d-th synthetic design spec. The seed is a pure
@@ -229,21 +339,50 @@ func oneJob(ctx context.Context, c *client.Client, spec service.JobSpec) jobResu
 	}
 	res.latency = time.Since(start)
 	res.state = final.State
+	res.fleetID = final.ID
+	if final.Job != nil {
+		res.cache = final.Job.Cache
+	}
 	return res
 }
 
-// buildReport folds results into the percentile summary.
-func buildReport(results []jobResult, wall time.Duration, counters fleet.Counters) loadReport {
+// buildReport folds results into the percentile summary. With ratio > 0 it
+// also splits done-job latencies by cache outcome into the eco section:
+// exact hits, warm starts (near hits), and cold runs (misses plus jobs on
+// workers without a cache, which report no outcome).
+func buildReport(results []jobResult, wall time.Duration, counters fleet.Counters, ratio float64) loadReport {
 	rep := loadReport{Fleet: counters, WallSecs: wall.Seconds()}
-	var lats []float64
+	eco := &ecoReport{ResubmitRatio: ratio}
+	resubServed := 0
+	var lats, hitLats, warmLats, coldLats []float64
 	for _, r := range results {
 		rep.Rejected += r.rejected
+		if r.resubmit {
+			eco.Resubmitted++
+		}
 		switch {
 		case r.err != nil:
 			rep.Errors++
 		case r.state == string(service.StateDone):
 			rep.Done++
-			lats = append(lats, float64(r.latency.Milliseconds()))
+			ms := float64(r.latency.Milliseconds())
+			lats = append(lats, ms)
+			switch r.cache {
+			case "hit":
+				eco.Hits++
+				hitLats = append(hitLats, ms)
+			case "near_hit":
+				eco.NearHits++
+				warmLats = append(warmLats, ms)
+			default:
+				if r.cache == "miss" {
+					eco.Misses++
+				}
+				coldLats = append(coldLats, ms)
+			}
+			if r.resubmit && (r.cache == "hit" || r.cache == "near_hit") {
+				resubServed++
+			}
 		default:
 			rep.Failed++
 		}
@@ -262,6 +401,21 @@ func buildReport(results []jobResult, wall time.Duration, counters fleet.Counter
 	}
 	if wall > 0 {
 		rep.Throughpt = float64(rep.Done) / wall.Seconds()
+	}
+	if ratio > 0 {
+		if eco.Resubmitted > 0 {
+			eco.HitRate = float64(resubServed) / float64(eco.Resubmitted)
+		}
+		sort.Float64s(hitLats)
+		sort.Float64s(warmLats)
+		sort.Float64s(coldLats)
+		eco.HitP50Ms, eco.HitP95Ms = percentile(hitLats, 50), percentile(hitLats, 95)
+		eco.WarmP50Ms, eco.WarmP95Ms = percentile(warmLats, 50), percentile(warmLats, 95)
+		eco.ColdP50Ms, eco.ColdP95Ms = percentile(coldLats, 50), percentile(coldLats, 95)
+		if eco.ColdP50Ms > 0 {
+			eco.WarmVsColdP50 = eco.WarmP50Ms / eco.ColdP50Ms
+		}
+		rep.Eco = eco
 	}
 	return rep
 }

@@ -27,7 +27,7 @@ import (
 // Magic identifies a snapshot file; Version is the current format revision.
 const (
 	Magic   = "MEGPCKPT"
-	Version = 1
+	Version = 2
 )
 
 // Typed decode failures. Every malformed input maps onto one of these
@@ -66,6 +66,11 @@ type Fingerprint struct {
 	TargetDensity float64
 	// Region bounds guard against a same-named design with different die.
 	RegionXL, RegionYL, RegionXH, RegionYH float64
+	// FreezeHash pins the partial-release mask of an ECO warm start (0 for
+	// a full run). A snapshot taken with some cells frozen cannot resume a
+	// run that releases a different set: the packed position vector only
+	// covers released cells.
+	FreezeHash uint64
 }
 
 // Match reports whether other is the same run setup, returning an
@@ -93,6 +98,7 @@ func (f Fingerprint) Match(other Fingerprint) error {
 		{"region_yl", f.RegionYL, other.RegionYL},
 		{"region_xh", f.RegionXH, other.RegionXH},
 		{"region_yh", f.RegionYH, other.RegionYH},
+		{"freeze_mask", f.FreezeHash, other.FreezeHash},
 	}
 	for _, fl := range fields {
 		if fl.a != fl.b {
@@ -311,6 +317,7 @@ func Encode(s *Snapshot) []byte {
 	p.f64(f.RegionYL)
 	p.f64(f.RegionXH)
 	p.f64(f.RegionYH)
+	p.u64(f.FreezeHash)
 
 	p.i64(int64(s.Iter))
 	p.i64(int64(s.Evaluations))
@@ -412,6 +419,7 @@ func Decode(data []byte) (*Snapshot, error) {
 	f.RegionYL = d.f64()
 	f.RegionXH = d.f64()
 	f.RegionYH = d.f64()
+	f.FreezeHash = d.u64()
 
 	s.Iter = int(d.i64())
 	s.Evaluations = int(d.i64())

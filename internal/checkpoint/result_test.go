@@ -1,0 +1,108 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func sampleResult() *PlacementResult {
+	r := &PlacementResult{
+		ConfigKey:  0xdeadbeefcafe,
+		HPWL:       1234.5,
+		Overflow:   0.07,
+		Iterations: 321,
+		Seconds:    4.25,
+		X:          []float64{0, 1.5, 2.25, -3},
+		Y:          []float64{9, 8.5, 7.75, 6},
+	}
+	for i := range r.DesignHash {
+		r.DesignHash[i] = byte(i * 7)
+	}
+	return r
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	want := sampleResult()
+	got, err := DecodeResult(EncodeResult(want))
+	if err != nil {
+		t.Fatalf("DecodeResult: %v", err)
+	}
+	if got.DesignHash != want.DesignHash || got.ConfigKey != want.ConfigKey {
+		t.Fatal("key fields did not round trip")
+	}
+	if got.HPWL != want.HPWL || got.Overflow != want.Overflow ||
+		got.Iterations != want.Iterations || got.Seconds != want.Seconds {
+		t.Fatal("metric fields did not round trip")
+	}
+	if len(got.X) != len(want.X) {
+		t.Fatalf("X length %d, want %d", len(got.X), len(want.X))
+	}
+	for i := range want.X {
+		if got.X[i] != want.X[i] || got.Y[i] != want.Y[i] {
+			t.Fatalf("position %d did not round trip bit-exactly", i)
+		}
+	}
+}
+
+func TestResultRejectsMalformed(t *testing.T) {
+	good := EncodeResult(sampleResult())
+
+	t.Run("snapshot magic", func(t *testing.T) {
+		// A placement snapshot must not decode as a result.
+		if _, err := DecodeResult(append([]byte(Magic), good[len(ResultMagic):]...)); !errors.Is(err, ErrBadMagic) {
+			t.Errorf("err = %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint32(bad[len(ResultMagic):], ResultVersion+1)
+		if _, err := DecodeResult(bad); !errors.Is(err, ErrVersion) {
+			t.Errorf("err = %v, want ErrVersion", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := DecodeResult(good[:len(good)-9]); !errors.Is(err, ErrTruncated) {
+			t.Errorf("err = %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("bit flip", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[headerLen+40] ^= 0x10
+		if _, err := DecodeResult(bad); !errors.Is(err, ErrChecksum) {
+			t.Errorf("err = %v, want ErrChecksum", err)
+		}
+	})
+}
+
+func FuzzDecodeResult(f *testing.F) {
+	f.Add(EncodeResult(sampleResult()))
+	f.Add([]byte(ResultMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeResult(data)
+		if err == nil && len(r.X) != len(r.Y) {
+			t.Fatal("decoded result with mismatched X/Y")
+		}
+		for _, want := range []error{ErrBadMagic, ErrVersion, ErrTruncated, ErrChecksum, ErrCorrupt} {
+			if errors.Is(err, want) {
+				return
+			}
+		}
+		if err != nil {
+			t.Fatalf("untyped decode error: %v", err)
+		}
+	})
+}
+
+func TestFingerprintFreezeHashMismatch(t *testing.T) {
+	a := Fingerprint{Design: "d", FreezeHash: 1}
+	b := a
+	if err := a.Match(b); err != nil {
+		t.Fatalf("identical fingerprints mismatch: %v", err)
+	}
+	b.FreezeHash = 2
+	if err := a.Match(b); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("err = %v, want ErrMismatch on freeze hash", err)
+	}
+}

@@ -1,0 +1,84 @@
+package ecocache
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/netlist"
+)
+
+// WarmStartOptions tunes the near-hit planner. Zero values pick defaults.
+type WarmStartOptions struct {
+	// MaxTouchedFrac is the delta-size threshold: when the diff touches more
+	// than this fraction of the child's movable cells, the plan falls back
+	// to a cold start (default 0.05, per the locality result the warm-start
+	// quality bound is tested against).
+	MaxTouchedFrac float64
+	// Hops is the blast-region expansion depth beyond the directly touched
+	// cells (default 1).
+	Hops int
+}
+
+func (o WarmStartOptions) withDefaults() WarmStartOptions {
+	if o.MaxTouchedFrac <= 0 {
+		o.MaxTouchedFrac = 0.05
+	}
+	if o.Hops <= 0 {
+		o.Hops = 1
+	}
+	return o
+}
+
+// WarmStart is a ready-to-run partial-release plan: the child design's
+// positions have been seeded from the parent placement, and Freeze marks the
+// cells the placer must keep pinned (everything outside the blast region).
+type WarmStart struct {
+	// Freeze is the per-cell mask for placer.Config.Freeze.
+	Freeze []bool
+	// Released counts movable cells left free; Frozen the pinned remainder.
+	Released, Frozen int
+	// TouchedFrac is the diff size that qualified this plan as a near hit.
+	TouchedFrac float64
+	// Delta is the structural diff the plan came from.
+	Delta *netlist.Delta
+}
+
+// PlanWarmStart decides whether child can be served as a near hit off the
+// parent's cached placement and, when it can, mutates child in place: every
+// matched movable cell takes the parent's final position, added cells are
+// centroid-seeded, and the returned Freeze mask releases only the delta's
+// blast region. Returns (nil, reason) when the job should cold-start instead:
+// the delta is empty (caller should have seen an exact hash hit), too large,
+// or the parent result does not cover the parent design.
+func PlanWarmStart(parent *checkpoint.PlacementResult, parentD, childD *netlist.Design, opts WarmStartOptions) (*WarmStart, string) {
+	opts = opts.withDefaults()
+	if len(parent.X) != parentD.NumCells() {
+		return nil, fmt.Sprintf("parent result covers %d cells, parent design has %d", len(parent.X), parentD.NumCells())
+	}
+	dl := netlist.Diff(parentD, childD)
+	if dl.Empty() {
+		return nil, "empty delta"
+	}
+	frac := dl.TouchedFraction(childD)
+	if frac > opts.MaxTouchedFrac {
+		return nil, fmt.Sprintf("delta touches %.1f%% of movable cells (threshold %.1f%%)", 100*frac, 100*opts.MaxTouchedFrac)
+	}
+	release := dl.BlastRegion(childD, opts.Hops)
+	ws := &WarmStart{Freeze: make([]bool, childD.NumCells()), TouchedFrac: frac, Delta: dl}
+	for i, c := range childD.Cells {
+		if !c.Kind.Moves() {
+			continue
+		}
+		if release[i] {
+			ws.Released++
+		} else {
+			ws.Freeze[i] = true
+			ws.Frozen++
+		}
+	}
+	if ws.Released == 0 {
+		return nil, "delta releases no movable cells"
+	}
+	dl.WarmPositions(parent.X, parent.Y, childD)
+	return ws, ""
+}

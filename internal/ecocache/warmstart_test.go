@@ -1,0 +1,170 @@
+package ecocache
+
+import (
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/netlist"
+	"repro/internal/placer"
+	"repro/internal/synth"
+	"repro/internal/wirelength"
+)
+
+func synthDesign(t testing.TB, cells int) *netlist.Design {
+	t.Helper()
+	d, err := synth.Generate(synth.Spec{
+		Name:           "eco-test",
+		NumMovable:     cells,
+		NumPads:        8,
+		NumFixedBlocks: 1,
+		NumNets:        cells + cells/10,
+		AvgDegree:      3.8,
+		Utilization:    0.7,
+		TargetDensity:  1.0,
+		Seed:           17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func gpConfig() placer.Config {
+	m, _ := wirelength.ByName("ME")
+	cfg := placer.DefaultConfig(m)
+	cfg.MaxIters = 600
+	cfg.StopOverflow = 0.10
+	return cfg
+}
+
+func resultOf(d *netlist.Design, res *placer.Result) *checkpoint.PlacementResult {
+	return &checkpoint.PlacementResult{
+		HPWL:       res.HPWL,
+		Overflow:   res.Overflow,
+		Iterations: res.Iterations,
+		Seconds:    res.Seconds,
+		X:          append([]float64(nil), d.X...),
+		Y:          append([]float64(nil), d.Y...),
+	}
+}
+
+func TestPlanWarmStartRejectsLargeAndEmptyDeltas(t *testing.T) {
+	parentD := synthDesign(t, 300)
+	parent := &checkpoint.PlacementResult{
+		X: append([]float64(nil), parentD.X...),
+		Y: append([]float64(nil), parentD.Y...),
+	}
+
+	if ws, reason := PlanWarmStart(parent, parentD, parentD.Clone(), WarmStartOptions{}); ws != nil || reason != "empty delta" {
+		t.Fatalf("empty delta accepted: %v %q", ws, reason)
+	}
+
+	big, err := netlist.Perturb(parentD, netlist.Perturbation{Seed: 3, CellFrac: 0.5, NetFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws, _ := PlanWarmStart(parent, parentD, big, WarmStartOptions{}); ws != nil {
+		t.Fatal("half-design delta accepted as a near hit")
+	}
+
+	short := &checkpoint.PlacementResult{X: []float64{1}, Y: []float64{1}}
+	if ws, _ := PlanWarmStart(short, parentD, big, WarmStartOptions{}); ws != nil {
+		t.Fatal("undersized parent result accepted")
+	}
+}
+
+func TestPlanWarmStartSeedsPositionsAndFreezesRest(t *testing.T) {
+	parentD := synthDesign(t, 600)
+	cfg := gpConfig()
+	res, err := placer.Place(parentD, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := resultOf(parentD, res)
+
+	child, err := netlist.Perturb(parentD, netlist.Perturbation{Seed: 5, CellFrac: 0.01, NetFrac: 0.004})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, reason := PlanWarmStart(parent, parentD, child, WarmStartOptions{})
+	if ws == nil {
+		t.Fatalf("near hit rejected: %s", reason)
+	}
+	if ws.Released == 0 || ws.Frozen == 0 {
+		t.Fatalf("degenerate release split: %+v", ws)
+	}
+	if ws.TouchedFrac <= 0 || ws.TouchedFrac > 0.05 {
+		t.Fatalf("TouchedFrac = %g", ws.TouchedFrac)
+	}
+	// Every frozen matched cell must carry the parent's final position.
+	for i, frozen := range ws.Freeze {
+		if !frozen {
+			continue
+		}
+		pi := ws.Delta.CellMap[i]
+		if pi < 0 {
+			t.Fatalf("added cell %d was frozen", i)
+		}
+		if child.X[i] != parent.X[pi] || child.Y[i] != parent.Y[pi] {
+			t.Fatalf("frozen cell %d not at parent position", i)
+		}
+	}
+}
+
+// TestWarmStartQualityVsCold pins the PR's acceptance criterion: a <=5%-of-
+// cells perturbation served as a near-hit warm start reaches within 1% of the
+// cold-start final HPWL in at most 40% of the cold-start GP iterations.
+func TestWarmStartQualityVsCold(t *testing.T) {
+	parentD := synthDesign(t, 600)
+	cfg := gpConfig()
+	parentRes, err := placer.Place(parentD, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := resultOf(parentD, parentRes)
+
+	child, err := netlist.Perturb(parentD, netlist.Perturbation{Seed: 7, CellFrac: 0.01, NetFrac: 0.004})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coldD := child.Clone()
+	coldRes, err := placer.Place(coldD, gpConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warmD := child.Clone()
+	ws, reason := PlanWarmStart(parent, parentD, warmD, WarmStartOptions{})
+	if ws == nil {
+		t.Fatalf("perturbation not served as near hit: %s", reason)
+	}
+	warmCfg := gpConfig()
+	warmCfg.Init = "keep"
+	warmCfg.Freeze = ws.Freeze
+	warmRes, err := placer.Place(warmD, warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("cold: HPWL %.0f in %d iters; warm: HPWL %.0f in %d iters (touched %.2f%%, released %d, frozen %d)",
+		coldRes.HPWL, coldRes.Iterations, warmRes.HPWL, warmRes.Iterations,
+		100*ws.TouchedFrac, ws.Released, ws.Frozen)
+
+	if warmRes.HPWL > 1.01*coldRes.HPWL {
+		t.Errorf("warm HPWL %.0f exceeds cold %.0f by more than 1%%", warmRes.HPWL, coldRes.HPWL)
+	}
+	if maxIters := (coldRes.Iterations * 40) / 100; warmRes.Iterations > maxIters {
+		t.Errorf("warm start took %d iterations, budget is %d (40%% of cold's %d)",
+			warmRes.Iterations, maxIters, coldRes.Iterations)
+	}
+	// Frozen cells must be bit-identical to the parent placement.
+	for i, frozen := range ws.Freeze {
+		if frozen {
+			pi := ws.Delta.CellMap[i]
+			if warmD.X[i] != parent.X[pi] || warmD.Y[i] != parent.Y[pi] {
+				t.Fatalf("frozen cell %d moved during warm start", i)
+			}
+		}
+	}
+}

@@ -219,6 +219,24 @@ func (c *Coordinator) Submit(spec service.JobSpec, tenant string) (JobView, time
 		c.tel.JobsRejected.Inc()
 		return JobView{}, after, err
 	}
+	key := SpecKey(spec)
+	if spec.Parent != "" {
+		// ECO child: adopt the parent's routing key so rendezvous ranking and
+		// the affinity map steer the child at the worker holding the parent's
+		// cached placement. The parent reference itself stays fleet-level in
+		// the stored spec — it is resolved to the parent's worker-local job ID
+		// per dispatch (see dispatchSpec), because that name only means
+		// anything on the parent's own worker. An unknown parent changes
+		// nothing (the child routes by its own key and cold-starts).
+		c.mu.Lock()
+		if p, ok := c.jobs[spec.Parent]; ok {
+			key = p.key
+			c.mu.Unlock()
+			c.tel.ParentRoutes.Inc()
+		} else {
+			c.mu.Unlock()
+		}
+	}
 	c.mu.Lock()
 	c.seq++
 	j := &fleetJob{
@@ -226,7 +244,7 @@ func (c *Coordinator) Submit(spec service.JobSpec, tenant string) (JobView, time
 		tenant:    tenant,
 		class:     c.adm.Class(tenant),
 		spec:      spec,
-		key:       SpecKey(spec),
+		key:       key,
 		submitted: start,
 		state:     "pending",
 	}
@@ -344,6 +362,7 @@ func (c *Coordinator) Status() Status {
 			Rerouted:     c.tel.JobsRerouted.Value(),
 			Stolen:       c.tel.JobsStolen.Value(),
 			AffinityHits: c.tel.AffinityHits.Value(),
+			ParentRoutes: c.tel.ParentRoutes.Value(),
 			Heartbeats:   c.tel.Heartbeats.Value(),
 		},
 	}
@@ -422,30 +441,74 @@ func (c *Coordinator) pruneLocked() {
 	c.order = kept
 }
 
-// assign routes one unassigned job: the checkpoint-affinity worker first
-// (when live), then every live worker in rendezvous order, until one
-// accepts. Returns false when nobody can take the job right now.
+// parentPlacement resolves an ECO child's parent to its current (worker,
+// worker-local job ID) placement, or empty strings when the parent is
+// unknown or not assigned anywhere.
+func (c *Coordinator) parentPlacement(j *fleetJob) (worker, remote string) {
+	if j.spec.Parent == "" {
+		return "", ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.jobs[j.spec.Parent]; ok {
+		return p.worker, p.remoteID
+	}
+	return "", ""
+}
+
+// dispatchSpec renders j's spec for one specific worker. The parent
+// reference is worker-local: it is rewritten to the parent's remote job ID
+// only when the job is posted to the worker actually holding the parent,
+// and dropped everywhere else — a foreign worker could not resolve the
+// fleet-level name, and must never resolve it to an unrelated job that
+// happens to share the ID in its local table.
+func dispatchSpec(j *fleetJob, workerID, pWorker, pRemote string) service.JobSpec {
+	spec := j.spec
+	if spec.Parent == "" {
+		return spec
+	}
+	if pRemote != "" && workerID == pWorker {
+		spec.Parent = pRemote
+	} else {
+		spec.Parent = ""
+	}
+	return spec
+}
+
+// assign routes one unassigned job: the worker holding its ECO parent
+// first (that node serves the warm start), then the checkpoint-affinity
+// worker (when live), then every live worker in rendezvous order, until
+// one accepts. Returns false when nobody can take the job right now.
 func (c *Coordinator) assign(j *fleetJob) bool {
 	now := c.now()
 	live := c.reg.Live(now)
 	if len(live) == 0 {
 		return false
 	}
+	pWorker, pRemote := c.parentPlacement(j)
 	var cands []Heartbeat
+	seen := make(map[string]bool)
+	if pWorker != "" {
+		if hb, live := c.reg.Get(pWorker, now); live {
+			cands = append(cands, hb)
+			seen[pWorker] = true
+		}
+	}
 	affine := ""
 	if wid, ok := c.aff.Get(j.key); ok {
-		if hb, live := c.reg.Get(wid, now); live {
+		affine = wid // may coincide with pWorker; affinityHit still counts
+		if hb, live := c.reg.Get(wid, now); live && !seen[wid] {
 			cands = append(cands, hb)
-			affine = wid
+			seen[wid] = true
 		}
 	}
 	for _, hb := range Rank(j.key, live) {
-		if hb.ID != affine {
+		if !seen[hb.ID] {
 			cands = append(cands, hb)
 		}
 	}
 	for _, hb := range cands {
-		rv, busy, err := c.postJob(hb, j.spec)
+		rv, busy, err := c.postJob(hb, dispatchSpec(j, hb.ID, pWorker, pRemote))
 		if err != nil {
 			if !busy {
 				c.tel.ProxyErrors.Inc()
@@ -658,7 +721,8 @@ func (c *Coordinator) stealTo(j *fleetJob, target Heartbeat) bool {
 	}
 	// The source accepted the conditional cancel: the job now runs nowhere
 	// and must be re-homed (the target, or anyone, or the pending queue).
-	rv, _, err := c.postJob(target, j.spec)
+	pWorker, pRemote := c.parentPlacement(j)
+	rv, _, err := c.postJob(target, dispatchSpec(j, target.ID, pWorker, pRemote))
 	if err != nil {
 		c.mu.Lock()
 		j.worker, j.workerURL, j.remoteID = "", "", ""

@@ -52,6 +52,7 @@ type Counters struct {
 	Rerouted     int64 `json:"rerouted"`
 	Stolen       int64 `json:"stolen"`
 	AffinityHits int64 `json:"affinity_hits"`
+	ParentRoutes int64 `json:"parent_routes"`
 	Heartbeats   int64 `json:"heartbeats"`
 }
 

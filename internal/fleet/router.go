@@ -14,9 +14,13 @@ import (
 // source, model, placer knobs) hash to the same key, so a resubmitted design
 // ranks the same workers — and hits the checkpoint-affinity map — no matter
 // which client sends it. The resume block is excluded: a re-routed copy of a
-// job (which carries a resume pointer) must keep the original's key.
+// job (which carries a resume pointer) must keep the original's key. The
+// parent reference is excluded too — it is rewritten to a worker-local job ID
+// during routing, and an ECO child adopts its parent's key outright so it
+// lands on the node holding the parent's cached placement.
 func SpecKey(spec service.JobSpec) uint64 {
 	spec.Resume = nil
+	spec.Parent = ""
 	data, err := json.Marshal(spec)
 	if err != nil {
 		return 0 // unreachable for a decoded spec; 0 just degrades ranking

@@ -1,0 +1,201 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// randomDesign builds a deterministic random design: a few fixed blocks and
+// pads, movable cells with varied widths, and nets of mixed degree with
+// non-uniform weights, exercising every field the content hash covers.
+func randomDesign(t testing.TB, seed int64) *Design {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder("rand")
+	b.SetRegion(geom.Rect{XL: 0, YL: 0, XH: 40, YH: 40})
+	b.SetTargetDensity(0.8 + 0.2*rng.Float64())
+	for r := 0; r < 4; r++ {
+		b.AddRow(Row{Y: float64(r), Height: 1, XL: 0, XH: 40, SiteW: 1})
+	}
+	nCells := 12 + rng.Intn(20)
+	for i := 0; i < nCells; i++ {
+		kind := Movable
+		switch {
+		case i%11 == 10:
+			kind = Fixed
+		case i%7 == 6:
+			kind = Terminal
+		case i%13 == 12:
+			kind = MovableMacro
+		}
+		w := float64(1 + rng.Intn(4))
+		h := 1.0
+		if kind == MovableMacro {
+			w, h = 4, 4
+		}
+		b.AddCell("", kind, w, h, rng.Float64()*30, rng.Float64()*30)
+	}
+	nNets := 8 + rng.Intn(16)
+	for e := 0; e < nNets; e++ {
+		w := 1.0
+		if rng.Intn(3) == 0 {
+			w = 0.5 + rng.Float64()
+		}
+		ne := b.AddNet("", w)
+		deg := 2 + rng.Intn(5)
+		for k := 0; k < deg; k++ {
+			c := rng.Intn(nCells)
+			b.AddPin(ne, c, rng.Float64(), rng.Float64())
+		}
+	}
+	d, err := b.Build()
+	if err != nil {
+		t.Fatalf("randomDesign(%d): %v", seed, err)
+	}
+	return d
+}
+
+// permuteNetsAndPins rebuilds d with the net declaration order and the pin
+// order within every net shuffled; cells stay in index order. The result is
+// the same placement problem, so its content hash must not change.
+func permuteNetsAndPins(t testing.TB, d *Design, seed int64) *Design {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(d.Name)
+	b.SetRegion(d.Region)
+	b.SetTargetDensity(d.TargetDensity)
+	for _, r := range d.Rows {
+		b.AddRow(r)
+	}
+	for i, c := range d.Cells {
+		b.AddCell(c.Name, c.Kind, c.W, c.H, d.X[i], d.Y[i])
+	}
+	for _, e := range rng.Perm(len(d.Nets)) {
+		ne := b.AddNet(d.Nets[e].Name, d.Nets[e].Weight)
+		pins := d.NetPins(e)
+		for _, k := range rng.Perm(len(pins)) {
+			p := pins[k]
+			b.AddPin(ne, int(p.Cell), p.Dx, p.Dy)
+		}
+	}
+	out, err := b.Build()
+	if err != nil {
+		t.Fatalf("permute: %v", err)
+	}
+	return out
+}
+
+func TestContentHashPermutationInvariance(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		d := randomDesign(t, seed)
+		h := d.ContentHash()
+		for ps := int64(100); ps < 103; ps++ {
+			p := permuteNetsAndPins(t, d, ps)
+			if got := p.ContentHash(); got != h {
+				t.Fatalf("seed %d perm %d: hash changed under net/pin permutation:\n  %s\n  %s", seed, ps, h, got)
+			}
+		}
+	}
+}
+
+func TestContentHashIgnoresMovablePositionsAndNames(t *testing.T) {
+	d := randomDesign(t, 3)
+	h := d.ContentHash()
+	moved := d.Clone()
+	for i, c := range moved.Cells {
+		if c.Kind.Moves() {
+			moved.X[i] += 1.5
+			moved.Y[i] += 0.5
+		}
+	}
+	if moved.ContentHash() != h {
+		t.Fatal("hash changed when only movable cell positions moved")
+	}
+	renamed := d.Clone()
+	renamed.Name = "other"
+	for i := range renamed.Cells {
+		renamed.Cells[i].Name = "x" + renamed.Cells[i].Name
+	}
+	if renamed.ContentHash() != h {
+		t.Fatal("hash changed under non-semantic renames")
+	}
+}
+
+func TestContentHashChangesUnderSemanticEdits(t *testing.T) {
+	base := randomDesign(t, 5)
+	h := base.ContentHash()
+	fixedIdx := -1
+	for i, c := range base.Cells {
+		if !c.Kind.Moves() {
+			fixedIdx = i
+			break
+		}
+	}
+	edits := map[string]func(d *Design){
+		"net weight":     func(d *Design) { d.Nets[0].Weight *= 2 },
+		"pin offset":     func(d *Design) { d.Pins[0].Dx += 0.25 },
+		"pin cell":       func(d *Design) { d.Pins[0].Cell = (d.Pins[0].Cell + 1) % int32(len(d.Cells)) },
+		"cell width":     func(d *Design) { d.Cells[1].W += 1 },
+		"cell kind":      func(d *Design) { d.Cells[1].Kind = MovableMacro },
+		"fixed position": func(d *Design) { d.X[fixedIdx] += 2 },
+		"region":         func(d *Design) { d.Region.XH += 1 },
+		"target density": func(d *Design) { d.TargetDensity *= 0.9 },
+		"row":            func(d *Design) { d.Rows[0].SiteW = 2 },
+		"drop net": func(d *Design) {
+			d.Nets = d.Nets[:len(d.Nets)-1]
+			d.Pins = d.Pins[:d.NetStart[len(d.Nets)]]
+			d.NetStart = d.NetStart[:len(d.Nets)+1]
+		},
+	}
+	if fixedIdx < 0 {
+		delete(edits, "fixed position")
+	}
+	for name, edit := range edits {
+		d := base.Clone()
+		edit(d)
+		if d.ContentHash() == h {
+			t.Errorf("edit %q did not change the content hash", name)
+		}
+	}
+}
+
+func TestHashRoundTrip(t *testing.T) {
+	h := randomDesign(t, 7).ContentHash()
+	if h.IsZero() {
+		t.Fatal("content hash is zero")
+	}
+	parsed, err := ParseHash(h.String())
+	if err != nil {
+		t.Fatalf("ParseHash: %v", err)
+	}
+	if parsed != h {
+		t.Fatalf("round trip mismatch: %s vs %s", parsed, h)
+	}
+	if _, err := ParseHash("zz"); err == nil {
+		t.Fatal("ParseHash accepted garbage")
+	}
+}
+
+// FuzzContentHashInvariance fuzzes the canonicality property: for any
+// generated design and any permutation of its net/pin declaration order, the
+// content hash is unchanged; and flipping one net weight always changes it.
+func FuzzContentHashInvariance(f *testing.F) {
+	f.Add(int64(1), int64(2))
+	f.Add(int64(42), int64(1337))
+	f.Add(int64(-9), int64(0))
+	f.Fuzz(func(t *testing.T, genSeed, permSeed int64) {
+		d := randomDesign(t, genSeed)
+		h := d.ContentHash()
+		p := permuteNetsAndPins(t, d, permSeed)
+		if p.ContentHash() != h {
+			t.Fatalf("hash not permutation-invariant (gen %d, perm %d)", genSeed, permSeed)
+		}
+		edited := d.Clone()
+		edited.Nets[int(uint64(permSeed)%uint64(len(edited.Nets)))].Weight += 1
+		if edited.ContentHash() == h {
+			t.Fatalf("hash ignored a net weight edit (gen %d)", genSeed)
+		}
+	})
+}

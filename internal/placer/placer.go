@@ -115,6 +115,17 @@ type Config struct {
 	// backwards past corrupt or mismatched files; when nothing matches the
 	// run cold-starts (no error). Mutually exclusive with Resume.
 	ResumeDir string
+	// Freeze, when non-nil, must have one entry per design cell and marks
+	// movable cells that this run must NOT move: an ECO warm start releases
+	// only the perturbed blast region and freezes the rest. Frozen cells
+	// are stamped into the density grid as fixed obstacles (so released
+	// cells avoid them), excluded from the optimization vector and the
+	// overflow normalization, and their nets drop out of the wirelength
+	// evaluation unless a released cell shares the net (the model then runs
+	// on a subset view of the netlist that shares the position arrays).
+	// Entries for non-movable cells are ignored. Typically combined with
+	// Init "keep" so the released cells start from the cached placement.
+	Freeze []bool
 	// Guard, when non-nil, enables the divergence guard: per-iteration
 	// numerical-health checks (finite positions/objective, HPWL growth vs.
 	// a trailing window, optional overflow-stall and step-ceiling checks)
@@ -171,6 +182,11 @@ type Result struct {
 	ResumedFrom int
 	// Checkpoints counts the snapshots written during this run.
 	Checkpoints int
+	// ReleasedCells and FrozenCells report the partial-release split of an
+	// ECO warm start: movable cells the optimizer moved vs. cells pinned by
+	// Config.Freeze (FrozenCells is 0 for a full run).
+	ReleasedCells int
+	FrozenCells   int
 	// GuardTrips, GuardRollbacks, and GuardRecoveries count divergence-
 	// guard activity (all zero when Config.Guard is nil or the run stayed
 	// healthy): invariant violations detected, successful rollbacks, and
@@ -183,10 +199,15 @@ type Result struct {
 
 // engine carries the mutable state of one global placement run.
 type engine struct {
-	d       *netlist.Design
-	cfg     Config
-	mov     []int // movable cell indices
-	workers int   // shared worker-pool size (>= 1)
+	d   *netlist.Design
+	cfg Config
+	// wlD is the design view the wirelength model evaluates: d itself for a
+	// full run, or a net-subset view (sharing d's position arrays) holding
+	// only nets with at least one released pin when Config.Freeze is set.
+	wlD       *netlist.Design
+	mov       []int // released movable cell indices
+	numFrozen int   // movable cells pinned by Config.Freeze
+	workers   int   // shared worker-pool size (>= 1)
 
 	grid    *density.Grid
 	elec    *density.Electro
@@ -205,7 +226,13 @@ type engine struct {
 
 	wgx, wgy []float64 // per-cell wirelength gradient scratch
 
-	movableArea   float64
+	movableArea float64
+	// overflowArea normalizes the density overflow: the full movable area
+	// including frozen cells. A partial release otherwise divides the
+	// design's residual overlap by the small released area, demanding a
+	// density far beyond the parent placement's equilibrium and over-
+	// spreading the released cells. Equals movableArea for a full run.
+	overflowArea  float64
 	targetDensity float64
 
 	param    float64 // current smoothing parameter
@@ -225,6 +252,11 @@ type engine struct {
 	fnGatherFill func(w, lo, hi int)
 	fnStampMov   func(i int) (float64, float64, float64, float64)
 	fnStampFill  func(f int) (float64, float64, float64, float64)
+}
+
+// isFrozen reports whether cell i is pinned by Config.Freeze.
+func (en *engine) isFrozen(i int) bool {
+	return en.cfg.Freeze != nil && en.cfg.Freeze[i]
 }
 
 // autoGrid picks a power-of-two grid dimension from the design size.
@@ -316,9 +348,36 @@ func newEngine(d *netlist.Design, cfg Config, workers int) (*engine, []float64, 
 	if workers < 1 {
 		workers = 1
 	}
-	en := &engine{d: d, cfg: cfg, mov: d.MovableIndices(), workers: workers}
+	en := &engine{d: d, wlD: d, cfg: cfg, mov: d.MovableIndices(), workers: workers}
+	if cfg.Freeze != nil {
+		if len(cfg.Freeze) != d.NumCells() {
+			return nil, nil, fmt.Errorf("placer: Freeze has %d entries, design has %d cells", len(cfg.Freeze), d.NumCells())
+		}
+		released := en.mov[:0]
+		for _, c := range en.mov {
+			if cfg.Freeze[c] {
+				en.numFrozen++
+			} else {
+				released = append(released, c)
+			}
+		}
+		en.mov = released
+	}
 	if len(en.mov) == 0 {
 		return nil, nil, fmt.Errorf("placer: design %q has no movable cells", d.Name)
+	}
+	if en.numFrozen > 0 {
+		// Restrict the wirelength model to nets a released cell can still
+		// change; frozen-only nets are constant and would only add noise to
+		// the objective. The subset shares d's position backing arrays, so
+		// unpack keeps it current for free.
+		keep := make([]bool, d.NumNets())
+		for _, c := range en.mov {
+			for _, pi := range d.PinsOfCell(c) {
+				keep[d.Pins[pi].Net] = true
+			}
+		}
+		en.wlD = d.NetSubset(keep)
 	}
 
 	gx, gy := cfg.GridX, cfg.GridY
@@ -344,9 +403,15 @@ func newEngine(d *netlist.Design, cfg Config, workers int) (*engine, []float64, 
 	for _, c := range en.mov {
 		en.movableArea += d.Cells[c].Area()
 	}
-	// Stamp fixed cells once.
+	en.overflowArea = en.movableArea
 	for i, c := range d.Cells {
-		if c.Kind.Moves() || c.Area() == 0 {
+		if c.Kind.Moves() && en.isFrozen(i) {
+			en.overflowArea += c.Area()
+		}
+	}
+	// Stamp fixed cells once; frozen movable cells are obstacles too.
+	for i, c := range d.Cells {
+		if (c.Kind.Moves() && !en.isFrozen(i)) || c.Area() == 0 {
 			continue
 		}
 		r := d.CellRect(i)
@@ -401,8 +466,17 @@ func newEngine(d *netlist.Design, cfg Config, workers int) (*engine, []float64, 
 	}
 	for f := 0; f < en.numFillers; f++ {
 		i := len(en.mov) + f
-		pos[i] = cx + rng.NormFloat64()*jx
-		pos[n+i] = cy + rng.NormFloat64()*jy
+		if en.numFrozen > 0 {
+			// Partial release: the placement is already spread out, so
+			// center-clustered fillers would spend the whole (short) warm
+			// run migrating outward. Scatter them uniformly instead — the
+			// whitespace they model is distributed across the die.
+			pos[i] = d.Region.XL + rng.Float64()*d.Region.W()
+			pos[n+i] = d.Region.YL + rng.Float64()*d.Region.H()
+		} else {
+			pos[i] = cx + rng.NormFloat64()*jx
+			pos[n+i] = cy + rng.NormFloat64()*jy
+		}
 	}
 
 	en.project = func(p []float64) {
@@ -635,7 +709,7 @@ func PlaceContext(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 		return nil, fmt.Errorf("placer: unknown optimizer %q (want nesterov, adam, or momentum)", cfg.Optimizer)
 	}
 
-	res := &Result{}
+	res := &Result{ReleasedCells: len(en.mov), FrozenCells: en.numFrozen}
 	if cfg.Resume != nil {
 		st, ok := opt.(optimizer.Stateful)
 		if !ok {
@@ -826,7 +900,7 @@ func (en *engine) setupFillers(rng *rand.Rand) {
 	d := en.d
 	fixedArea := 0.0
 	for i, c := range d.Cells {
-		if !c.Kind.Moves() {
+		if !c.Kind.Moves() || en.isFrozen(i) {
 			fixedArea += d.CellRect(i).Intersect(d.Region).Area()
 		}
 	}
@@ -885,7 +959,7 @@ func (en *engine) stampAndOverflow(pos []float64) float64 {
 	en.pos = pos
 	en.grid.Clear()
 	en.stamper.StampSmoothed(len(en.mov), en.fnStampMov)
-	phi := en.grid.OverflowWorkers(en.targetDensity, en.movableArea, en.workers)
+	phi := en.grid.OverflowWorkers(en.targetDensity, en.overflowArea, en.workers)
 	en.stamper.StampSmoothed(en.numFillers, en.fnStampFill)
 	return phi
 }
@@ -894,8 +968,7 @@ func (en *engine) stampAndOverflow(pos []float64) float64 {
 // the wirelength gradient L1 norm to the density gradient L1 norm at the
 // initial placement. The field must already be solved.
 func (en *engine) calibrateLambda0(pos []float64) float64 {
-	d := en.d
-	en.cfg.Model.WirelengthGrad(d, en.param, en.wgx, en.wgy)
+	en.cfg.Model.WirelengthGrad(en.wlD, en.param, en.wgx, en.wgy)
 	var wlNorm, denNorm float64
 	n := len(en.mov) + en.numFillers
 	for i, c := range en.mov {
@@ -916,10 +989,9 @@ func (en *engine) eval(pos, grad []float64) float64 {
 	if o != nil {
 		o.Metrics.EvalDone()
 	}
-	d := en.d
 	en.unpack(pos)
 	sp := o.StartPhase(obs.PhaseWirelength)
-	w := en.cfg.Model.WirelengthGrad(d, en.param, en.wgx, en.wgy)
+	w := en.cfg.Model.WirelengthGrad(en.wlD, en.param, en.wgx, en.wgy)
 	sp.End()
 
 	sp = o.StartPhase(obs.PhaseStamp)

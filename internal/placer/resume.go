@@ -2,6 +2,7 @@ package placer
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"repro/internal/checkpoint"
 	"repro/internal/optimizer"
@@ -63,7 +64,33 @@ func (en *engine) fingerprint() checkpoint.Fingerprint {
 		RegionYL:      d.Region.YL,
 		RegionXH:      d.Region.XH,
 		RegionYH:      d.Region.YH,
+		FreezeHash:    FreezeHash(en.cfg.Freeze),
 	}
+}
+
+// FreezeHash condenses a partial-release mask into the fingerprint: FNV-64a
+// over the mask bits, 0 for a full run (nil or all-false mask). Exported so
+// the ecocache layer can label warm-start plans the same way snapshots do.
+func FreezeHash(freeze []bool) uint64 {
+	any := false
+	for _, f := range freeze {
+		if f {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return 0
+	}
+	h := fnv.New64a()
+	buf := make([]byte, len(freeze))
+	for i, f := range freeze {
+		if f {
+			buf[i] = 1
+		}
+	}
+	h.Write(buf)
+	return h.Sum64()
 }
 
 // snapshot captures the loop state at an iteration boundary: iter is the

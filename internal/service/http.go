@@ -11,6 +11,7 @@ import (
 // NewHandler wires the manager into the placerd JSON API:
 //
 //	POST   /jobs                    submit a JobSpec, returns the job snapshot
+//	POST   /v1/jobs                 alias of POST /jobs (ECO clients; spec may carry "parent")
 //	GET    /jobs                    list retained jobs
 //	GET    /jobs/{id}               one job's live status
 //	GET    /jobs/{id}/trajectory    the job's recorded HPWL-vs-overflow curve
@@ -21,7 +22,7 @@ import (
 //	GET    /healthz                 liveness probe
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+	submit := func(w http.ResponseWriter, r *http.Request) {
 		var spec JobSpec
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 		dec.DisallowUnknownFields()
@@ -35,7 +36,11 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusAccepted, v)
-	})
+	}
+	mux.HandleFunc("POST /jobs", submit)
+	// /v1/jobs is the stable alias ECO clients use; `parent` in the spec
+	// routes the job through the placement-result cache's near-hit path.
+	mux.HandleFunc("POST /v1/jobs", submit)
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"jobs": m.List()})
 	})

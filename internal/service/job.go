@@ -70,6 +70,11 @@ type JobView struct {
 	Resumes int `json:"resumes,omitempty"`
 	// Guard is present once the run's numerical-health guard has tripped.
 	Guard *GuardStatus `json:"guard,omitempty"`
+	// Cache reports how the placement-result cache served this job: "hit"
+	// (stored placement returned, no GP loop), "near_hit" (warm start off the
+	// parent's placement with a partial release), or "miss" (cold start).
+	// Empty when the manager runs without a cache.
+	Cache string `json:"cache,omitempty"`
 }
 
 // maxTrajectoryPoints bounds the per-job live trajectory buffer; beyond it
@@ -120,6 +125,7 @@ type job struct {
 	traj       []trajPoint
 	trajStride int // current sampling stride for the live buffer
 	guard      GuardStatus
+	cache      string // placement-result cache outcome: hit, near_hit, miss
 }
 
 // view snapshots the job for JSON serialization.
@@ -135,6 +141,7 @@ func (j *job) view() JobView {
 		Error:       j.err,
 		Result:      j.result,
 		Resumes:     j.resumes,
+		Cache:       j.cache,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -281,6 +288,13 @@ func (j *job) finish(state State, res *core.FlowResult, errMsg string) {
 	j.err = errMsg
 }
 
+// setCacheOutcome records how the placement-result cache served this run.
+func (j *job) setCacheOutcome(outcome string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cache = outcome
+}
+
 func (j *job) currentState() State {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -316,6 +330,7 @@ func (j *job) persisted(override State) PersistedStatus {
 		Error:       j.err,
 		Result:      j.result,
 		Resumes:     j.resumes,
+		Cache:       j.cache,
 	}
 	if j.guard.Trips > 0 {
 		g := j.guard

@@ -19,7 +19,9 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/ecocache"
 	"repro/internal/guard"
+	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/placer"
 	"repro/internal/service/telemetry"
@@ -71,6 +73,14 @@ type Config struct {
 	// CheckpointEvery is the placement snapshot cadence (iterations) for
 	// store-backed jobs; default 25. Ignored without DataDir.
 	CheckpointEvery int
+	// CacheEntries/CacheBytes bound the durable placement-result cache the
+	// manager keeps under <DataDir>/ecocache (0 keeps the ecocache package
+	// defaults). The cache is the serving fast path: an exact (design hash,
+	// config) match returns the stored placement without running the GP loop,
+	// and a job with a Parent reference warm-starts off the parent's cached
+	// placement. Ignored without DataDir.
+	CacheEntries int
+	CacheBytes   int64
 	// Telemetry receives metrics; nil allocates a private collector.
 	Telemetry *telemetry.Collector
 	// Log receives the manager's structured log records (job lifecycle
@@ -110,6 +120,8 @@ type Manager struct {
 
 	// store is the durable job store; nil for an in-memory-only manager.
 	store *Store
+	// cache is the durable placement-result cache; nil without a DataDir.
+	cache *ecocache.Cache
 
 	queue chan *job
 
@@ -170,6 +182,15 @@ func OpenManager(cfg Config) (*Manager, error) {
 		jobs:       make(map[string]*job),
 	}
 	if store != nil {
+		cache, err := ecocache.Open(filepath.Join(cfg.DataDir, "ecocache"), ecocache.Options{
+			MaxEntries: cfg.CacheEntries,
+			MaxBytes:   cfg.CacheBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.cache = cache
+		m.updateCacheGauges()
 		m.seq = store.MaxSeq()
 		m.recover(persisted)
 	}
@@ -201,6 +222,7 @@ func (m *Manager) recover(persisted []PersistedJob) {
 				err:       st.Error,
 				result:    st.Result,
 				resumes:   st.Resumes,
+				cache:     st.Cache,
 			}
 			if st.Guard != nil {
 				j.guard = *st.Guard
@@ -474,15 +496,27 @@ type ManagerStats struct {
 	// QueueDepth and Running are the live counts.
 	QueueDepth int `json:"queue_depth"`
 	Running    int `json:"running"`
+	// Placement-result cache footprint and cumulative outcome counts
+	// (zero-valued on managers running without a cache).
+	CacheEntries  int64 `json:"cache_entries,omitempty"`
+	CacheBytes    int64 `json:"cache_bytes,omitempty"`
+	CacheHits     int64 `json:"cache_hits,omitempty"`
+	CacheNearHits int64 `json:"cache_near_hits,omitempty"`
+	CacheMisses   int64 `json:"cache_misses,omitempty"`
 }
 
 // Stats snapshots the manager's capacity and current load.
 func (m *Manager) Stats() ManagerStats {
 	return ManagerStats{
-		PlaceWorkers: m.cfg.Workers,
-		QueueCap:     m.cfg.QueueDepth,
-		QueueDepth:   int(m.tel.QueueDepth.Value()),
-		Running:      int(m.tel.JobsRunning.Value()),
+		PlaceWorkers:  m.cfg.Workers,
+		QueueCap:      m.cfg.QueueDepth,
+		QueueDepth:    int(m.tel.QueueDepth.Value()),
+		Running:       int(m.tel.JobsRunning.Value()),
+		CacheEntries:  m.tel.CacheEntries.Value(),
+		CacheBytes:    m.tel.CacheBytes.Value(),
+		CacheHits:     m.tel.CacheHits.Value(),
+		CacheNearHits: m.tel.CacheNearHits.Value(),
+		CacheMisses:   m.tel.CacheMisses.Value(),
 	}
 }
 
@@ -577,7 +611,40 @@ func (m *Manager) run(j *job) {
 	j.design = d.Name
 	j.mu.Unlock()
 
+	// Consult the placement-result cache: an exact (design hash, config
+	// fingerprint) match serves the stored placement bit-identically without
+	// entering the GP loop.
+	var cacheKey ecocache.Key
+	if m.cache != nil {
+		cacheKey = ecocache.Key{Design: d.ContentHash(), Config: j.spec.cacheFingerprint().Key()}
+		if cached := m.cache.Get(cacheKey); cached != nil && len(cached.X) == d.NumCells() {
+			m.serveCacheHit(j, d, cached)
+			return
+		}
+	}
+
 	cfg := j.spec.flowConfig()
+	if m.cache != nil {
+		outcome := "miss"
+		if j.spec.Parent != "" {
+			if ws := m.planNearHit(j, d); ws != nil {
+				// Near hit: the design now carries the parent's placement
+				// (matched cells) with added cells centroid-seeded. Keep those
+				// positions and release only the delta's blast region.
+				cfg.GP.Freeze = ws.Freeze
+				cfg.GP.Init = "keep"
+				outcome = "near_hit"
+				m.log.Info("job warm-starts from parent", "job", j.id, "parent", j.spec.Parent,
+					"released", ws.Released, "frozen", ws.Frozen, "touched_frac", ws.TouchedFrac)
+			}
+		}
+		j.setCacheOutcome(outcome)
+		if outcome == "near_hit" {
+			m.tel.CacheNearHits.Inc()
+		} else {
+			m.tel.CacheMisses.Inc()
+		}
+	}
 	cfg.GP.OnIteration = func(pt placer.TrajectoryPoint) bool {
 		j.recordIteration(pt)
 		m.tel.Iterations.Inc()
@@ -639,6 +706,22 @@ func (m *Manager) run(j *job) {
 	case err == nil:
 		j.finish(StateDone, res, "")
 		m.persist(j, "")
+		if m.cache != nil {
+			// Store the finished placement so an identical resubmission is an
+			// exact hit and an ECO child can warm-start from it. Best-effort:
+			// a full disk must not fail the job that just placed.
+			m.cache.Put(cacheKey, &checkpoint.PlacementResult{ //nolint:errcheck
+				DesignHash: [32]byte(cacheKey.Design),
+				ConfigKey:  cacheKey.Config,
+				HPWL:       res.DPWL,
+				Overflow:   res.Overflow,
+				Iterations: res.GPIters,
+				Seconds:    res.TotalSeconds,
+				X:          append([]float64(nil), d.X...),
+				Y:          append([]float64(nil), d.Y...),
+			})
+			m.updateCacheGauges()
+		}
 		m.tel.JobsDone.Inc()
 		m.tel.LastHPWL.Set(res.DPWL)
 		m.tel.LastOverflow.Set(res.Overflow)
@@ -675,6 +758,87 @@ func (m *Manager) run(j *job) {
 	}
 }
 
+// serveCacheHit finishes a job straight from the placement-result cache: the
+// stored positions are the final placement (bit-identical to the run that
+// produced them), so the job reports done without one GP iteration.
+func (m *Manager) serveCacheHit(j *job, d *netlist.Design, cached *checkpoint.PlacementResult) {
+	copy(d.X, cached.X)
+	copy(d.Y, cached.Y)
+	res := &core.FlowResult{
+		Design:   d.Name,
+		Model:    j.spec.modelName(),
+		GPWL:     cached.HPWL,
+		LGWL:     cached.HPWL,
+		DPWL:     cached.HPWL,
+		Overflow: cached.Overflow,
+	}
+	j.setCacheOutcome("hit")
+	j.finish(StateDone, res, "")
+	m.persist(j, "")
+	m.tel.CacheHits.Inc()
+	m.tel.JobsDone.Inc()
+	m.tel.LastHPWL.Set(cached.HPWL)
+	m.tel.LastOverflow.Set(cached.Overflow)
+	m.log.Info("job served from cache", "job", j.id, "design", d.Name, "hpwl", cached.HPWL)
+}
+
+// planNearHit tries to serve job j as an ECO near hit off its parent's cached
+// placement: rebuild the parent design from its persisted spec, look the
+// placement up under the parent's cache key, and plan a partial release of
+// the child around the structural delta. Any missing piece — unknown parent,
+// uncached placement, oversized delta — returns nil and the job cold-starts;
+// the ECO path degrades, it never fails a job.
+func (m *Manager) planNearHit(j *job, child *netlist.Design) *ecocache.WarmStart {
+	parentID := j.spec.Parent
+	var parentSpec JobSpec
+	ok := false
+	m.mu.Lock()
+	if pj, found := m.jobs[parentID]; found {
+		parentSpec, ok = pj.spec, true
+	}
+	m.mu.Unlock()
+	if !ok && m.store != nil {
+		if sp, err := m.store.LoadSpec(parentID); err == nil {
+			parentSpec, ok = sp, true
+		} else if sp, err := m.store.LoadArchivedSpec(parentID); err == nil {
+			// The parent's job record was pruned, but its spec was archived
+			// alongside the still-cached placement.
+			parentSpec, ok = sp, true
+		}
+	}
+	if !ok {
+		m.log.Info("eco parent unknown, cold start", "job", j.id, "parent", parentID)
+		return nil
+	}
+	parentD, err := parentSpec.buildDesign(m.cfg.AuxRoot)
+	if err != nil {
+		m.log.Warn("eco parent design rebuild failed, cold start", "job", j.id, "parent", parentID, "err", err)
+		return nil
+	}
+	key := ecocache.Key{Design: parentD.ContentHash(), Config: parentSpec.cacheFingerprint().Key()}
+	parentRes := m.cache.Get(key)
+	if parentRes == nil {
+		m.log.Info("eco parent not cached, cold start", "job", j.id, "parent", parentID)
+		return nil
+	}
+	ws, reason := ecocache.PlanWarmStart(parentRes, parentD, child, ecocache.WarmStartOptions{})
+	if ws == nil {
+		m.log.Info("eco near hit rejected, cold start", "job", j.id, "parent", parentID, "reason", reason)
+		return nil
+	}
+	return ws
+}
+
+// updateCacheGauges refreshes the cache size gauges (no-op without a cache).
+func (m *Manager) updateCacheGauges() {
+	if m.cache == nil {
+		return
+	}
+	st := m.cache.Stats()
+	m.tel.CacheEntries.Set(int64(st.Entries))
+	m.tel.CacheBytes.Set(st.Bytes)
+}
+
 // isDraining reports whether Shutdown has begun.
 func (m *Manager) isDraining() bool {
 	m.mu.Lock()
@@ -697,13 +861,22 @@ func (m *Manager) pruneFinished() {
 	}
 	drop := finished - m.cfg.Retention
 	kept := m.order[:0]
+	archived := false
 	for _, j := range m.order {
 		if drop > 0 && j.currentState().Terminal() {
 			delete(m.jobs, j.id)
 			// Drop the job's directory too — except during a drain, when a
 			// just-"cancelled" job may be persisted as interrupted and must
-			// survive for recovery on the next boot.
+			// survive for recovery on the next boot. With a result cache the
+			// spec is archived first: the job's cached placement outlives its
+			// record, and an ECO child naming this job as parent still needs
+			// the spec to rebuild the parent design for the structural diff.
 			if m.store != nil && !m.draining {
+				if m.cache != nil {
+					if m.store.ArchiveSpec(j.id) == nil {
+						archived = true
+					}
+				}
 				m.store.Delete(j.id) //nolint:errcheck // best-effort GC
 			}
 			drop--
@@ -712,6 +885,19 @@ func (m *Manager) pruneFinished() {
 		kept = append(kept, j)
 	}
 	m.order = kept
+	if archived {
+		m.store.PruneSpecArchive(m.specArchiveLimit())
+	}
+}
+
+// specArchiveLimit bounds the pruned-job spec archive to the result cache's
+// entry bound: archived specs only matter while the matching placement is
+// still cached.
+func (m *Manager) specArchiveLimit() int {
+	if m.cfg.CacheEntries > 0 {
+		return m.cfg.CacheEntries
+	}
+	return 256 // ecocache's default MaxEntries
 }
 
 // Shutdown drains the manager: no new submits are accepted, queued and

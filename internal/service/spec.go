@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bookshelf"
 	"repro/internal/core"
+	"repro/internal/ecocache"
 	"repro/internal/guard"
 	"repro/internal/netlist"
 	"repro/internal/placer"
@@ -31,6 +32,12 @@ type JobSpec struct {
 	// when the daemon was started with -resume-root and the directory is
 	// inside that root; rejected otherwise.
 	Resume *ResumeSpec `json:"resume,omitempty"`
+	// Parent names an earlier job this one is an incremental (ECO) revision
+	// of. When the parent's placement is in the result cache and the design
+	// delta is small, the job is served as a near hit: positions seed from
+	// the parent and only the delta's blast region is re-placed. A missing or
+	// uncached parent silently degrades to a cold start.
+	Parent string `json:"parent,omitempty"`
 }
 
 // ResumeSpec points a job at an existing checkpoint directory.
@@ -52,6 +59,18 @@ type DesignSpec struct {
 	Scale float64 `json:"scale,omitempty"`
 	// Synth generates an ad-hoc synthetic design inline.
 	Synth *SynthSpec `json:"synth,omitempty"`
+	// Perturb applies a deterministic structural edit (cell resizes and net
+	// rewires, see netlist.Perturb) after the design is built. It models ECO
+	// resubmission traffic: a child job keeps the parent's design spec and
+	// adds a perturbation plus the parent reference.
+	Perturb *PerturbSpec `json:"perturb,omitempty"`
+}
+
+// PerturbSpec mirrors netlist.Perturbation with JSON tags.
+type PerturbSpec struct {
+	Seed     int64   `json:"seed,omitempty"`
+	CellFrac float64 `json:"cell_frac,omitempty"`
+	NetFrac  float64 `json:"net_frac,omitempty"`
 }
 
 // SynthSpec mirrors synth.Spec with JSON tags and service defaults.
@@ -134,6 +153,14 @@ func (s *JobSpec) Validate(auxRoot string) error {
 	}
 	if srcs != 1 {
 		return fmt.Errorf("design must give exactly one of aux, suite/name, or synth (got %d)", srcs)
+	}
+	if pt := s.Design.Perturb; pt != nil {
+		if pt.CellFrac < 0 || pt.CellFrac > 1 || pt.NetFrac < 0 || pt.NetFrac > 1 {
+			return fmt.Errorf("design.perturb fractions must be in [0,1]")
+		}
+		if pt.CellFrac == 0 && pt.NetFrac == 0 {
+			return fmt.Errorf("design.perturb needs cell_frac or net_frac > 0")
+		}
 	}
 	m, err := wirelength.ByName(s.modelName())
 	if err != nil {
@@ -234,9 +261,24 @@ func (s *JobSpec) placerConfig() placer.Config {
 	return cfg
 }
 
-// buildDesign materializes the design. Called inside a worker: generation of
-// large synthetic designs and Bookshelf parsing can be slow.
+// buildDesign materializes the design (and applies the optional ECO
+// perturbation). Called inside a worker: generation of large synthetic
+// designs and Bookshelf parsing can be slow.
 func (s *JobSpec) buildDesign(auxRoot string) (*netlist.Design, error) {
+	d, err := s.buildBaseDesign(auxRoot)
+	if err != nil {
+		return nil, err
+	}
+	if pt := s.Design.Perturb; pt != nil {
+		return netlist.Perturb(d, netlist.Perturbation{
+			Seed: pt.Seed, CellFrac: pt.CellFrac, NetFrac: pt.NetFrac,
+		})
+	}
+	return d, nil
+}
+
+// buildBaseDesign materializes the design source before any perturbation.
+func (s *JobSpec) buildBaseDesign(auxRoot string) (*netlist.Design, error) {
 	d := s.Design
 	switch {
 	case d.Aux != "":
@@ -294,6 +336,36 @@ func (s *JobSpec) buildDesign(auxRoot string) (*netlist.Design, error) {
 		}
 		return synth.Generate(spec)
 	}
+}
+
+// cacheFingerprint condenses every result-determining knob of this spec into
+// the config half of the placement-result cache key. Knobs the JSON spec does
+// not expose stay at their zero value: the fingerprint only has to agree for
+// specs that are the same computation and differ when they are not (a
+// disagreement costs a cache miss, never a wrong result).
+func (s *JobSpec) cacheFingerprint() ecocache.ConfigFingerprint {
+	p := s.placerConfig()
+	f := ecocache.ConfigFingerprint{
+		Model:        s.modelName(),
+		GridX:        p.GridX,
+		GridY:        p.GridY,
+		MaxIters:     p.MaxIters,
+		StopOverflow: p.StopOverflow,
+		Seed:         p.Seed,
+		Init:         p.Init,
+		Optimizer:    p.Optimizer,
+		Schedule:     p.Schedule,
+		Precondition: p.Precondition,
+		Workers:      p.Workers,
+		GPOnly:       s.Flow.GPOnly,
+		SkipDetailed: s.Flow.SkipDetailed,
+		UseTetris:    s.Flow.UseTetris,
+	}
+	if p.Guard != nil {
+		f.Guard = true
+		f.GuardRetries = p.Guard.MaxRetries
+	}
+	return f
 }
 
 // flowConfig builds the core.FlowConfig for this spec.

@@ -67,6 +67,8 @@ type PersistedStatus struct {
 	Resumes int `json:"resumes,omitempty"`
 	// Guard carries the run's numerical-health guard summary, when it tripped.
 	Guard *GuardStatus `json:"guard,omitempty"`
+	// Cache is the placement-result cache outcome (hit, near_hit, miss).
+	Cache string `json:"cache,omitempty"`
 }
 
 // PersistedJob pairs a job's spec with its last persisted status.
@@ -108,6 +110,17 @@ func (s *Store) SaveSpec(id string, spec JobSpec) error {
 	return writeJSONFile(filepath.Join(s.jobDir(id), "spec.json"), spec)
 }
 
+// LoadSpec loads one job's persisted spec. The ECO near-hit path uses it to
+// rebuild a parent design whose job finished in an earlier daemon life (the
+// in-memory job table only reaches back to the retention cap).
+func (s *Store) LoadSpec(id string) (JobSpec, error) {
+	var spec JobSpec
+	if !readJSON(filepath.Join(s.jobDir(id), "spec.json"), &spec) {
+		return JobSpec{}, fmt.Errorf("service: store: no spec for job %q", id)
+	}
+	return spec, nil
+}
+
 // SaveStatus persists a job's current status.
 func (s *Store) SaveStatus(id string, st PersistedStatus) error {
 	if err := os.MkdirAll(s.jobDir(id), 0o755); err != nil {
@@ -119,6 +132,66 @@ func (s *Store) SaveStatus(id string, st PersistedStatus) error {
 // Delete removes a job's directory (spec, status, and snapshots).
 func (s *Store) Delete(id string) error {
 	return os.RemoveAll(s.jobDir(id))
+}
+
+// ArchiveSpec moves a job's spec into the spec archive
+// (<root>/specarchive/<id>.json) before the job's directory is pruned, so
+// the ECO near-hit path can still rebuild the design of a parent whose job
+// record aged out of retention. The archive's lifetime is coupled to the
+// placement-result cache — a parent is warm-startable exactly as long as
+// its placement is cached — so the manager prunes it with the cache's
+// entry bound (see PruneSpecArchive).
+func (s *Store) ArchiveSpec(id string) error {
+	dir := filepath.Join(s.root, "specarchive")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("service: store: %w", err)
+	}
+	if err := os.Rename(filepath.Join(s.jobDir(id), "spec.json"), filepath.Join(dir, id+".json")); err != nil {
+		return fmt.Errorf("service: store: %w", err)
+	}
+	return nil
+}
+
+// LoadArchivedSpec loads a pruned job's archived spec. A successful load
+// touches the file's mtime: PruneSpecArchive evicts by that timestamp, so
+// a parent that keeps receiving ECO children stays archived while parents
+// nobody references age out (least-recently-used, like the result cache).
+func (s *Store) LoadArchivedSpec(id string) (JobSpec, error) {
+	path := filepath.Join(s.root, "specarchive", id+".json")
+	var spec JobSpec
+	if !readJSON(path, &spec) {
+		return JobSpec{}, fmt.Errorf("service: store: no archived spec for job %q", id)
+	}
+	now := time.Now()
+	os.Chtimes(path, now, now) //nolint:errcheck // best-effort LRU touch
+	return spec, nil
+}
+
+// PruneSpecArchive drops the least-recently-used archived specs (by
+// modification time, refreshed on every LoadArchivedSpec) beyond the max
+// bound. Best-effort: an unreadable entry is simply kept.
+func (s *Store) PruneSpecArchive(max int) {
+	dir := filepath.Join(s.root, "specarchive")
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) <= max {
+		return
+	}
+	type rec struct {
+		name string
+		mod  time.Time
+	}
+	recs := make([]rec, 0, len(entries))
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		recs = append(recs, rec{e.Name(), info.ModTime()})
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].mod.Before(recs[b].mod) })
+	for i := 0; i < len(recs)-max; i++ {
+		os.Remove(filepath.Join(dir, recs[i].name)) //nolint:errcheck // best-effort GC
+	}
 }
 
 // LatestSnapshot loads the newest decodable placement snapshot of a job;

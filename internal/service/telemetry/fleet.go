@@ -17,6 +17,7 @@ type FleetCollector struct {
 	JobsRerouted  Counter // jobs moved off a dead worker after heartbeat expiry
 	JobsStolen    Counter // queued jobs stolen from a hot node onto an idle one
 	AffinityHits  Counter // submissions routed to the node holding their checkpoints
+	ParentRoutes  Counter // ECO children routed by their parent's placement location
 	ProxyErrors   Counter // failed coordinator -> worker HTTP calls
 
 	// Worker fleet state.
@@ -54,6 +55,7 @@ func (c *FleetCollector) WritePrometheus(w io.Writer) {
 	counter("placercoord_jobs_rerouted_total", "Jobs re-routed off a dead worker.", c.JobsRerouted.Value())
 	counter("placercoord_jobs_stolen_total", "Queued jobs stolen from a hot node onto an idle one.", c.JobsStolen.Value())
 	counter("placercoord_affinity_hits_total", "Submissions routed by checkpoint affinity.", c.AffinityHits.Value())
+	counter("placercoord_parent_routes_total", "ECO children routed to the worker holding the parent placement.", c.ParentRoutes.Value())
 	counter("placercoord_proxy_errors_total", "Failed coordinator-to-worker HTTP calls.", c.ProxyErrors.Value())
 	counter("placercoord_heartbeats_total", "Worker heartbeat reports received.", c.Heartbeats.Value())
 	gauge("placercoord_workers_live", "Workers currently within their heartbeat TTL.", c.WorkersLive.Value())

@@ -117,9 +117,20 @@ type Collector struct {
 	// absorbed by the checkpoint retry loop.
 	CheckpointRetries Counter
 
+	// Placement-result cache outcomes (the ECO fast path, internal/ecocache):
+	// hits were served bit-identically from the cache without running the GP
+	// loop, near hits warm-started from a parent's cached placement with only
+	// the delta's blast region released, misses cold-started.
+	CacheHits     Counter
+	CacheNearHits Counter
+	CacheMisses   Counter
+
 	// Live gauges.
 	QueueDepth  Gauge
 	JobsRunning Gauge
+	// Placement-result cache size.
+	CacheEntries Gauge
+	CacheBytes   Gauge
 
 	// Engine throughput and quality.
 	Iterations   Counter    // global placement iterations across all jobs
@@ -197,8 +208,14 @@ func (c *Collector) WritePrometheus(w io.Writer) {
 	counter("placerd_guard_recoveries_total", "Divergence episodes closed cleanly after rollback.", c.GuardRecoveries.Value())
 	counter("placerd_checkpoint_write_retries_total", "Transient checkpoint write failures absorbed by retry.", c.CheckpointRetries.Value())
 
+	counter("placerd_cache_hits_total", "Jobs served bit-identically from the placement-result cache.", c.CacheHits.Value())
+	counter("placerd_cache_near_hits_total", "Jobs warm-started from a parent's cached placement (partial release).", c.CacheNearHits.Value())
+	counter("placerd_cache_misses_total", "Cache-enabled jobs that cold-started.", c.CacheMisses.Value())
+
 	gauge("placerd_queue_depth", "Jobs waiting in the queue.", fmt.Sprintf("%d", c.QueueDepth.Value()))
 	gauge("placerd_jobs_running", "Jobs currently placing.", fmt.Sprintf("%d", c.JobsRunning.Value()))
+	gauge("placerd_cache_entries", "Entries in the placement-result cache.", fmt.Sprintf("%d", c.CacheEntries.Value()))
+	gauge("placerd_cache_bytes", "Bytes held by the placement-result cache.", fmt.Sprintf("%d", c.CacheBytes.Value()))
 
 	counter("placerd_gp_iterations_total", "Global placement iterations across all jobs.", c.Iterations.Value())
 	gauge("placerd_last_hpwl", "Exact HPWL of the most recently finished job.", formatFloat(c.LastHPWL.Value()))
