@@ -3,7 +3,7 @@ GO ?= go
 # Each PR writes its own trajectory file so earlier ones stay comparable.
 BENCH ?= BENCH_PR8.json
 
-.PHONY: check fmt vet build test race fuzz-seeds fuzz bench cover placerd trace-demo fleet-demo
+.PHONY: check fmt vet build test race fuzz-seeds fuzz bench cover placerd trace-demo fleet-demo placertop-demo golden
 
 check: fmt vet build test race fuzz-seeds
 
@@ -36,7 +36,8 @@ race:
 		./internal/checkpoint/... ./internal/density/... \
 		./internal/wirelength/... ./internal/parallel/... \
 		./internal/obs/... ./internal/guard/... ./internal/faultinject/... \
-		./internal/fleet/... ./internal/ecocache/... ./internal/netlist/...
+		./internal/fleet/... ./internal/ecocache/... ./internal/netlist/... \
+		./internal/trajclient/... ./internal/placertop/...
 
 # fuzz-seeds replays the fuzz seed corpora as regular tests (regression
 # mode, no exploration) so `make check` keeps the known-hostile Bookshelf
@@ -111,3 +112,38 @@ fleet-demo:
 	kill $$(cat /tmp/fleet-demo/a.pid /tmp/fleet-demo/b.pid /tmp/fleet-demo/coord.pid) 2>/dev/null; \
 	rm -rf /tmp/fleet-demo; \
 	exit $$rc
+
+# placertop-demo boots the same two-worker fleet, submits a couple of jobs,
+# and prints one headless placertop frame (the -once snapshot mode) before
+# tearing down — the quickest way to see the dashboard without a live
+# deployment. For the interactive view, run the fleet yourself and
+# `bin/placertop -addr http://127.0.0.1:7878`.
+placertop-demo:
+	$(GO) build -o bin/placercoord ./cmd/placercoord
+	$(GO) build -o bin/placerd ./cmd/placerd
+	$(GO) build -o bin/placertop ./cmd/placertop
+	@mkdir -p /tmp/placertop-demo/a /tmp/placertop-demo/b
+	@./bin/placercoord -addr 127.0.0.1:7878 & echo $$! > /tmp/placertop-demo/coord.pid; \
+	sleep 0.3; \
+	./bin/placerd -addr 127.0.0.1:8081 -coordinator http://127.0.0.1:7878 \
+		-node-id demo-a -advertise http://127.0.0.1:8081 \
+		-data-dir /tmp/placertop-demo/a & echo $$! > /tmp/placertop-demo/a.pid; \
+	./bin/placerd -addr 127.0.0.1:8082 -coordinator http://127.0.0.1:7878 \
+		-node-id demo-b -advertise http://127.0.0.1:8082 \
+		-data-dir /tmp/placertop-demo/b & echo $$! > /tmp/placertop-demo/b.pid; \
+	sleep 1.5; \
+	for seed in 1 2 3; do \
+		curl -s -X POST http://127.0.0.1:7878/v1/jobs -H 'X-Tenant: demo' -d '{"design":{"synth":{"cells":400,"seed":'$$seed'}},"model":"ME","placer":{"max_iters":200,"grid_x":32,"grid_y":32},"flow":{"gp_only":true}}' > /dev/null; \
+	done; \
+	sleep 2; \
+	./bin/placertop -once -addr http://127.0.0.1:7878 -width 110 -height 30; \
+	rc=$$?; \
+	kill $$(cat /tmp/placertop-demo/a.pid /tmp/placertop-demo/b.pid /tmp/placertop-demo/coord.pid) 2>/dev/null; \
+	rm -rf /tmp/placertop-demo; \
+	exit $$rc
+
+# golden re-renders the placertop golden frames after a deliberate layout
+# change. Inspect the diff before committing: the goldens are the
+# dashboard's bit-exact rendering contract.
+golden:
+	$(GO) test ./internal/placertop/ -run TestGoldenFrames -update

@@ -1,0 +1,239 @@
+// Command placertop is the placement fleet's top(1): a live terminal
+// dashboard over a placercoord coordinator (or a single placerd worker)
+// plus an offline replay viewer for recorded NDJSON trajectories.
+//
+// Usage:
+//
+//	placertop [-addr http://localhost:7878] [-interval 1s]   live dashboard
+//	placertop -once [-addr ...] [-width 100] [-height 30]    one plain-text frame
+//	placertop -replay traj.ndjson [-speed 2]                 offline replay
+//
+// Live mode polls GET /v1/fleet/overview (falling back to a bare worker's
+// /stats and /jobs) and tails the active jobs' trajectory streams for the
+// convergence sparklines. Replay mode scrubs through a recording captured
+// with e.g.
+//
+//	curl -Ns $COORD/v1/jobs/$ID/trajectory > traj.ndjson
+//
+// Keys: q quits; in replay, space pauses, , and . step, + and - change
+// speed, 0 rewinds.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/placertop"
+)
+
+func main() {
+	fs := flag.NewFlagSet("placertop", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", "http://127.0.0.1:7878", "coordinator or worker base URL")
+		interval = fs.Duration("interval", time.Second, "live poll interval")
+		once     = fs.Bool("once", false, "print one plain-text frame and exit")
+		replay   = fs.String("replay", "", "replay a recorded NDJSON trajectory file instead of going live")
+		speed    = fs.Int("speed", 2, "replay points per tick")
+		width    = fs.Int("width", 0, "frame width (default: terminal, else 100)")
+		height   = fs.Int("height", 0, "frame height (default: terminal, else 30)")
+	)
+	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var err error
+	switch {
+	case *once:
+		err = runOnce(ctx, *addr, *width, *height)
+	case *replay != "":
+		err = runReplay(ctx, *replay, *speed, *interval, *width, *height)
+	default:
+		err = runLive(ctx, *addr, *interval, *width, *height)
+	}
+	if err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "placertop:", err)
+		os.Exit(1)
+	}
+}
+
+// frameSize resolves the render size: explicit flags win, then the
+// terminal, then an 100×30 fallback for pipes.
+func frameSize(w, h int) (int, int) {
+	tw, th, ok := termSize()
+	if !ok {
+		tw, th = 100, 30
+	}
+	if w <= 0 {
+		w = tw
+	}
+	if h <= 0 {
+		h = th
+	}
+	return w, h
+}
+
+// runOnce renders a single headless snapshot to stdout — the scripting and
+// smoke-test mode.
+func runOnce(ctx context.Context, addr string, w, h int) error {
+	col := placertop.NewCollector(addr)
+	snap, err := col.Snapshot(ctx)
+	if err != nil {
+		return err
+	}
+	w, h = frameSize(w, h)
+	_, err = os.Stdout.WriteString(placertop.Render(snap, w, h).Plain())
+	return err
+}
+
+// runLive drives the polling dashboard until the context ends or q is
+// pressed.
+func runLive(ctx context.Context, addr string, interval time.Duration, w, h int) error {
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	col := placertop.NewCollector(addr)
+	keys, restore := openKeys()
+	defer restore()
+	enterAltScreen()
+	defer leaveAltScreen()
+
+	var lastErr error
+	seq := 0
+	render := func() {
+		fw, fh := frameSize(w, h)
+		snap, err := col.Snapshot(ctx)
+		if err != nil {
+			lastErr = err
+			drawError(fw, fh, addr, err, seq)
+			return
+		}
+		lastErr = nil
+		os.Stdout.WriteString(placertop.Render(snap, fw, fh).ANSI()) //nolint:errcheck
+	}
+	render()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-t.C:
+			seq++
+			render()
+		case k, ok := <-keys:
+			if !ok { // stdin closed (piped input drained): poll-only from here
+				keys = nil
+				continue
+			}
+			if k == 'q' || k == 3 { // q or ctrl-C
+				return lastErr
+			}
+			if k == 'r' {
+				render()
+			}
+		}
+	}
+}
+
+// runReplay scrubs through a recorded trajectory.
+func runReplay(ctx context.Context, path string, speed int, interval time.Duration, w, h int) error {
+	pts, err := placertop.LoadTrajectory(path)
+	if err != nil {
+		return err
+	}
+	if speed < 1 {
+		speed = 1
+	}
+	if interval <= 0 || interval > 500*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	rp := &placertop.ReplayState{File: path, Points: pts, Speed: speed}
+	snap := &placertop.Snapshot{Mode: "replay", Replay: rp}
+
+	keys, restore := openKeys()
+	defer restore()
+	enterAltScreen()
+	defer leaveAltScreen()
+
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		fw, fh := frameSize(w, h)
+		os.Stdout.WriteString(placertop.Render(snap, fw, fh).ANSI()) //nolint:errcheck
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-t.C:
+			snap.Seq++
+			rp.Step()
+		case k, ok := <-keys:
+			if !ok {
+				keys = nil
+				continue
+			}
+			switch k {
+			case 'q', 3:
+				return nil
+			case ' ':
+				rp.Paused = !rp.Paused
+			case '.':
+				rp.Advance(1)
+			case ',':
+				rp.Advance(-1)
+			case '+', '=':
+				rp.Speed++
+			case '-':
+				if rp.Speed > 1 {
+					rp.Speed--
+				}
+			case '0':
+				rp.Pos = 0
+			}
+		}
+	}
+}
+
+// drawError paints a minimal frame when a poll fails so the dashboard
+// degrades visibly instead of freezing on stale data.
+func drawError(w, h int, addr string, err error, seq int) {
+	f := placertop.NewFrame(w, h)
+	f.Text(0, 0, "placertop", placertop.STitle)
+	f.Text(10, 0, "· "+addr, placertop.SDim)
+	f.Text(2, 2, "poll failed: "+err.Error(), placertop.SBad)
+	f.Text(2, 4, fmt.Sprintf("retrying (attempt #%d) — q to quit", seq), placertop.SDim)
+	os.Stdout.WriteString(f.ANSI()) //nolint:errcheck
+}
+
+func enterAltScreen() { os.Stdout.WriteString("\x1b[?1049h\x1b[?25l\x1b[2J") } //nolint:errcheck
+func leaveAltScreen() { os.Stdout.WriteString("\x1b[?25h\x1b[?1049l") }        //nolint:errcheck
+
+// openKeys starts the keyboard reader. With a raw-capable TTY, keys arrive
+// per press; otherwise (pipe, unsupported OS) line-buffered input still
+// works for 'q<Enter>'. The restore function undoes any terminal changes.
+func openKeys() (<-chan byte, func()) {
+	restore := enableRawInput()
+	ch := make(chan byte, 8)
+	go func() {
+		buf := make([]byte, 1)
+		for {
+			n, err := os.Stdin.Read(buf)
+			if err != nil {
+				close(ch)
+				return
+			}
+			if n == 1 {
+				select {
+				case ch <- buf[0]:
+				default: // drop keys rather than block the reader
+				}
+			}
+		}
+	}()
+	return ch, restore
+}

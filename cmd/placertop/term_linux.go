@@ -1,0 +1,44 @@
+//go:build linux
+
+package main
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+type winsize struct {
+	rows, cols, xpix, ypix uint16
+}
+
+// termSize queries the controlling terminal's dimensions.
+func termSize() (w, h int, ok bool) {
+	var ws winsize
+	_, _, errno := syscall.Syscall(syscall.SYS_IOCTL, os.Stdout.Fd(),
+		syscall.TIOCGWINSZ, uintptr(unsafe.Pointer(&ws)))
+	if errno != 0 || ws.cols == 0 || ws.rows == 0 {
+		return 0, 0, false
+	}
+	return int(ws.cols), int(ws.rows), true
+}
+
+// enableRawInput switches stdin to unbuffered, no-echo reads so single
+// keypresses arrive immediately. Returns a restore function; on a
+// non-terminal stdin it is a no-op and input stays line-buffered.
+func enableRawInput() func() {
+	fd := os.Stdin.Fd()
+	var old syscall.Termios
+	if _, _, errno := syscall.Syscall(syscall.SYS_IOCTL, fd,
+		syscall.TCGETS, uintptr(unsafe.Pointer(&old))); errno != 0 {
+		return func() {}
+	}
+	raw := old
+	raw.Lflag &^= syscall.ICANON | syscall.ECHO
+	raw.Cc[syscall.VMIN] = 1
+	raw.Cc[syscall.VTIME] = 0
+	syscall.Syscall(syscall.SYS_IOCTL, fd, syscall.TCSETS, uintptr(unsafe.Pointer(&raw))) //nolint:errcheck
+	return func() {
+		syscall.Syscall(syscall.SYS_IOCTL, fd, syscall.TCSETS, uintptr(unsafe.Pointer(&old))) //nolint:errcheck
+	}
+}

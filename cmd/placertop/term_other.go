@@ -1,0 +1,20 @@
+//go:build !linux
+
+package main
+
+import (
+	"os"
+	"strconv"
+)
+
+// termSize falls back to the COLUMNS/LINES environment on platforms
+// without the ioctl path.
+func termSize() (w, h int, ok bool) {
+	w, _ = strconv.Atoi(os.Getenv("COLUMNS"))
+	h, _ = strconv.Atoi(os.Getenv("LINES"))
+	return w, h, w > 0 && h > 0
+}
+
+// enableRawInput is a no-op without termios; input stays line-buffered
+// ('q<Enter>' still quits).
+func enableRawInput() func() { return func() {} }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 )
@@ -69,13 +70,18 @@ var (
 	ErrQuotaExhausted = errors.New("fleet: tenant in-flight quota exhausted")
 )
 
-// tenantState is one tenant's live bucket and quota accounting.
+// tenantState is one tenant's live bucket and quota accounting, plus the
+// cumulative admission outcome counters the fleet overview reports.
 type tenantState struct {
 	cfg      TenantConfig
 	class    Class
 	tokens   float64
 	last     time.Time
 	inFlight int
+
+	admitted      int64
+	rejectedRate  int64
+	rejectedQuota int64
 }
 
 // Admission enforces per-tenant token-bucket rate limits and in-flight
@@ -155,16 +161,19 @@ func (a *Admission) Admit(tenant string) (time.Duration, error) {
 	if st.cfg.MaxInFlight > 0 && st.inFlight >= st.cfg.MaxInFlight {
 		// The quota frees when a job finishes; without visibility into run
 		// times, advise a one-second poll.
+		st.rejectedQuota++
 		return time.Second, ErrQuotaExhausted
 	}
 	if st.cfg.Rate > 0 {
 		if st.tokens < 1 {
 			wait := time.Duration((1 - st.tokens) / st.cfg.Rate * float64(time.Second))
+			st.rejectedRate++
 			return wait, ErrRateLimited
 		}
 		st.tokens--
 	}
 	st.inFlight++
+	st.admitted++
 	return 0, nil
 }
 
@@ -192,4 +201,47 @@ func (a *Admission) InFlight(tenant string) int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.state(tenant).inFlight
+}
+
+// TenantStatus is one tenant's row in the fleet overview's admission panel:
+// the configured policy next to the live accounting, so an operator can see
+// at a glance who is saturating their quota and who is being pushed back.
+type TenantStatus struct {
+	Name  string `json:"name"`
+	Class string `json:"class"`
+	// InFlight / MaxInFlight are the live quota occupancy (MaxInFlight 0
+	// means unlimited).
+	InFlight    int `json:"in_flight"`
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+	// Rate/Burst echo the token-bucket policy (Rate 0 = unlimited).
+	Rate  float64 `json:"rate,omitempty"`
+	Burst int     `json:"burst,omitempty"`
+	// Admitted counts successful admissions; RejectedRate and RejectedQuota
+	// split the tenant's 429s by cause.
+	Admitted      int64 `json:"admitted"`
+	RejectedRate  int64 `json:"rejected_rate,omitempty"`
+	RejectedQuota int64 `json:"rejected_quota,omitempty"`
+}
+
+// Snapshot returns every tenant seen so far, sorted by name, for the fleet
+// overview document.
+func (a *Admission) Snapshot() []TenantStatus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]TenantStatus, 0, len(a.tenants))
+	for name, st := range a.tenants {
+		out = append(out, TenantStatus{
+			Name:          name,
+			Class:         st.class.String(),
+			InFlight:      st.inFlight,
+			MaxInFlight:   st.cfg.MaxInFlight,
+			Rate:          st.cfg.Rate,
+			Burst:         st.cfg.Burst,
+			Admitted:      st.admitted,
+			RejectedRate:  st.rejectedRate,
+			RejectedQuota: st.rejectedQuota,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }

@@ -185,10 +185,29 @@ func (c *Coordinator) Tick(now time.Time) {
 	c.dispatchPending()
 	c.stealOnce(now)
 	c.tel.WorkersLive.Set(int64(len(c.reg.Live(now))))
+	c.publishWorkerHealth(now)
 	c.mu.Lock()
 	c.tel.JobsPending.Set(int64(len(c.pending)))
 	c.pruneLocked()
 	c.mu.Unlock()
+}
+
+// publishWorkerHealth refreshes the per-worker liveness gauges on /metrics
+// (heartbeat age, live flag, reported load) from the registry snapshot.
+func (c *Coordinator) publishWorkerHealth(now time.Time) {
+	snap := c.reg.Snapshot()
+	ws := make([]telemetry.WorkerHealth, 0, len(snap))
+	for _, s := range snap {
+		age := now.Sub(s.LastSeen)
+		ws = append(ws, telemetry.WorkerHealth{
+			ID:         s.ID,
+			AgeSeconds: max(age.Seconds(), 0),
+			Live:       age <= c.cfg.HeartbeatTTL,
+			QueueDepth: s.Stats.QueueDepth,
+			Running:    s.Stats.Running,
+		})
+	}
+	c.tel.SetWorkerHealth(ws)
 }
 
 // RecordHeartbeat folds one worker report into the registry.

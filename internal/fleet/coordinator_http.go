@@ -22,6 +22,8 @@ import (
 //	GET    /v1/jobs/{id}/trajectory    NDJSON trajectory stream proxied from
 //	                                   the worker running the job
 //	GET    /v1/fleet                   fleet status: workers + routing counters
+//	GET    /v1/fleet/overview          aggregated dashboard snapshot: workers,
+//	                                   tenants, cache rates, active jobs
 //	GET    /metrics                    Prometheus text exposition
 //	GET    /healthz                    liveness probe
 //	GET    /readyz                     readiness: 200 once a worker is live
@@ -94,6 +96,9 @@ func NewHandler(c *Coordinator) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/fleet", func(w http.ResponseWriter, r *http.Request) {
 		httpJSON(w, http.StatusOK, c.Status())
+	})
+	mux.HandleFunc("GET /v1/fleet/overview", func(w http.ResponseWriter, r *http.Request) {
+		httpJSON(w, http.StatusOK, c.Overview())
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

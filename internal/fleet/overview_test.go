@@ -1,0 +1,247 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestFleetOverviewEndpoint drives a two-worker fleet through a completed
+// job and an admission rejection, then checks that GET /v1/fleet/overview
+// aggregates all of it: worker liveness + heartbeat ages, the tenant
+// admission panel with the 429 split, cache totals, and the job rows.
+func TestFleetOverviewEndpoint(t *testing.T) {
+	clock := newFakeClock()
+	adm, err := NewAdmission(TenantConfig{}, []TenantConfig{
+		{Name: "quota", Class: "prod", MaxInFlight: 1},
+	}, clock.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newTestCoordinator(t, clock, adm)
+	wA := startWorker(t, "wA", service.Config{})
+	wB := startWorker(t, "wB", service.Config{})
+	for _, w := range []*testWorker{wA, wB} {
+		if err := c.RecordHeartbeat(w.heartbeat(), clock.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(NewHandler(c))
+	defer srv.Close()
+
+	v1, _, err := c.Submit(fastSpec(3), "t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFleetState(t, c, clock, v1.ID, "done")
+
+	// Saturate the quota tenant: one long-running job in flight, the second
+	// submit must be pushed back and counted as a quota rejection.
+	vq, _, err := c.Submit(slowSpec(4), "quota")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Submit(slowSpec(5), "quota"); !errors.Is(err, ErrQuotaExhausted) {
+		t.Fatalf("second quota submit: err = %v, want ErrQuotaExhausted", err)
+	}
+
+	clock.Advance(200 * time.Millisecond)
+	for _, w := range []*testWorker{wA, wB} {
+		if err := c.RecordHeartbeat(w.heartbeat(), clock.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Tick(clock.Now())
+
+	resp, err := http.Get(srv.URL + "/v1/fleet/overview")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("overview status = %d", resp.StatusCode)
+	}
+	var ov Overview
+	if err := json.NewDecoder(resp.Body).Decode(&ov); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(ov.Workers) != 2 || ov.WorkersLive != 2 {
+		t.Fatalf("workers = %d live %d, want 2/2: %+v", len(ov.Workers), ov.WorkersLive, ov.Workers)
+	}
+	for _, w := range ov.Workers {
+		if !w.Live {
+			t.Errorf("worker %s not live: %+v", w.ID, w)
+		}
+		if w.HeartbeatAgeSeconds < 0 || w.HeartbeatAgeSeconds > 1 {
+			t.Errorf("worker %s heartbeat age %.3fs out of range", w.ID, w.HeartbeatAgeSeconds)
+		}
+		if w.QueueCap <= 0 || w.PlaceWorkers <= 0 {
+			t.Errorf("worker %s missing capacity facts: %+v", w.ID, w)
+		}
+	}
+	if ov.Workers[0].ID != "wA" || ov.Workers[1].ID != "wB" {
+		t.Errorf("workers not sorted by ID: %s, %s", ov.Workers[0].ID, ov.Workers[1].ID)
+	}
+
+	var seenT1, seenQuota bool
+	for _, ten := range ov.Tenants {
+		switch ten.Name {
+		case "t1":
+			seenT1 = true
+			if ten.Admitted != 1 || ten.InFlight != 0 {
+				t.Errorf("t1 admitted %d in-flight %d, want 1/0", ten.Admitted, ten.InFlight)
+			}
+		case "quota":
+			seenQuota = true
+			if ten.Class != "prod" || ten.MaxInFlight != 1 {
+				t.Errorf("quota policy not echoed: %+v", ten)
+			}
+			if ten.Admitted != 1 || ten.RejectedQuota != 1 || ten.InFlight != 1 {
+				t.Errorf("quota accounting = admitted %d rejectedQuota %d inFlight %d, want 1/1/1",
+					ten.Admitted, ten.RejectedQuota, ten.InFlight)
+			}
+		}
+	}
+	if !seenT1 || !seenQuota {
+		t.Fatalf("tenant panel missing rows (t1 %v, quota %v): %+v", seenT1, seenQuota, ov.Tenants)
+	}
+
+	if ov.Counters.Submitted != 2 || ov.Counters.Rejected != 1 {
+		t.Errorf("counters submitted %d rejected %d, want 2/1", ov.Counters.Submitted, ov.Counters.Rejected)
+	}
+	if ov.JobStates["done"] != 1 {
+		t.Errorf("JobStates = %v, want one done job", ov.JobStates)
+	}
+	var doneRow, runRow *JobOverview
+	for i := range ov.Jobs {
+		switch ov.Jobs[i].ID {
+		case v1.ID:
+			doneRow = &ov.Jobs[i]
+		case vq.ID:
+			runRow = &ov.Jobs[i]
+		}
+	}
+	if doneRow == nil || runRow == nil {
+		t.Fatalf("job rows missing (done %v, running %v): %+v", doneRow, runRow, ov.Jobs)
+	}
+	if doneRow.State != "done" || doneRow.HPWL <= 0 || doneRow.Iteration <= 0 {
+		t.Errorf("done row lacks final result facts: %+v", doneRow)
+	}
+	if doneRow.Tenant != "t1" || runRow.Class != "prod" {
+		t.Errorf("rows lost routing facts: %+v / %+v", doneRow, runRow)
+	}
+	if ov.TruncatedJobs != 0 {
+		t.Errorf("TruncatedJobs = %d with %d jobs", ov.TruncatedJobs, len(ov.Jobs))
+	}
+
+	c.Cancel(vq.ID) //nolint:errcheck
+}
+
+// TestOverviewJobCapKeepsActiveJobs checks the embed cap: with more
+// terminal jobs than the terminal cap, the overview keeps the newest ones,
+// counts the rest as truncated, and still tallies every job in JobStates.
+func TestOverviewJobCapKeepsActiveJobs(t *testing.T) {
+	clock := newFakeClock()
+	c := newTestCoordinator(t, clock, nil)
+	w := startWorker(t, "w1", service.Config{})
+	if err := c.RecordHeartbeat(w.heartbeat(), clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	total := overviewTerminalCap + 5
+	for i := 0; i < total; i++ {
+		v, _, err := c.Submit(fastSpec(int64(100+i)), "bulk")
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitFleetState(t, c, clock, v.ID, "done")
+	}
+	ov := c.Overview()
+	if len(ov.Jobs) != overviewTerminalCap {
+		t.Errorf("jobs embedded = %d, want terminal cap %d", len(ov.Jobs), overviewTerminalCap)
+	}
+	if ov.TruncatedJobs != total-overviewTerminalCap {
+		t.Errorf("TruncatedJobs = %d, want %d", ov.TruncatedJobs, total-overviewTerminalCap)
+	}
+	if ov.JobStates["done"] != total {
+		t.Errorf("JobStates[done] = %d, want %d (truncation must not hide state counts)",
+			ov.JobStates["done"], total)
+	}
+}
+
+// TestCoordinatorMetricsExposition checks the coordinator's /metrics page:
+// the build-info metric, the labeled per-worker heartbeat-age/liveness
+// gauges (including a stale worker showing live 0 before expiry removes
+// it), and the fleet-wide workers_live gauge after a maintenance tick.
+func TestCoordinatorMetricsExposition(t *testing.T) {
+	clock := newFakeClock()
+	c := newTestCoordinator(t, clock, nil)
+	w1 := startWorker(t, "w1", service.Config{})
+	w2 := startWorker(t, "w2", service.Config{})
+	if err := c.RecordHeartbeat(w1.heartbeat(), clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(2 * time.Second) // past the 1s test TTL: w1 goes stale
+	if err := c.RecordHeartbeat(w2.heartbeat(), clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(c))
+	defer srv.Close()
+	scrape := func() string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	// Publish health without running expiry: the stale worker must render as
+	// live 0 with its true heartbeat age.
+	c.publishWorkerHealth(clock.Now())
+	page := scrape()
+	for _, want := range []string{
+		"placercoord_build_info{",
+		`placercoord_worker_live{worker="w1"} 0`,
+		`placercoord_worker_live{worker="w2"} 1`,
+		`placercoord_worker_heartbeat_age_seconds{worker="w1"} 2`,
+		`placercoord_worker_heartbeat_age_seconds{worker="w2"} 0`,
+		`placercoord_worker_queue_depth{worker="w1"}`,
+		`placercoord_worker_running{worker="w2"}`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(page, `go="go`) {
+		t.Errorf("build info lacks a go= label:\n%s", page[:min(len(page), 400)])
+	}
+
+	// A full tick expires the stale worker: its series disappear and the
+	// fleet-wide live gauge drops to the single survivor.
+	c.Tick(clock.Now())
+	page = scrape()
+	if strings.Contains(page, `worker="w1"`) {
+		t.Errorf("expired worker w1 still exposed after tick")
+	}
+	for _, want := range []string{
+		`placercoord_worker_live{worker="w2"} 1`,
+		"placercoord_workers_live 1",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("post-tick /metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package placertop renders the placement-fleet dashboard: an
+// immediate-mode terminal UI over the coordinator's /v1/fleet/overview
+// document and the NDJSON trajectory streams. Every frame is rebuilt from a
+// Snapshot into a fixed-size cell buffer and rendered either as an ANSI
+// escape sequence (full-redraw, alternate screen friendly) or as plain text
+// (headless -once mode, golden tests). Rendering is deliberately
+// deterministic: the same Snapshot and terminal size always produce the
+// same bytes, so frames can be golden-tested and replays are bit-stable.
+package placertop
+
+import "strings"
+
+// Style selects one of the dashboard's fixed SGR palettes. The palette is
+// small on purpose: frames stay diffable and golden tests stay readable.
+type Style uint8
+
+const (
+	SDefault Style = iota // terminal default
+	SDim                  // de-emphasised chrome (borders, footers)
+	STitle                // bold cyan: box titles, the header bar
+	SGood                 // green: live workers, done jobs
+	SWarn                 // yellow: queued/pending, near-limit gauges
+	SBad                  // bold red: dead workers, failures, alerts
+	SAccent               // magenta: sparklines and chart ink
+)
+
+// sgr maps a Style onto its Select-Graphic-Rendition parameter string. The
+// leading 0 resets the previous run so styles never bleed.
+var sgr = [...]string{
+	SDefault: "0",
+	SDim:     "0;2",
+	STitle:   "0;1;36",
+	SGood:    "0;32",
+	SWarn:    "0;33",
+	SBad:     "0;1;31",
+	SAccent:  "0;35",
+}
+
+type cell struct {
+	r rune
+	s Style
+}
+
+// Frame is a fixed-size cell buffer. (0,0) is the top-left corner; writes
+// outside the bounds are clipped, so layout code never needs to guard.
+type Frame struct {
+	W, H  int
+	cells []cell
+}
+
+// NewFrame returns a w×h frame of spaces in the default style.
+func NewFrame(w, h int) *Frame {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	f := &Frame{W: w, H: h, cells: make([]cell, w*h)}
+	for i := range f.cells {
+		f.cells[i].r = ' '
+	}
+	return f
+}
+
+// Set writes one cell, clipping silently outside the frame.
+func (f *Frame) Set(x, y int, r rune, s Style) {
+	if x < 0 || y < 0 || x >= f.W || y >= f.H {
+		return
+	}
+	f.cells[y*f.W+x] = cell{r: r, s: s}
+}
+
+// Text writes a string left-to-right from (x,y), clipping at the right
+// edge, and returns the x position after the last rune written.
+func (f *Frame) Text(x, y int, s string, st Style) int {
+	for _, r := range s {
+		f.Set(x, y, r, st)
+		x++
+	}
+	return x
+}
+
+// TextRight writes a string so its last rune lands on column x2.
+func (f *Frame) TextRight(x2, y int, s string, st Style) {
+	n := 0
+	for range s {
+		n++
+	}
+	f.Text(x2-n+1, y, s, st)
+}
+
+// Box draws a light box-drawing border for the rectangle at (x,y) with the
+// given outer size, embedding the title into the top border. Interior cells
+// are untouched so content can be drawn before or after the border.
+func (f *Frame) Box(x, y, w, h int, title string, st Style) {
+	if w < 2 || h < 2 {
+		return
+	}
+	f.Set(x, y, '┌', st)
+	f.Set(x+w-1, y, '┐', st)
+	f.Set(x, y+h-1, '└', st)
+	f.Set(x+w-1, y+h-1, '┘', st)
+	for i := 1; i < w-1; i++ {
+		f.Set(x+i, y, '─', st)
+		f.Set(x+i, y+h-1, '─', st)
+	}
+	for j := 1; j < h-1; j++ {
+		f.Set(x, y+j, '│', st)
+		f.Set(x+w-1, y+j, '│', st)
+	}
+	if title != "" {
+		f.Text(x+2, y, " "+title+" ", STitle)
+	}
+}
+
+// ANSI renders the frame as one full-redraw escape sequence: home the
+// cursor, repaint every row with minimal SGR transitions, reset at the end.
+// Full redraw (rather than diffing) keeps the output a pure function of the
+// frame — exactly what the golden tests and the replay mode need.
+func (f *Frame) ANSI() string {
+	var b strings.Builder
+	b.Grow(f.W*f.H + 256)
+	b.WriteString("\x1b[H")
+	cur := SDefault
+	b.WriteString("\x1b[0m")
+	for y := 0; y < f.H; y++ {
+		if y > 0 {
+			b.WriteString("\r\n")
+		}
+		for x := 0; x < f.W; x++ {
+			c := f.cells[y*f.W+x]
+			if c.s != cur {
+				b.WriteString("\x1b[")
+				b.WriteString(sgr[c.s])
+				b.WriteString("m")
+				cur = c.s
+			}
+			b.WriteRune(c.r)
+		}
+	}
+	b.WriteString("\x1b[0m")
+	return b.String()
+}
+
+// Plain renders the frame as styleless text, one line per row with
+// trailing spaces trimmed — the -once snapshot output and the form most
+// golden tests assert against.
+func (f *Frame) Plain() string {
+	var b strings.Builder
+	for y := 0; y < f.H; y++ {
+		end := f.W
+		for end > 0 && f.cells[y*f.W+end-1].r == ' ' {
+			end--
+		}
+		for x := 0; x < end; x++ {
+			b.WriteRune(f.cells[y*f.W+x].r)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,169 @@
+package placertop
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// sparkRunes are the eight block glyphs a sparkline or chart column is
+// quantised onto, lowest to highest.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline compresses a series into one row of block glyphs, width cells
+// wide. The most recent values win when the series is longer than the
+// width; shorter series are left-padded with spaces so the line stays
+// right-aligned against its newest point. A flat series renders mid-height
+// rather than collapsing to the floor.
+func Sparkline(vals []float64, width int) string {
+	if width <= 0 {
+		return ""
+	}
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for i := 0; i < width-len(vals); i++ {
+		b.WriteByte(' ')
+	}
+	for _, v := range vals {
+		idx := len(sparkRunes) / 2
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[clampInt(idx, 0, len(sparkRunes)-1)])
+	}
+	return b.String()
+}
+
+// Bar renders a horizontal gauge of the given width: '█' for the filled
+// fraction, '·' for the rest. frac is clamped to [0,1]; any non-zero
+// fraction shows at least one filled cell so load is never invisible.
+func Bar(frac float64, width int) string {
+	if width <= 0 {
+		return ""
+	}
+	if math.IsNaN(frac) {
+		frac = 0
+	}
+	frac = math.Max(0, math.Min(1, frac))
+	fill := int(math.Round(frac * float64(width)))
+	if frac > 0 && fill == 0 {
+		fill = 1
+	}
+	return strings.Repeat("█", fill) + strings.Repeat("·", width-fill)
+}
+
+// Chart renders a series as a w×h column chart, one string per row, top
+// row first. Columns are min-max scaled; partial cell tops use the block
+// glyphs so adjacent values stay distinguishable even on shallow charts.
+// The newest values win when the series is wider than the chart.
+func Chart(vals []float64, w, h int) []string {
+	rows := make([]string, h)
+	if w <= 0 || h <= 0 {
+		return rows
+	}
+	if len(vals) > w {
+		vals = vals[len(vals)-w:]
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	// eighths of cell height per column, 0..h*8
+	levels := make([]int, len(vals))
+	for i, v := range vals {
+		frac := 0.5
+		if hi > lo {
+			frac = (v - lo) / (hi - lo)
+		}
+		levels[i] = clampInt(int(math.Round(frac*float64(h*8-1)))+1, 1, h*8)
+	}
+	pad := w - len(vals)
+	for y := 0; y < h; y++ {
+		var b strings.Builder
+		floor := (h - 1 - y) * 8 // eighths below this row
+		for i := 0; i < pad; i++ {
+			b.WriteByte(' ')
+		}
+		for _, lv := range levels {
+			switch {
+			case lv >= floor+8:
+				b.WriteRune('█')
+			case lv <= floor:
+				b.WriteByte(' ')
+			default:
+				b.WriteRune(sparkRunes[lv-floor-1])
+			}
+		}
+		rows[y] = b.String()
+	}
+	return rows
+}
+
+// fmtSI renders a value with an SI magnitude suffix in at most 5 runes
+// ("987", "1.23k", "45.6M") — tight enough for dashboard columns.
+func fmtSI(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return trimSI(v/1e9) + "G"
+	case av >= 1e6:
+		return trimSI(v/1e6) + "M"
+	case av >= 1e3:
+		return trimSI(v/1e3) + "k"
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return strings.TrimSuffix(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+	case av == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func trimSI(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	if len(s) > 4 {
+		s = fmt.Sprintf("%.1f", v)
+	}
+	if len(s) > 4 {
+		s = fmt.Sprintf("%.0f", v)
+	}
+	return s
+}
+
+// fmtAge renders a duration as a short age ("0.2s", "45s", "2m03s", "1h12m").
+func fmtAge(d time.Duration) string {
+	if d < 0 {
+		d = 0
+	}
+	switch {
+	case d < 10*time.Second:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	case d < time.Minute:
+		return fmt.Sprintf("%ds", int(d.Seconds()))
+	case d < time.Hour:
+		return fmt.Sprintf("%dm%02ds", int(d.Minutes()), int(d.Seconds())%60)
+	default:
+		return fmt.Sprintf("%dh%02dm", int(d.Hours()), int(d.Minutes())%60)
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,145 @@
+package placertop
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if s != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp sparkline = %q", s)
+	}
+	if got := Sparkline([]float64{1, 2}, 5); got != "   ▁█" {
+		t.Errorf("short series not right-aligned: %q", got)
+	}
+	// Longer than width: newest values win.
+	if got := Sparkline([]float64{9, 9, 9, 0, 8}, 2); got != "▁█" {
+		t.Errorf("tail window = %q", got)
+	}
+	// Flat series renders mid-height, not floor.
+	if got := Sparkline([]float64{5, 5, 5}, 3); got != "▅▅▅" {
+		t.Errorf("flat series = %q", got)
+	}
+	if Sparkline(nil, 0) != "" {
+		t.Error("zero width must be empty")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 10); got != "█████·····" {
+		t.Errorf("half bar = %q", got)
+	}
+	if got := Bar(0, 4); got != "····" {
+		t.Errorf("empty bar = %q", got)
+	}
+	if got := Bar(1.7, 4); got != "████" {
+		t.Errorf("clamped bar = %q", got)
+	}
+	// Tiny non-zero load must stay visible.
+	if got := Bar(0.001, 8); !strings.HasPrefix(got, "█") {
+		t.Errorf("tiny load invisible: %q", got)
+	}
+}
+
+func TestChartShape(t *testing.T) {
+	vals := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	rows := Chart(vals, 10, 4)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for i, r := range rows {
+		if n := len([]rune(r)); n != 10 {
+			t.Errorf("row %d width = %d, want 10 (%q)", i, n, r)
+		}
+	}
+	// The max value fills the full height; the min only touches the bottom.
+	if !strings.HasSuffix(rows[0], "█") {
+		t.Errorf("top row must end with a full block: %q", rows[0])
+	}
+	if strings.TrimLeft(rows[0][:3], " ") != "" && rows[0][0] != ' ' {
+		t.Errorf("low values must not reach the top row: %q", rows[0])
+	}
+	// Determinism: same input, same rows.
+	again := Chart(vals, 10, 4)
+	for i := range rows {
+		if rows[i] != again[i] {
+			t.Fatalf("chart not deterministic at row %d", i)
+		}
+	}
+}
+
+func TestFmtSI(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		987:    "987",
+		1234:   "1.23k",
+		45.6e6: "45.6M",
+		1.16e6: "1.16M",
+		2.5e9:  "2.50G",
+		0.123:  "0.123",
+		3.5:    "3.5",
+		-2000:  "-2.0k",
+	}
+	for in, want := range cases {
+		if got := fmtSI(in); got != want {
+			t.Errorf("fmtSI(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFmtAge(t *testing.T) {
+	cases := map[time.Duration]string{
+		200 * time.Millisecond:        "0.2s",
+		45 * time.Second:              "45s",
+		2*time.Minute + 3*time.Second: "2m03s",
+		90 * time.Minute:              "1h30m",
+		-time.Second:                  "0.0s",
+	}
+	for in, want := range cases {
+		if got := fmtAge(in); got != want {
+			t.Errorf("fmtAge(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPad(t *testing.T) {
+	if got := pad("ab", 4); got != "ab  " {
+		t.Errorf("pad = %q", got)
+	}
+	if got := pad("abcdef", 4); got != "abc…" {
+		t.Errorf("truncation = %q", got)
+	}
+}
+
+func TestFrameClippingAndPlain(t *testing.T) {
+	f := NewFrame(5, 2)
+	f.Text(3, 0, "abcdef", SDefault) // clips at right edge
+	f.Set(-1, 5, 'x', SDefault)      // out of bounds: ignored
+	got := f.Plain()
+	if got != "   ab\n\n" {
+		t.Errorf("Plain = %q", got)
+	}
+}
+
+func TestReplayStateTransport(t *testing.T) {
+	st := &ReplayState{Points: mustLoadFixture(t), Speed: 5}
+	st.Step()
+	if st.Pos != 5 {
+		t.Errorf("Pos after step = %d, want 5", st.Pos)
+	}
+	st.Paused = true
+	st.Step()
+	if st.Pos != 5 {
+		t.Errorf("paused step moved playhead to %d", st.Pos)
+	}
+	st.Advance(-100)
+	if st.Pos != 0 {
+		t.Errorf("rewind clamp = %d", st.Pos)
+	}
+	st.Advance(1 << 20)
+	if st.Pos != len(st.Points) {
+		t.Errorf("forward clamp = %d, want %d", st.Pos, len(st.Points))
+	}
+}

@@ -160,6 +160,45 @@ func readTrajectoryStream(t *testing.T, body io.Reader) []JobTrajectoryPoint {
 	return pts
 }
 
+// nonFlusher hides the recorder's Flush method. Wrapping middleware (and
+// writers behind buffering proxies) may hand the trajectory handler a
+// ResponseWriter that does not implement http.Flusher; the stream must
+// degrade to plain buffered writes instead of panicking on a nil interface.
+type nonFlusher struct{ http.ResponseWriter }
+
+// TestStreamTrajectoryWithoutFlusher serves a finished job's trajectory to
+// a non-Flusher ResponseWriter and checks the complete, strictly ascending
+// point stream still arrives.
+func TestStreamTrajectoryWithoutFlusher(t *testing.T) {
+	_, m := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	h := NewHandler(m)
+	v, err := m.Submit(synthSpec(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, v.ID, StateDone)
+
+	if _, ok := any(httptest.NewRecorder()).(http.Flusher); !ok {
+		t.Fatal("test premise broken: ResponseRecorder no longer implements Flusher")
+	}
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+v.ID+"/trajectory", nil)
+	h.ServeHTTP(nonFlusher{rec}, req)
+
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stream status = %d, want 200 (body %q)", rec.Code, rec.Body.String())
+	}
+	pts := readTrajectoryStream(t, rec.Body)
+	if len(pts) == 0 {
+		t.Fatal("no points streamed through non-Flusher writer")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Iter <= pts[i-1].Iter {
+			t.Fatalf("points not strictly ascending at %d: %d then %d", i, pts[i-1].Iter, pts[i].Iter)
+		}
+	}
+}
+
 // TestStreamTrajectoryFinishedJob: streaming a done job returns the whole
 // buffer and terminates without waiting.
 func TestStreamTrajectoryFinishedJob(t *testing.T) {
@@ -378,6 +417,9 @@ func TestHandlerHealthAndMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, want := range []string{
+		"# TYPE placerd_build_info gauge",
+		"placerd_build_info{",
+		`go="go`,
 		"placerd_jobs_submitted_total",
 		"placerd_queue_depth",
 		"placerd_gp_iterations_total",

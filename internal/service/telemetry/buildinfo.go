@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// buildInfo is resolved once per process: module version and VCS revision
+// from the embedded build metadata (when the binary was built from a module
+// checkout) plus the Go toolchain version.
+var (
+	buildInfoOnce sync.Once
+	buildVersion  string
+	buildRevision string
+	buildGo       string
+)
+
+func readBuildInfo() (version, revision, goVersion string) {
+	buildInfoOnce.Do(func() {
+		buildVersion, buildGo = "unknown", runtime.Version()
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" {
+			buildVersion = bi.Main.Version
+		}
+		if bi.GoVersion != "" {
+			buildGo = bi.GoVersion
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				buildRevision = s.Value
+			}
+		}
+	})
+	return buildVersion, buildRevision, buildGo
+}
+
+// WriteBuildInfo renders the <prefix>_build_info gauge in the Prometheus
+// "info metric" idiom: constant value 1, the interesting facts in labels, so
+// dashboards can join any series against the version that produced it.
+func WriteBuildInfo(w io.Writer, prefix string) {
+	version, revision, goVersion := readBuildInfo()
+	name := prefix + "_build_info"
+	fmt.Fprintf(w, "# HELP %s Build metadata: constant 1 with version labels.\n# TYPE %s gauge\n", name, name)
+	var labels strings.Builder
+	fmt.Fprintf(&labels, "version=%q,go=%q", version, goVersion)
+	if revision != "" {
+		fmt.Fprintf(&labels, ",revision=%q", revision)
+	}
+	fmt.Fprintf(w, "%s{%s} 1\n", name, labels.String())
+}

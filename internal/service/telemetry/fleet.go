@@ -3,7 +3,20 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"sort"
+	"sync"
 )
+
+// WorkerHealth is one worker's liveness row for the per-worker metric
+// series: how stale its last heartbeat is, whether it is still within the
+// registry TTL, and its last reported load.
+type WorkerHealth struct {
+	ID         string
+	AgeSeconds float64
+	Live       bool
+	QueueDepth int
+	Running    int
+}
 
 // FleetCollector aggregates the placement coordinator's metrics: admission
 // decisions, routing outcomes (affinity hits, steals, re-routes), worker
@@ -31,6 +44,13 @@ type FleetCollector struct {
 	// SubmitSeconds is the coordinator-side latency of placing one job on a
 	// worker (admission through worker 202).
 	SubmitSeconds *Histogram
+
+	// workers is the latest per-worker health snapshot, refreshed by the
+	// coordinator's maintenance tick and rendered as labeled gauges so
+	// per-worker liveness is visible on /metrics directly, not just
+	// inferable from TTL expiry side effects.
+	workersMu sync.Mutex
+	workers   []WorkerHealth
 }
 
 // NewFleetCollector returns a FleetCollector with default buckets.
@@ -40,9 +60,20 @@ func NewFleetCollector() *FleetCollector {
 	}
 }
 
+// SetWorkerHealth replaces the per-worker health snapshot (sorted by ID for
+// a stable exposition order).
+func (c *FleetCollector) SetWorkerHealth(ws []WorkerHealth) {
+	cp := append([]WorkerHealth(nil), ws...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].ID < cp[j].ID })
+	c.workersMu.Lock()
+	c.workers = cp
+	c.workersMu.Unlock()
+}
+
 // WritePrometheus renders the fleet metrics in the Prometheus text
 // exposition format (version 0.0.4).
 func (c *FleetCollector) WritePrometheus(w io.Writer) {
+	WriteBuildInfo(w, "placercoord")
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -60,6 +91,35 @@ func (c *FleetCollector) WritePrometheus(w io.Writer) {
 	counter("placercoord_heartbeats_total", "Worker heartbeat reports received.", c.Heartbeats.Value())
 	gauge("placercoord_workers_live", "Workers currently within their heartbeat TTL.", c.WorkersLive.Value())
 	gauge("placercoord_jobs_pending", "Admitted jobs waiting for fleet capacity.", c.JobsPending.Value())
+
+	c.workersMu.Lock()
+	workers := c.workers
+	c.workersMu.Unlock()
+	if len(workers) > 0 {
+		labeled := func(name, help, kind string, value func(WorkerHealth) string) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+			for _, wh := range workers {
+				fmt.Fprintf(w, "%s{worker=%q} %s\n", name, wh.ID, value(wh))
+			}
+		}
+		labeled("placercoord_worker_heartbeat_age_seconds",
+			"Seconds since each worker's last heartbeat.", "gauge",
+			func(wh WorkerHealth) string { return formatFloat(wh.AgeSeconds) })
+		labeled("placercoord_worker_live",
+			"Whether each worker is within its heartbeat TTL (1 = live).", "gauge",
+			func(wh WorkerHealth) string {
+				if wh.Live {
+					return "1"
+				}
+				return "0"
+			})
+		labeled("placercoord_worker_queue_depth",
+			"Each worker's last reported queue depth.", "gauge",
+			func(wh WorkerHealth) string { return fmt.Sprintf("%d", wh.QueueDepth) })
+		labeled("placercoord_worker_running",
+			"Each worker's last reported running-job count.", "gauge",
+			func(wh WorkerHealth) string { return fmt.Sprintf("%d", wh.Running) })
+	}
 
 	fmt.Fprintf(w, "# HELP placercoord_submit_seconds Coordinator-side submit-to-assignment latency.\n")
 	fmt.Fprintf(w, "# TYPE placercoord_submit_seconds histogram\n")

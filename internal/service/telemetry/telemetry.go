@@ -183,6 +183,7 @@ func (c *Collector) ObservePhase(phase string, seconds float64) {
 // WritePrometheus renders every metric in the Prometheus text exposition
 // format (version 0.0.4).
 func (c *Collector) WritePrometheus(w io.Writer) {
+	WriteBuildInfo(w, "placerd")
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}

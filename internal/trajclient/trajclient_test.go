@@ -1,0 +1,241 @@
+package trajclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// writePoints renders NDJSON trajectory lines for iterations [from, to).
+func writePoints(w http.ResponseWriter, from, to int) {
+	for i := from; i < to; i++ {
+		fmt.Fprintf(w, `{"iter":%d,"overflow":%g,"hpwl":%g,"objective":0,"param":0,"lambda":0}`+"\n",
+			i, 1.0/float64(i+1), 1e6-float64(i)*1000)
+	}
+}
+
+// dropConn abruptly severs the client connection (no clean chunked EOF), so
+// the client observes a transport error rather than end-of-stream.
+func dropConn(t *testing.T, w http.ResponseWriter) {
+	t.Helper()
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		t.Fatal("test server does not support hijacking")
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+}
+
+// TestStreamResumesAfterDrop is the reconnect contract: the connection dies
+// mid-stream (after a half-written line, even) and the client resumes with
+// ?after=<last delivered>, ending up with exactly-once, strictly ascending
+// points.
+func TestStreamResumesAfterDrop(t *testing.T) {
+	var calls atomic.Int32
+	var afterSeen atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		after, err := strconv.Atoi(r.URL.Query().Get("after"))
+		if err != nil {
+			t.Errorf("bad after param: %v", err)
+		}
+		switch calls.Add(1) {
+		case 1:
+			if after != -1 {
+				t.Errorf("first connect after = %d, want -1", after)
+			}
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			writePoints(w, 0, 3)
+			// Half-written line: the decoder must treat it as a transport
+			// error, not deliver a mangled point.
+			fmt.Fprintf(w, `{"iter":3,"hp`)
+			w.(http.Flusher).Flush()
+			dropConn(t, w)
+		default:
+			afterSeen.Store(int32(after))
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			// Deliberately replay an already-delivered point (a proxied
+			// worker might): the client must drop it.
+			writePoints(w, after, 6)
+		}
+	}))
+	defer srv.Close()
+
+	c := &Client{Base: srv.URL, BackoffMin: time.Millisecond, BackoffMax: 5 * time.Millisecond}
+	var got []int
+	err := c.Stream(context.Background(), "job-1", -1, func(p Point) error {
+		got = append(got, p.Iter)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	if calls.Load() < 2 {
+		t.Fatalf("server saw %d connections, want >= 2 (a reconnect)", calls.Load())
+	}
+	if afterSeen.Load() != 2 {
+		t.Errorf("reconnect used after=%d, want 2 (last fully delivered iter)", afterSeen.Load())
+	}
+	want := []int{0, 1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	for i, iter := range got {
+		if iter != want[i] {
+			t.Fatalf("delivered %v, want %v", got, want)
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("iterations not strictly ascending: %v", got)
+		}
+	}
+}
+
+// TestStreamRetryableStatusThenSuccess: a 409 (job pending at the
+// coordinator, no worker yet) is retried, not fatal.
+func TestStreamRetryableStatusThenSuccess(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, `{"error":"job has no worker yet (pending)"}`, http.StatusConflict)
+			return
+		}
+		writePoints(w, 0, 3)
+	}))
+	defer srv.Close()
+
+	retries := 0
+	c := &Client{
+		Base: srv.URL, BackoffMin: time.Millisecond, BackoffMax: time.Millisecond,
+		OnRetry: func(jobID string, attempt int, wait time.Duration, err error) { retries++ },
+	}
+	n := 0
+	if err := c.Stream(context.Background(), "job-1", -1, func(Point) error { n++; return nil }); err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	if n != 3 {
+		t.Errorf("delivered %d points, want 3", n)
+	}
+	if retries == 0 {
+		t.Error("OnRetry never fired for the 409")
+	}
+}
+
+// TestStreamNotFoundIsPermanent: 404 fails immediately, no retry storm.
+func TestStreamNotFoundIsPermanent(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"unknown job"}`, http.StatusNotFound)
+	}))
+	defer srv.Close()
+
+	c := &Client{Base: srv.URL, BackoffMin: time.Millisecond}
+	err := c.Stream(context.Background(), "job-404", -1, func(Point) error { return nil })
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Stream err = %v, want ErrNotFound", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("server saw %d requests, want 1 (no retries on 404)", calls.Load())
+	}
+}
+
+// TestStreamRetryBudgetExhausted: a server that always drops eventually
+// exhausts MaxAttempts and surfaces the transport error.
+func TestStreamRetryBudgetExhausted(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+
+	c := &Client{Base: srv.URL, BackoffMin: time.Millisecond, BackoffMax: time.Millisecond, MaxAttempts: 3}
+	err := c.Stream(context.Background(), "job-1", -1, func(Point) error { return nil })
+	if err == nil {
+		t.Fatal("Stream succeeded against an always-502 server")
+	}
+}
+
+// TestStreamSinkStopAndError: Stop ends the stream cleanly; any other sink
+// error is returned as-is without reconnecting.
+func TestStreamSinkStopAndError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writePoints(w, 0, 10)
+	}))
+	defer srv.Close()
+
+	c := &Client{Base: srv.URL, BackoffMin: time.Millisecond}
+	n := 0
+	err := c.Stream(context.Background(), "job-1", -1, func(p Point) error {
+		n++
+		if p.Iter == 2 {
+			return Stop
+		}
+		return nil
+	})
+	if err != nil || n != 3 {
+		t.Fatalf("Stop: err = %v after %d points, want nil after 3", err, n)
+	}
+
+	boom := errors.New("sink exploded")
+	err = c.Stream(context.Background(), "job-1", -1, func(p Point) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("sink error = %v, want %v", err, boom)
+	}
+}
+
+// TestStreamContextCancel: cancellation wins over an endless follow.
+func TestStreamContextCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writePoints(w, 0, 1)
+		w.(http.Flusher).Flush()
+		<-r.Context().Done() // hold the stream open until the client goes away
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Client{Base: srv.URL, BackoffMin: time.Millisecond}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- c.Stream(ctx, "job-1", -1, func(Point) error { return nil })
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Stream err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stream did not return after cancellation")
+	}
+}
+
+// TestFetch: one-shot snapshot honors after and does not follow.
+func TestFetch(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("follow") != "false" {
+			t.Errorf("Fetch must pass follow=false, got %q", r.URL.RawQuery)
+		}
+		after, _ := strconv.Atoi(r.URL.Query().Get("after"))
+		writePoints(w, after+1, 8)
+	}))
+	defer srv.Close()
+
+	c := &Client{Base: srv.URL}
+	pts, err := c.Fetch(context.Background(), "job-1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 || pts[0].Iter != 5 || pts[2].Iter != 7 {
+		t.Fatalf("Fetch after=4 = %+v, want iters 5..7", pts)
+	}
+}
