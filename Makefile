@@ -1,9 +1,9 @@
 # Standard verify entrypoint: `make check` is what CI (and humans) run.
 GO ?= go
 # Each PR writes its own trajectory file so earlier ones stay comparable.
-BENCH ?= BENCH_PR8.json
+BENCH ?= BENCH_PR10.json
 
-.PHONY: check fmt vet build test race fuzz-seeds fuzz bench cover placerd trace-demo fleet-demo placertop-demo golden
+.PHONY: check fmt vet build test race fuzz-seeds fuzz bench cover placerd trace-demo fleet-demo chaos-demo placertop-demo golden
 
 check: fmt vet build test race fuzz-seeds
 
@@ -28,16 +28,17 @@ test:
 # (worker pool, density pipeline, wirelength reduction) must be clean under
 # the race detector; the placer/density/wirelength suites include the
 # parallel-vs-serial equivalence tests, the service suite includes the
-# kill-and-recover, panic-isolation, and cache-hit tests, and the
-# ecocache/netlist suites cover the concurrent cache and content hashing the
-# ECO fast path keys on.
+# kill-and-recover, panic-isolation, and cache-hit tests, the fleet suite
+# includes the journal crash-recovery and cancel-vs-dispatch race tests, and
+# the ecocache/netlist suites cover the concurrent cache and content hashing
+# the ECO fast path keys on.
 race:
 	$(GO) test -race ./internal/service/... ./internal/placer/... \
 		./internal/checkpoint/... ./internal/density/... \
 		./internal/wirelength/... ./internal/parallel/... \
 		./internal/obs/... ./internal/guard/... ./internal/faultinject/... \
-		./internal/fleet/... ./internal/ecocache/... ./internal/netlist/... \
-		./internal/trajclient/... ./internal/placertop/...
+		./internal/fleet/... ./internal/chaos/... ./internal/ecocache/... \
+		./internal/netlist/... ./internal/trajclient/... ./internal/placertop/...
 
 # fuzz-seeds replays the fuzz seed corpora as regular tests (regression
 # mode, no exploration) so `make check` keeps the known-hostile Bookshelf
@@ -111,6 +112,47 @@ fleet-demo:
 	rc=$$?; \
 	kill $$(cat /tmp/fleet-demo/a.pid /tmp/fleet-demo/b.pid /tmp/fleet-demo/coord.pid) 2>/dev/null; \
 	rm -rf /tmp/fleet-demo; \
+	exit $$rc
+
+# chaos-demo is the crash-recovery smoke: a journaled coordinator fronting
+# two durable workers takes a placerload batch with fault injection on
+# (-chaos) while the coordinator is kill -9'd mid-load and restarted on the
+# same journal. The workers re-register through agent backoff, the journal
+# replay re-adopts their jobs, and placerload -require-all-done exits
+# non-zero if even one accepted job failed to reach "done" — the zero-loss
+# assertion. The report lands in $(BENCH) under "fleet_load.chaos".
+chaos-demo:
+	$(GO) build -o bin/placercoord ./cmd/placercoord
+	$(GO) build -o bin/placerd ./cmd/placerd
+	$(GO) build -o bin/placerload ./cmd/placerload
+	@rm -rf /tmp/chaos-demo && mkdir -p /tmp/chaos-demo/a /tmp/chaos-demo/b
+	@./bin/placercoord -addr 127.0.0.1:7879 -journal /tmp/chaos-demo/journal \
+		& echo $$! > /tmp/chaos-demo/coord.pid; \
+	sleep 0.3; \
+	./bin/placerd -addr 127.0.0.1:8083 -coordinator http://127.0.0.1:7879 \
+		-node-id chaos-a -advertise http://127.0.0.1:8083 \
+		-data-dir /tmp/chaos-demo/a -resume-root /tmp/chaos-demo & echo $$! > /tmp/chaos-demo/a.pid; \
+	./bin/placerd -addr 127.0.0.1:8084 -coordinator http://127.0.0.1:7879 \
+		-node-id chaos-b -advertise http://127.0.0.1:8084 \
+		-data-dir /tmp/chaos-demo/b -resume-root /tmp/chaos-demo & echo $$! > /tmp/chaos-demo/b.pid; \
+	sleep 1.5; \
+	./bin/placerload -coordinator http://127.0.0.1:7879 \
+		-jobs 12 -concurrency 4 -designs 12 -cells 500 -iters 800 \
+		-chaos -chaos-seed 7 -require-all-done -timeout 5m -out $(BENCH) \
+		& echo $$! > /tmp/chaos-demo/load.pid; \
+	sleep 2; \
+	echo "chaos-demo: kill -9 coordinator mid-load"; \
+	kill -9 $$(cat /tmp/chaos-demo/coord.pid) 2>/dev/null; \
+	sleep 2; \
+	echo "chaos-demo: restarting coordinator on the same journal"; \
+	./bin/placercoord -addr 127.0.0.1:7879 -journal /tmp/chaos-demo/journal \
+		& echo $$! > /tmp/chaos-demo/coord.pid; \
+	wait $$(cat /tmp/chaos-demo/load.pid); \
+	rc=$$?; \
+	kill $$(cat /tmp/chaos-demo/a.pid /tmp/chaos-demo/b.pid /tmp/chaos-demo/coord.pid) 2>/dev/null; \
+	rm -rf /tmp/chaos-demo; \
+	if [ $$rc -eq 0 ]; then echo "chaos-demo: zero job loss across coordinator kill"; \
+	else echo "chaos-demo: FAILED (rc=$$rc)"; fi; \
 	exit $$rc
 
 # placertop-demo boots the same two-worker fleet, submits a couple of jobs,

@@ -10,7 +10,13 @@
 //
 //	placercoord [-addr :7878] [-heartbeat-ttl 5s] [-tick 500ms]
 //	            [-pending 256] [-retention 1024] [-tenants tenants.json]
-//	            [-log-format text|json] [-log-level info]
+//	            [-journal ""] [-log-format text|json] [-log-level info]
+//
+// With -journal the coordinator keeps a crash-safe job journal at that path:
+// every accepted job is fsynced before the submit is acknowledged, and a
+// restarted coordinator replays the journal — re-adopting jobs still running
+// on live workers, re-routing assignments whose worker never returns, and
+// re-queueing anything unplaced — so kill -9 loses no accepted work.
 //
 // The -tenants file is a JSON document:
 //
@@ -68,6 +74,7 @@ func run(argv []string) error {
 		pending   = fs.Int("pending", 256, "admitted jobs held waiting for fleet capacity before 429")
 		retention = fs.Int("retention", 1024, "finished fleet jobs kept for inspection")
 		tenants   = fs.String("tenants", "", "tenant admission policy JSON file (empty admits everything)")
+		journal   = fs.String("journal", "", "crash-safe job journal path (empty keeps the job table in memory only)")
 		logFormat = fs.String("log-format", "text", "log encoding: text or json")
 		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn, error")
 	)
@@ -99,13 +106,18 @@ func run(argv []string) error {
 		return err
 	}
 
-	coord := fleet.NewCoordinator(fleet.Config{
+	coord, err := fleet.NewCoordinator(fleet.Config{
 		HeartbeatTTL: *ttl,
 		PendingLimit: *pending,
 		Retention:    *retention,
 		Admission:    adm,
 		Log:          logger,
+		JournalPath:  *journal,
 	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

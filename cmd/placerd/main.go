@@ -18,8 +18,10 @@
 // GET /jobs/{id}/trajectory, GET /v1/jobs/{id}/trajectory (NDJSON stream),
 // DELETE /jobs/{id} (?if=queued for steal-safe cancels), GET /stats,
 // GET /metrics, GET /healthz, GET /readyz.
-// SIGINT/SIGTERM drains gracefully: running jobs finish (up to -drain), then
-// remaining jobs are cancelled.
+// SIGINT/SIGTERM drains gracefully: the listener stops accepting, running
+// jobs finish (up to -drain), remaining jobs are checkpointed and cancelled,
+// and a fleet member deregisters from its coordinator so queued work
+// re-routes immediately instead of waiting out the heartbeat TTL.
 //
 // With -coordinator the daemon joins a fleet: it heartbeats its identity
 // (-node-id), advertised URL (-advertise), capacity report, and -data-dir to
@@ -152,6 +154,7 @@ func run(argv []string) error {
 	// Fleet membership: heartbeat the coordinator; ready only once it acks.
 	// Standalone daemons (no -coordinator) are ready as soon as they listen.
 	ready := func() bool { return true }
+	var agent *fleet.Agent
 	if *coordinator != "" {
 		id := *nodeID
 		host, _ := os.Hostname()
@@ -162,7 +165,7 @@ func run(argv []string) error {
 		if adv == "" {
 			adv = "http://" + host + *addr
 		}
-		agent := &fleet.Agent{
+		agent = &fleet.Agent{
 			Coordinator: *coordinator,
 			ID:          id,
 			URL:         adv,
@@ -222,6 +225,16 @@ func run(argv []string) error {
 	}
 	if err := mgr.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Warn("manager shutdown", "err", err)
+	}
+	// Deregister after the manager drain so every interrupted job has its
+	// checkpoint on disk before the coordinator starts re-routing; a fresh
+	// short context keeps a dead coordinator from stalling the exit.
+	if agent != nil {
+		byeCtx, byeCancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := agent.Deregister(byeCtx); err != nil {
+			logger.Warn("fleet deregister", "err", err)
+		}
+		byeCancel()
 	}
 	logger.Info("bye")
 	return nil

@@ -9,8 +9,10 @@
 //
 //	placerload -coordinator http://localhost:7878
 //	           [-jobs 32] [-concurrency 8] [-tenants default]
-//	           [-designs 4] [-cells 400] [-iters 60] [-out BENCH_PR8.json]
+//	           [-designs 4] [-cells 400] [-iters 60] [-out BENCH_PR10.json]
 //	           [-resubmit-ratio 0] [-soak 0]
+//	           [-chaos] [-chaos-seed 1] [-chaos-latency 25ms]
+//	           [-require-all-done]
 //
 // -designs controls how many distinct synthetic designs the job stream
 // cycles through: fewer designs than jobs means resubmissions, which is
@@ -27,6 +29,19 @@
 // warm start. The report then gains an "eco" section with cache-outcome
 // counts and warm-vs-cold latency percentiles.
 //
+// -chaos runs the whole load through a deterministic fault-injecting
+// transport (internal/chaos): periodic latency spikes, dropped connections,
+// and synthetic 500s on the harness↔coordinator path, seeded by -chaos-seed
+// so a failing schedule reproduces exactly. Every job then submits with an
+// idempotency key and retries transient failures with jittered backoff, so
+// however many submits reach the coordinator at most one job exists per
+// slot. The report gains a "chaos" section with injected-fault counts,
+// retry totals, and the tail latencies the faults produced.
+//
+// -require-all-done makes the harness exit non-zero unless every job slot
+// reached state "done" — the zero-job-loss assertion the chaos smoke test
+// (make chaos-demo) relies on after killing the coordinator mid-load.
+//
 // The output file is merged, not overwritten: placerload owns only the
 // top-level "fleet_load" key, so `make bench` results in the same file
 // survive.
@@ -39,6 +54,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
@@ -46,6 +62,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/fleet"
 	"repro/internal/fleet/client"
 	"repro/internal/service"
@@ -63,6 +80,7 @@ type jobResult struct {
 	latency  time.Duration
 	state    string
 	rejected int    // 429s absorbed before acceptance
+	retries  int    // transient submit retries under the idempotency key
 	cache    string // worker cache outcome: "hit", "near_hit", "miss", or ""
 	resubmit bool   // job was injected by the -resubmit-ratio stream
 	fleetID  string // coordinator job ID (parent handle for ECO children)
@@ -95,6 +113,22 @@ type loadReport struct {
 
 	Fleet fleet.Counters `json:"fleet_counters"`
 	Eco   *ecoReport     `json:"eco,omitempty"`
+	Chaos *chaosReport   `json:"chaos,omitempty"`
+}
+
+// chaosReport is the fault-injection section of the fleet_load document,
+// present when -chaos is on: what was injected, how hard the harness had to
+// retry, and what the faults did to the latency tail. Zero-loss recovery
+// shows up as Done == Jobs×rounds with SubmitRetries > 0 and the
+// coordinator's recovered/rerouted counters in fleet_counters.
+type chaosReport struct {
+	Seed          int64       `json:"seed"`
+	Transport     chaos.Stats `json:"transport"`
+	SubmitRetries int         `json:"submit_retries"`
+	// TailP99Ms/TailMaxMs duplicate the top-level p99/max for easy diffing
+	// against a fault-free run of the same shape.
+	TailP99Ms float64 `json:"tail_p99_ms"`
+	TailMaxMs float64 `json:"tail_max_ms"`
 }
 
 // ecoReport is the resubmission-traffic section of the fleet_load document,
@@ -170,8 +204,12 @@ func run(argv []string) error {
 		iters       = fs.Int("iters", 60, "GP iteration budget per job")
 		soak        = fs.Duration("soak", 0, "repeat rounds until this duration elapses (0 = one round)")
 		resubmit    = fs.Float64("resubmit-ratio", 0, "fraction of jobs re-sent as cache resubmissions (alternating exact duplicates and perturbed ECO children)")
-		out         = fs.String("out", "BENCH_PR8.json", "bench JSON file to merge the fleet_load report into")
+		out         = fs.String("out", "BENCH_PR10.json", "bench JSON file to merge the fleet_load report into")
 		timeout     = fs.Duration("timeout", 10*time.Minute, "overall harness deadline")
+		chaosOn     = fs.Bool("chaos", false, "inject deterministic faults (latency, drops, 500s) into the coordinator path")
+		chaosSeed   = fs.Int64("chaos-seed", 1, "fault-plan seed (same seed + same request sequence = same injections)")
+		chaosLat    = fs.Duration("chaos-latency", 25*time.Millisecond, "injected latency-spike size for -chaos")
+		requireAll  = fs.Bool("require-all-done", false, "exit non-zero unless every job reached state done (zero-loss assertion)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -187,12 +225,26 @@ func run(argv []string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	// The probe client stays fault-free even under -chaos: it is harness
+	// bookkeeping (worker discovery, final counters), not the traffic whose
+	// resilience is being measured.
 	probe := &client.Client{Base: *coordinator}
 	if st, err := probe.Fleet(ctx); err != nil {
 		return fmt.Errorf("coordinator unreachable: %w", err)
 	} else if len(st.Workers) == 0 {
 		return errors.New("fleet has no registered workers; start placerd with -coordinator first")
 	}
+
+	var tr *chaos.Transport
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	if *chaosOn {
+		tr = chaos.NewTransport(nil, *chaosSeed, 16, chaos.DefaultRules(*chaosLat)...)
+		httpc.Transport = tr
+		fmt.Fprintf(os.Stderr, "placerload: chaos on (seed %d, latency %s)\n", *chaosSeed, *chaosLat)
+	}
+	// Idempotency keys are namespaced by a per-run nonce so two harness runs
+	// against the same coordinator never dedupe each other's slots.
+	runID := time.Now().UnixNano()
 
 	var (
 		mu      sync.Mutex
@@ -203,7 +255,7 @@ func run(argv []string) error {
 	round := 0
 	for {
 		round++
-		runRound(ctx, *coordinator, tenantNames, *jobs, *concurrency, *designs, *cells, *iters, round, *resubmit, book, func(r jobResult) {
+		runRound(ctx, *coordinator, httpc, runID, tenantNames, *jobs, *concurrency, *designs, *cells, *iters, round, *resubmit, book, func(r jobResult) {
 			mu.Lock()
 			results = append(results, r)
 			mu.Unlock()
@@ -222,6 +274,19 @@ func run(argv []string) error {
 	}
 
 	rep := buildReport(results, wall, st.Counters, *resubmit)
+	if tr != nil {
+		retries := 0
+		for _, r := range results {
+			retries += r.retries
+		}
+		rep.Chaos = &chaosReport{
+			Seed:          *chaosSeed,
+			Transport:     tr.Stats(),
+			SubmitRetries: retries,
+			TailP99Ms:     rep.P99Ms,
+			TailMaxMs:     rep.MaxMs,
+		}
+	}
 	rep.Coordinator = *coordinator
 	rep.Jobs = *jobs
 	rep.Concurrency = *concurrency
@@ -243,6 +308,16 @@ func run(argv []string) error {
 			rep.Eco.Resubmitted, rep.Eco.Hits, rep.Eco.NearHits, rep.Eco.Misses,
 			rep.Eco.HitP50Ms, rep.Eco.WarmP50Ms, rep.Eco.ColdP50Ms, rep.Fleet.ParentRoutes)
 	}
+	if rep.Chaos != nil {
+		fmt.Printf("placerload: chaos injected %d (latency %d, drops %d, 500s %d) across %d requests | %d submit retries | recovered %d, rerouted %d\n",
+			rep.Chaos.Transport.Injected(), rep.Chaos.Transport.Latency, rep.Chaos.Transport.Drops,
+			rep.Chaos.Transport.HTTP500s, rep.Chaos.Transport.Requests, rep.Chaos.SubmitRetries,
+			rep.Fleet.Recovered, rep.Fleet.Rerouted)
+	}
+	if *requireAll && rep.Done != len(results) {
+		return fmt.Errorf("job loss: %d of %d slots reached done (%d failed, %d errors)",
+			rep.Done, len(results), rep.Failed, rep.Errors)
+	}
 	return nil
 }
 
@@ -253,7 +328,7 @@ func run(argv []string) error {
 // resubmission slots re-send the byte-identical spec (exact cache hit), odd
 // slots send an ECO child — the same design plus a small perturbation and
 // the parent's fleet job ID (near hit via warm start).
-func runRound(ctx context.Context, base string, tenants []string, jobs, concurrency, designs, cells, iters, round int, ratio float64, book *parentBook, record func(jobResult)) {
+func runRound(ctx context.Context, base string, httpc *http.Client, runID int64, tenants []string, jobs, concurrency, designs, cells, iters, round int, ratio float64, book *parentBook, record func(jobResult)) {
 	sem := make(chan struct{}, concurrency)
 	var wg sync.WaitGroup
 	for i := 0; i < jobs; i++ {
@@ -279,8 +354,13 @@ func runRound(ctx context.Context, base string, tenants []string, jobs, concurre
 					}
 				}
 			}
-			c := &client.Client{Base: base, Tenant: tenants[i%len(tenants)]}
-			r := oneJob(ctx, c, spec)
+			// A generous retry budget: the harness must ride out a
+			// coordinator kill/restart window, not just single blips.
+			c := &client.Client{Base: base, Tenant: tenants[i%len(tenants)], HTTP: httpc, Retries: 12}
+			// One key per (run, round, slot): stable across this slot's
+			// submit retries, unique across everything else.
+			key := fmt.Sprintf("load-%x-r%d-i%d", runID, round, i)
+			r := oneJob(ctx, c, spec, key)
 			r.resubmit = resub
 			record(r)
 			if !resub && r.err == nil && r.state == string(service.StateDone) {
@@ -307,30 +387,18 @@ func specFor(d, cells, iters int) service.JobSpec {
 	}
 }
 
-// oneJob submits one spec (absorbing 429 backpressure with the advertised
-// Retry-After) and waits for it to finish.
-func oneJob(ctx context.Context, c *client.Client, spec service.JobSpec) jobResult {
+// oneJob submits one spec under its idempotency key — absorbing 429
+// backpressure for the advertised Retry-After and retrying transient
+// failures (injected or real) with jittered backoff — then waits for it to
+// finish, tolerating transient poll failures the same way.
+func oneJob(ctx context.Context, c *client.Client, spec service.JobSpec, idemKey string) jobResult {
 	var res jobResult
 	start := time.Now()
-	var v fleet.JobView
-	for {
-		var err error
-		v, err = c.Submit(ctx, spec)
-		if err == nil {
-			break
-		}
-		var ra *client.RetryAfterError
-		if !errors.As(err, &ra) {
-			res.err = err
-			return res
-		}
-		res.rejected++
-		select {
-		case <-ctx.Done():
-			res.err = ctx.Err()
-			return res
-		case <-time.After(ra.After):
-		}
+	v, rejected, retries, err := c.SubmitRetry(ctx, spec, idemKey)
+	res.rejected, res.retries = rejected, retries
+	if err != nil {
+		res.err = err
+		return res
 	}
 	final, err := c.WaitTerminal(ctx, v.ID)
 	if err != nil {

@@ -1,0 +1,144 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// StopFunc tears one process instance down (kill -9 semantics: no drain).
+type StopFunc func()
+
+// StartFunc boots one process instance and returns its stopper.
+type StartFunc func() (StopFunc, error)
+
+// Orchestrator manages named restartable "processes" for chaos tests — in
+// practice closures that boot a coordinator or worker (httptest server +
+// state) and return how to kill it. Kill is abrupt by design: the stopper
+// should drop the process without flushing, so tests exercise the same
+// recovery paths a real kill -9 would.
+type Orchestrator struct {
+	mu    sync.Mutex
+	procs map[string]*proc
+}
+
+type proc struct {
+	start    StartFunc
+	stop     StopFunc
+	running  bool
+	restarts int
+}
+
+// NewOrchestrator returns an empty orchestrator.
+func NewOrchestrator() *Orchestrator {
+	return &Orchestrator{procs: make(map[string]*proc)}
+}
+
+// Register names a process and how to start it. Registering does not start
+// it; re-registering an existing name replaces its start function (the
+// running instance, if any, keeps its old stopper).
+func (o *Orchestrator) Register(name string, start StartFunc) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if p, ok := o.procs[name]; ok {
+		p.start = start
+		return
+	}
+	o.procs[name] = &proc{start: start}
+}
+
+// Start boots a registered, non-running process.
+func (o *Orchestrator) Start(name string) error {
+	o.mu.Lock()
+	p, ok := o.procs[name]
+	if !ok {
+		o.mu.Unlock()
+		return fmt.Errorf("chaos: unknown process %q", name)
+	}
+	if p.running {
+		o.mu.Unlock()
+		return fmt.Errorf("chaos: process %q already running", name)
+	}
+	start := p.start
+	o.mu.Unlock()
+
+	// Boot outside the lock: StartFuncs may take their time (journal replay,
+	// recovery) and other processes must stay killable meanwhile.
+	stop, err := start()
+	if err != nil {
+		return fmt.Errorf("chaos: start %q: %w", name, err)
+	}
+	o.mu.Lock()
+	p.stop, p.running = stop, true
+	o.mu.Unlock()
+	return nil
+}
+
+// Kill abruptly stops a running process. It reports whether anything was
+// actually killed (false for unknown or already-dead names, so tests can
+// kill unconditionally in cleanup).
+func (o *Orchestrator) Kill(name string) bool {
+	o.mu.Lock()
+	p, ok := o.procs[name]
+	if !ok || !p.running {
+		o.mu.Unlock()
+		return false
+	}
+	stop := p.stop
+	p.stop, p.running = nil, false
+	o.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+	return true
+}
+
+// Restart kills the process if running, then starts it again, bumping the
+// restart counter.
+func (o *Orchestrator) Restart(name string) error {
+	o.Kill(name)
+	if err := o.Start(name); err != nil {
+		return err
+	}
+	o.mu.Lock()
+	if p, ok := o.procs[name]; ok {
+		p.restarts++
+	}
+	o.mu.Unlock()
+	return nil
+}
+
+// Running reports whether the named process is up.
+func (o *Orchestrator) Running(name string) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	p, ok := o.procs[name]
+	return ok && p.running
+}
+
+// Restarts returns how many times the named process has been restarted.
+func (o *Orchestrator) Restarts(name string) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if p, ok := o.procs[name]; ok {
+		return p.restarts
+	}
+	return 0
+}
+
+// KillAll stops every running process, in deterministic name order, for
+// test cleanup.
+func (o *Orchestrator) KillAll() {
+	o.mu.Lock()
+	names := make([]string, 0, len(o.procs))
+	for name, p := range o.procs {
+		if p.running {
+			names = append(names, name)
+		}
+	}
+	o.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		o.Kill(name)
+	}
+}

@@ -64,13 +64,16 @@ var ErrInjected = errors.New("injected fault")
 
 // Fault schedules one Mode at one Site. It fires on the After+1-th through
 // After+Times-th visits to the site; Times <= 0 means exactly once, and
-// Forever makes it fire on every visit past After.
+// Forever makes it fire on every visit past After. Every > 0 switches to
+// periodic scheduling: the fault fires on every Every-th visit past After,
+// indefinitely (Times is ignored; Forever still wins).
 type Fault struct {
 	Site    Site
 	Mode    Mode
 	After   int  // visits to skip before firing
 	Times   int  // number of consecutive visits to fire on (<=0 means 1)
-	Forever bool // fire on every visit past After (overrides Times)
+	Every   int  // fire on every Every-th visit past After (periodic)
+	Forever bool // fire on every visit past After (overrides Times/Every)
 }
 
 // fires reports whether the fault fires on the visit-th arrival (1-based).
@@ -80,6 +83,9 @@ func (f Fault) fires(visit int) bool {
 	}
 	if f.Forever {
 		return true
+	}
+	if f.Every > 0 {
+		return (visit-f.After-1)%f.Every == 0
 	}
 	times := f.Times
 	if times <= 0 {
@@ -170,6 +176,8 @@ func (p *Plan) String() string {
 		switch {
 		case f.Forever:
 			reps = "forever"
+		case f.Every > 0:
+			reps = fmt.Sprintf("every%d", f.Every)
 		case f.Times > 1:
 			reps = fmt.Sprintf("x%d", f.Times)
 		}

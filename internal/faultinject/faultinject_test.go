@@ -3,6 +3,7 @@ package faultinject
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -114,5 +115,40 @@ func TestPlanConcurrentVisits(t *testing.T) {
 	wg.Wait()
 	if got := p.Visits(SiteCheckpointWrite); got != 800 {
 		t.Fatalf("Visits = %d, want 800", got)
+	}
+}
+
+func TestFaultEveryPeriodic(t *testing.T) {
+	p := NewPlan(Fault{Site: SiteServiceRun, Mode: ModeError, After: 2, Every: 3})
+	var fired []int
+	for v := 1; v <= 12; v++ {
+		if _, ok := p.Visit(SiteServiceRun); ok {
+			fired = append(fired, v)
+		}
+	}
+	// Past After=2, every 3rd visit: 3, 6, 9, 12.
+	want := []int{3, 6, 9, 12}
+	if len(fired) != len(want) {
+		t.Fatalf("fired on %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired on %v, want %v", fired, want)
+		}
+	}
+	if got := p.Fired(SiteServiceRun); got != 4 {
+		t.Errorf("Fired = %d, want 4", got)
+	}
+	if s := p.String(); !strings.Contains(s, "every3") {
+		t.Errorf("String() = %q, want every3 marker", s)
+	}
+}
+
+func TestFaultForeverOverridesEvery(t *testing.T) {
+	f := Fault{Site: SiteServiceRun, Mode: ModeError, Every: 5, Forever: true}
+	for v := 1; v <= 7; v++ {
+		if !f.fires(v) {
+			t.Fatalf("Forever fault skipped visit %d", v)
+		}
 	}
 }

@@ -177,6 +177,15 @@ func (a *Admission) Admit(tenant string) (time.Duration, error) {
 	return 0, nil
 }
 
+// Adopt re-occupies one in-flight slot without charging the tenant's rate
+// bucket or admission counters: journal recovery re-seating jobs that were
+// admitted by a previous coordinator incarnation.
+func (a *Admission) Adopt(tenant string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.state(tenant).inFlight++
+}
+
 // Release returns one in-flight slot to the tenant (its job reached a
 // terminal state or was never dispatched).
 func (a *Admission) Release(tenant string) {

@@ -5,7 +5,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
+	"net/url"
 	"sync/atomic"
 	"time"
 
@@ -45,8 +47,11 @@ type Agent struct {
 func (a *Agent) Registered() bool { return a.registered.Load() }
 
 // Run sends heartbeats until ctx ends. The first successful beat flips
-// Registered; any failed beat clears it (and is retried next interval, so a
-// coordinator restart heals without worker intervention).
+// Registered, and every beat re-registers, so a restarted coordinator heals
+// automatically on the next success. Failures back off with jittered
+// exponential delays (capped at 16× the interval) instead of hammering a
+// coordinator that is down or mid-restart; the first success snaps the
+// cadence back to the configured interval.
 func (a *Agent) Run(ctx context.Context) {
 	interval := a.Interval
 	if interval <= 0 {
@@ -56,22 +61,57 @@ func (a *Agent) Run(ctx context.Context) {
 	if client == nil {
 		client = &http.Client{Timeout: 5 * time.Second}
 	}
-	t := time.NewTicker(interval)
-	defer t.Stop()
+	backoff := NewBackoff(interval, 16*interval, rand.Int63())
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
 	for {
+		delay := interval
 		if err := a.beat(ctx, client); err != nil {
+			delay = backoff.Next()
 			if a.registered.Swap(false) {
-				a.Log.Warn("heartbeat failed, deregistered", "err", err)
+				a.Log.Warn("heartbeat failed, deregistered", "err", err, "retry_in", delay)
 			}
-		} else if !a.registered.Swap(true) {
-			a.Log.Info("registered with coordinator", "coordinator", a.Coordinator, "id", a.ID)
+		} else {
+			backoff.Reset()
+			if !a.registered.Swap(true) {
+				a.Log.Info("registered with coordinator", "coordinator", a.Coordinator, "id", a.ID)
+			}
 		}
+		timer.Reset(delay)
 		select {
 		case <-ctx.Done():
 			return
-		case <-t.C:
+		case <-timer.C:
 		}
 	}
+}
+
+// Deregister tells the coordinator this worker is draining: its registry
+// entry drops immediately and its jobs re-route (with resume pointers into
+// the drained checkpoints) without waiting out the heartbeat TTL. Called by
+// placerd after its manager finishes the shutdown drain; ctx bounds the
+// goodbye so a dead coordinator cannot stall the exit.
+func (a *Agent) Deregister(ctx context.Context) error {
+	client := a.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	a.registered.Store(false)
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		a.Coordinator+"/v1/workers/"+url.PathEscape(a.ID), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("fleet: deregister: %w", &StatusError{Code: resp.StatusCode})
+	}
+	a.Log.Info("deregistered from coordinator", "coordinator", a.Coordinator, "id", a.ID)
+	return nil
 }
 
 // beat posts one heartbeat.

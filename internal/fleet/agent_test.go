@@ -61,3 +61,36 @@ func TestAgentRegistersAndDeregisters(t *testing.T) {
 	down.Store(false)
 	wait("re-registration", a.Registered)
 }
+
+// TestAgentGracefulDeregister: the drain-time goodbye removes the worker
+// from the registry immediately (no TTL wait) and is idempotent — a second
+// Deregister hits 404 and still succeeds.
+func TestAgentGracefulDeregister(t *testing.T) {
+	clock := newFakeClock()
+	c := newTestCoordinator(t, clock, nil)
+	srv := httptest.NewServer(NewHandler(c))
+	defer srv.Close()
+
+	a := &Agent{Coordinator: srv.URL, ID: "w1", URL: "http://w1.example"}
+	if err := c.RecordHeartbeat(Heartbeat{ID: "w1", URL: "http://w1.example"}, clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Registry().Get("w1", clock.Now()); !ok {
+		t.Fatal("worker not registered")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := a.Deregister(ctx); err != nil {
+		t.Fatalf("Deregister: %v", err)
+	}
+	if _, ok := c.Registry().Get("w1", clock.Now()); ok {
+		t.Fatal("worker still registered after Deregister")
+	}
+	if a.Registered() {
+		t.Fatal("agent still reports registered")
+	}
+	if err := a.Deregister(ctx); err != nil {
+		t.Fatalf("second Deregister should tolerate 404: %v", err)
+	}
+}

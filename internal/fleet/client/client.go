@@ -43,6 +43,13 @@ type Client struct {
 	HTTP *http.Client
 	// Poll is the status poll interval for the wait helpers (default 100ms).
 	Poll time.Duration
+	// Retries bounds the transient-failure retries SubmitRetry makes beyond
+	// the first attempt (0: default 4). 429 pushback never counts against
+	// this budget — it is the coordinator pacing us, not failing.
+	Retries int
+	// Backoff is the base delay between transient retries (0: default 100ms),
+	// growing exponentially with ±25% jitter.
+	Backoff time.Duration
 }
 
 func (c *Client) http() *http.Client {
@@ -62,6 +69,15 @@ func (c *Client) poll() time.Duration {
 // Submit sends one job spec. A 429 returns *RetryAfterError so callers can
 // implement their own pacing; SubmitWait retries internally instead.
 func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (fleet.JobView, error) {
+	return c.SubmitIdem(ctx, spec, "")
+}
+
+// SubmitIdem submits with an idempotency key: the coordinator journals the
+// key with the accepted job, so a retried submit (same key) returns the
+// existing job instead of duplicating it — across coordinator restarts too.
+// An empty key degrades to a plain Submit. Non-429 HTTP failures wrap
+// *fleet.StatusError so fleet.Retryable can classify them.
+func (c *Client) SubmitIdem(ctx context.Context, spec service.JobSpec, idemKey string) (fleet.JobView, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return fleet.JobView{}, err
@@ -73,6 +89,9 @@ func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (fleet.JobVie
 	req.Header.Set("Content-Type", "application/json")
 	if c.Tenant != "" {
 		req.Header.Set("X-Tenant", c.Tenant)
+	}
+	if idemKey != "" {
+		req.Header.Set("X-Idempotency-Key", idemKey)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
@@ -89,7 +108,61 @@ func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (fleet.JobVie
 		msg := readError(resp.Body)
 		return fleet.JobView{}, &RetryAfterError{After: after, Status: resp.StatusCode, Msg: msg}
 	default:
-		return fleet.JobView{}, fmt.Errorf("fleet submit: status %d: %s", resp.StatusCode, readError(resp.Body))
+		return fleet.JobView{}, fmt.Errorf("fleet submit: %w",
+			&fleet.StatusError{Code: resp.StatusCode, Msg: readError(resp.Body)})
+	}
+}
+
+// SubmitRetry is the chaos-hardened submit: it retries transient failures
+// (connection drops, 5xx, timeouts) with jittered exponential backoff under
+// the idempotency key, and sleeps out 429 pushback for the advertised
+// Retry-After without consuming the retry budget. The key makes the retries
+// duplicate-safe: however many submits actually reach the coordinator, at
+// most one job exists. Permanent errors (4xx other than 408/429) return
+// immediately. rejected counts absorbed 429s, retries counts transient
+// re-sends.
+func (c *Client) SubmitRetry(ctx context.Context, spec service.JobSpec, idemKey string) (v fleet.JobView, rejected, retries int, err error) {
+	budget := c.Retries
+	if budget <= 0 {
+		budget = 4
+	}
+	base := c.Backoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	backoff := fleet.NewBackoff(base, 0, time.Now().UnixNano())
+	for {
+		v, err = c.SubmitIdem(ctx, spec, idemKey)
+		if err == nil {
+			return v, rejected, retries, nil
+		}
+		var ra *RetryAfterError
+		switch {
+		case errors.As(err, &ra):
+			rejected++
+			if serr := sleepCtx(ctx, ra.After); serr != nil {
+				return fleet.JobView{}, rejected, retries, serr
+			}
+		case fleet.Retryable(err) && retries < budget:
+			retries++
+			if serr := sleepCtx(ctx, backoff.Next()); serr != nil {
+				return fleet.JobView{}, rejected, retries, serr
+			}
+		default:
+			return fleet.JobView{}, rejected, retries, err
+		}
+	}
+}
+
+// sleepCtx sleeps d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
 	}
 }
 
@@ -125,7 +198,8 @@ func (c *Client) Get(ctx context.Context, id string) (fleet.JobView, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fleet.JobView{}, fmt.Errorf("fleet get %s: status %d: %s", id, resp.StatusCode, readError(resp.Body))
+		return fleet.JobView{}, fmt.Errorf("fleet get %s: %w", id,
+			&fleet.StatusError{Code: resp.StatusCode, Msg: readError(resp.Body)})
 	}
 	var v fleet.JobView
 	err = json.NewDecoder(resp.Body).Decode(&v)
@@ -133,20 +207,26 @@ func (c *Client) Get(ctx context.Context, id string) (fleet.JobView, error) {
 }
 
 // WaitTerminal polls a job until its worker-reported state is terminal
-// (done, failed, or cancelled), returning the final view.
+// (done, failed, or cancelled), returning the final view. Transient poll
+// failures (drops, 5xx — a coordinator mid-restart) are absorbed and polling
+// continues until ctx expires; permanent errors (404 for an unknown job)
+// return immediately.
 func (c *Client) WaitTerminal(ctx context.Context, id string) (fleet.JobView, error) {
 	t := time.NewTicker(c.poll())
 	defer t.Stop()
 	for {
 		v, err := c.Get(ctx, id)
-		if err != nil {
+		if err != nil && !fleet.Retryable(err) {
 			return fleet.JobView{}, err
 		}
-		if service.State(v.State).Terminal() {
+		if err == nil && service.State(v.State).Terminal() {
 			return v, nil
 		}
 		select {
 		case <-ctx.Done():
+			if err != nil {
+				return fleet.JobView{}, err
+			}
 			return v, ctx.Err()
 		case <-t.C:
 		}

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/fleet"
 	"repro/internal/service"
 )
@@ -123,5 +125,114 @@ func TestSubmitWaitRespectsContext(t *testing.T) {
 	defer cancel()
 	if _, err := c.SubmitWait(ctx, testSpec()); !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("SubmitWait under a dead context = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestSubmitRetryUnderChaos drives SubmitRetry through a chaos transport
+// that drops and 500s early requests: the submit must eventually land,
+// carry the idempotency key on every attempt, and classify permanent errors
+// without retrying them.
+func TestSubmitRetryUnderChaos(t *testing.T) {
+	var submits atomic.Int32
+	keys := make(map[string]int32)
+	var mu sync.Mutex
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		submits.Add(1)
+		mu.Lock()
+		keys[r.Header.Get("X-Idempotency-Key")]++
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"fj-000009","tenant":"ci","class":"batch","state":"queued","submitted_at":"2026-01-01T00:00:00Z"}`)) //nolint:errcheck
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// Per-rule visit counts advance only when a request reaches the rule, so
+	// the 500 fires on the first attempt that survives the two drops.
+	tr := chaos.NewTransport(nil, 3, 1,
+		chaos.Rule{Name: "drop2", Kind: chaos.KindDrop, Times: 2},
+		chaos.Rule{Name: "err1", Kind: chaos.KindHTTP500, Times: 1})
+	c := &Client{
+		Base: srv.URL, Tenant: "ci",
+		HTTP:    &http.Client{Transport: tr},
+		Backoff: time.Millisecond,
+	}
+	v, rejected, retries, err := c.SubmitRetry(context.Background(), testSpec(), "idem-9")
+	if err != nil {
+		t.Fatalf("SubmitRetry: %v (rejected %d, retries %d)", err, rejected, retries)
+	}
+	if v.ID != "fj-000009" || rejected != 0 || retries != 3 {
+		t.Errorf("SubmitRetry = %+v, rejected %d, retries %d; want fj-000009 with 3 transient retries", v, rejected, retries)
+	}
+	// Only the post-fault attempt reached the server, with the key intact.
+	if got := submits.Load(); got != 1 {
+		t.Errorf("server saw %d submits, want 1 (faults never arrived)", got)
+	}
+	mu.Lock()
+	if keys["idem-9"] != 1 {
+		t.Errorf("idempotency keys seen = %v, want idem-9 once", keys)
+	}
+	mu.Unlock()
+}
+
+// TestSubmitRetryStopsOnPermanentError: a 400 is not retried.
+func TestSubmitRetryStopsOnPermanentError(t *testing.T) {
+	var submits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		submits.Add(1)
+		http.Error(w, `{"error":"bad spec"}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	c := &Client{Base: srv.URL, Tenant: "ci", Backoff: time.Millisecond}
+	_, _, retries, err := c.SubmitRetry(context.Background(), testSpec(), "k")
+	if err == nil || retries != 0 {
+		t.Fatalf("err = %v retries = %d, want immediate permanent failure", err, retries)
+	}
+	var se *fleet.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("error %v should wrap StatusError 400", err)
+	}
+	if submits.Load() != 1 {
+		t.Fatalf("server saw %d submits, want 1", submits.Load())
+	}
+}
+
+// TestWaitTerminalToleratesTransientPollFailures: Get failures that are
+// retryable keep the poll alive; the wait still lands on done.
+func TestWaitTerminalToleratesTransientPollFailures(t *testing.T) {
+	var gets atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/fj-1", func(w http.ResponseWriter, r *http.Request) {
+		n := gets.Add(1)
+		if n <= 2 {
+			http.Error(w, `{"error":"mid-restart"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		state := "running"
+		if n >= 4 {
+			state = "done"
+		}
+		w.Write([]byte(`{"id":"fj-1","tenant":"ci","class":"batch","state":"` + state + `","submitted_at":"2026-01-01T00:00:00Z"}`)) //nolint:errcheck
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	c := &Client{Base: srv.URL, Poll: time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	v, err := c.WaitTerminal(ctx, "fj-1")
+	if err != nil {
+		t.Fatalf("WaitTerminal: %v", err)
+	}
+	if v.State != "done" || gets.Load() < 4 {
+		t.Fatalf("final = %+v after %d polls", v, gets.Load())
+	}
+
+	// An unknown job is permanent: no polling loop.
+	gets.Store(0)
+	if _, err := c.WaitTerminal(ctx, "nope"); err == nil {
+		t.Fatal("unknown job should fail immediately")
 	}
 }

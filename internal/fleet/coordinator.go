@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -49,6 +50,30 @@ type Config struct {
 	Client *http.Client
 	// Now is the clock (tests inject a fake one); nil uses time.Now.
 	Now func() time.Time
+	// JournalPath, when non-empty, enables the crash-safe job journal: every
+	// accepted/assigned/rerouted/terminal transition is appended (CRC-framed,
+	// fsynced) and replayed at boot, so a coordinator restart loses no
+	// accepted job. Empty keeps the coordinator purely in-memory.
+	JournalPath string
+	// DispatchRetries is how many extra attempts a retryable dispatch error
+	// gets on the same worker before moving to the next candidate (default 1).
+	DispatchRetries int
+	// DispatchBackoff is the base delay of the jittered backoff between
+	// dispatch retries (default 50ms; tests shrink it).
+	DispatchBackoff time.Duration
+	// BreakerThreshold is how many consecutive failed calls trip a worker's
+	// circuit breaker to "suspect" (default 3).
+	BreakerThreshold int
+	// BreakerReset is how long a suspect worker stays suspect with no
+	// further failures before decaying back to live (default 30s).
+	BreakerReset time.Duration
+	// RecoveryGrace is how long after boot a journal-recovered assignment
+	// waits for its worker to re-heartbeat before being treated as dead and
+	// re-routed (default 2×HeartbeatTTL).
+	RecoveryGrace time.Duration
+	// Sleep is the dispatch-retry sleeper; nil uses time.Sleep (tests
+	// inject a no-op so retries don't slow the suite).
+	Sleep func(time.Duration)
 }
 
 // fleetJob is the coordinator's record of one submitted job. All mutable
@@ -62,17 +87,22 @@ type fleetJob struct {
 	spec      service.JobSpec
 	key       uint64
 	submitted time.Time
+	idemKey   string // client idempotency key ("" = none)
 
 	state       string // "pending" until assigned, then the worker-reported state
 	worker      string
 	workerURL   string
 	remoteID    string
+	dataDir     string // assigned worker's durable store root (journaled for post-crash reroute)
 	last        *service.JobView
 	affinityHit bool
 	reroutes    int
 	steals      int
 	terminal    bool
 	released    bool
+	// recovered marks a journal-replayed assignment awaiting reconciliation:
+	// re-adopted when its worker re-heartbeats, re-routed after the grace.
+	recovered bool
 }
 
 // JobView is the fleet API's JSON snapshot of one job: coordinator routing
@@ -90,8 +120,11 @@ type JobView struct {
 	// checkpoints for the same spec.
 	AffinityHit bool `json:"affinity_hit,omitempty"`
 	// Reroutes counts moves off dead workers; Steals counts queue steals.
-	Reroutes    int              `json:"reroutes,omitempty"`
-	Steals      int              `json:"steals,omitempty"`
+	Reroutes int `json:"reroutes,omitempty"`
+	Steals   int `json:"steals,omitempty"`
+	// Recovered marks a job reconstructed from the journal after a
+	// coordinator restart and not yet reconciled with its worker.
+	Recovered   bool             `json:"recovered,omitempty"`
 	SubmittedAt time.Time        `json:"submitted_at"`
 	Job         *service.JobView `json:"job,omitempty"`
 }
@@ -99,25 +132,35 @@ type JobView struct {
 // Coordinator owns the fleet: worker registry, router state, admission
 // controller, and the job table mapping fleet job IDs to worker-local ones.
 type Coordinator struct {
-	cfg    Config
-	reg    *Registry
-	aff    *Affinity
-	adm    *Admission
-	tel    *telemetry.FleetCollector
-	log    *obs.Logger
-	client *http.Client
-	stream *http.Client
-	now    func() time.Time
+	cfg      Config
+	reg      *Registry
+	aff      *Affinity
+	adm      *Admission
+	tel      *telemetry.FleetCollector
+	log      *obs.Logger
+	client   *http.Client
+	stream   *http.Client
+	now      func() time.Time
+	sleep    func(time.Duration)
+	brk      *breakerSet
+	journal  *Journal
+	bootedAt time.Time
+	dseed    atomic.Int64 // dispatch-retry jitter seeds
 
 	mu      sync.Mutex
 	jobs    map[string]*fleetJob
 	order   []*fleetJob
 	pending []*fleetJob
+	idem    map[string]string // idempotency key -> fleet job ID
 	seq     int64
 }
 
-// NewCoordinator builds a coordinator from cfg.
-func NewCoordinator(cfg Config) *Coordinator {
+// NewCoordinator builds a coordinator from cfg. With a JournalPath it also
+// opens (or creates) the job journal and replays it: terminal jobs come back
+// as history, pending jobs re-enter the dispatch queue, and assigned jobs
+// wait for their worker to re-heartbeat (re-adoption) or for the recovery
+// grace to lapse (re-route through the dead worker's checkpoints).
+func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if cfg.HeartbeatTTL <= 0 {
 		cfg.HeartbeatTTL = 5 * time.Second
 	}
@@ -139,17 +182,235 @@ func NewCoordinator(cfg Config) *Coordinator {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: 10 * time.Second}
 	}
-	return &Coordinator{
-		cfg:    cfg,
-		reg:    NewRegistry(cfg.HeartbeatTTL),
-		aff:    NewAffinity(0),
-		adm:    cfg.Admission,
-		tel:    cfg.Telemetry,
-		log:    cfg.Log,
-		client: cfg.Client,
-		stream: &http.Client{},
-		now:    cfg.Now,
-		jobs:   make(map[string]*fleetJob),
+	if cfg.DispatchRetries <= 0 {
+		cfg.DispatchRetries = 1
+	}
+	if cfg.DispatchBackoff <= 0 {
+		cfg.DispatchBackoff = 50 * time.Millisecond
+	}
+	if cfg.RecoveryGrace <= 0 {
+		cfg.RecoveryGrace = 2 * cfg.HeartbeatTTL
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		reg:      NewRegistry(cfg.HeartbeatTTL),
+		aff:      NewAffinity(0),
+		adm:      cfg.Admission,
+		tel:      cfg.Telemetry,
+		log:      cfg.Log,
+		client:   cfg.Client,
+		stream:   &http.Client{},
+		now:      cfg.Now,
+		sleep:    cfg.Sleep,
+		brk:      newBreakerSet(cfg.BreakerThreshold, cfg.BreakerReset, cfg.Now),
+		bootedAt: cfg.Now(),
+		jobs:     make(map[string]*fleetJob),
+		idem:     make(map[string]string),
+	}
+	if cfg.JournalPath != "" {
+		jr, recs, err := openJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: open journal: %w", err)
+		}
+		c.journal = jr
+		c.recoverFromJournal(recs)
+		// Compact immediately: the replayed history collapses to one
+		// snapshot of the retained table.
+		c.mu.Lock()
+		snap := c.journalSnapshotLocked()
+		c.mu.Unlock()
+		if err := jr.Compact(snap); err != nil {
+			return nil, fmt.Errorf("fleet: compact journal: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// Close releases the journal file handle (the coordinator itself has no
+// background state beyond what Run's context owns).
+func (c *Coordinator) Close() error {
+	if c.journal != nil {
+		return c.journal.Close()
+	}
+	return nil
+}
+
+// journalAppend appends one record, nil-safe and never fatal: a failed
+// append on a non-accept record degrades durability (logged, counted), not
+// availability. Callers holding c.mu may call it; the fsync happens at job
+// granularity, far off any per-iteration hot path.
+func (c *Coordinator) journalAppend(rec journalRecord) {
+	if c.journal == nil {
+		return
+	}
+	if err := c.journal.Append(rec); err != nil {
+		c.log.Error("journal append failed", "kind", rec.Kind, "job", rec.Job, "err", err)
+		return
+	}
+	c.tel.JournalRecords.Inc()
+}
+
+// recoverFromJournal folds replayed records back into the job table.
+func (c *Coordinator) recoverFromJournal(recs []journalRecord) {
+	c.mu.Lock()
+	for _, rec := range recs {
+		switch rec.Kind {
+		case recMeta:
+			if rec.Seq > c.seq {
+				c.seq = rec.Seq
+			}
+		case recAccepted:
+			if rec.Job == "" || rec.Spec == nil {
+				continue
+			}
+			if _, dup := c.jobs[rec.Job]; dup {
+				continue
+			}
+			class, _ := ParseClass(rec.Class)
+			j := &fleetJob{
+				id: rec.Job, tenant: rec.Tenant, class: class,
+				spec: *rec.Spec, key: rec.Key, submitted: rec.Submitted,
+				idemKey: rec.IdemKey, state: "pending",
+			}
+			c.jobs[j.id] = j
+			c.order = append(c.order, j)
+			if j.idemKey != "" {
+				c.idem[j.idemKey] = j.id
+			}
+			var n int64
+			if _, err := fmt.Sscanf(rec.Job, "fj-%d", &n); err == nil && n > c.seq {
+				c.seq = n
+			}
+		case recAssigned:
+			j := c.jobs[rec.Job]
+			if j == nil {
+				continue
+			}
+			j.worker, j.workerURL, j.remoteID, j.dataDir = rec.Worker, rec.WorkerURL, rec.RemoteID, rec.DataDir
+			if rec.State != "" {
+				j.state = rec.State
+			} else {
+				j.state = string(service.StateQueued)
+			}
+		case recRerouted:
+			j := c.jobs[rec.Job]
+			if j == nil {
+				continue
+			}
+			if rec.ResumeDir != "" {
+				j.spec.Resume = &service.ResumeSpec{Dir: rec.ResumeDir}
+			}
+			j.worker, j.workerURL, j.remoteID, j.dataDir = "", "", "", ""
+			j.state = "pending"
+			j.reroutes++
+		case recTerminal:
+			j := c.jobs[rec.Job]
+			if j == nil {
+				continue
+			}
+			if rec.State == "rejected" {
+				// A saturation 429 revoked this accept: it never existed as
+				// far as the client knows. Drop it and free its key.
+				if j.idemKey != "" {
+					delete(c.idem, j.idemKey)
+				}
+				delete(c.jobs, j.id)
+				for i, o := range c.order {
+					if o == j {
+						c.order = append(c.order[:i], c.order[i+1:]...)
+						break
+					}
+				}
+				continue
+			}
+			j.terminal = true
+			j.released = true // admission state is fresh after a restart
+			if rec.State != "" {
+				j.state = rec.State
+			}
+		}
+	}
+	recovered := 0
+	var assigned []*fleetJob
+	for _, j := range c.order {
+		if j.terminal {
+			continue
+		}
+		recovered++
+		// Re-occupy the tenant's quota slot (without charging its rate
+		// bucket) so the fresh admission state matches the recovered load.
+		c.adm.Adopt(j.tenant)
+		j.released = false
+		if j.worker == "" {
+			// Accepted or rerouted but unplaced: straight back into the
+			// dispatch queue. Recovery may exceed PendingLimit — accepted
+			// jobs are never dropped at boot.
+			c.pending = append(c.pending, j)
+		} else {
+			j.recovered = true
+			assigned = append(assigned, j)
+		}
+	}
+	c.mu.Unlock()
+	for _, j := range assigned {
+		c.aff.Set(j.key, j.worker)
+	}
+	c.tel.JournalReplays.Add(int64(len(recs)))
+	c.tel.JobsRecovered.Add(int64(recovered))
+	if len(recs) > 0 {
+		c.log.Info("journal replayed", "records", len(recs),
+			"jobs", len(c.jobs), "recovered", recovered, "assigned", len(assigned))
+	}
+}
+
+// journalSnapshotLocked re-serializes the retained job table as a compact
+// journal: per job, an accepted record plus assigned/terminal records as
+// applicable (reroute history is already baked into the stored spec).
+func (c *Coordinator) journalSnapshotLocked() []journalRecord {
+	recs := make([]journalRecord, 0, 1+2*len(c.order))
+	recs = append(recs, journalRecord{Kind: recMeta, Seq: c.seq})
+	for _, j := range c.order {
+		spec := j.spec
+		recs = append(recs, journalRecord{
+			Kind: recAccepted, Job: j.id, Tenant: j.tenant,
+			Class: j.class.String(), IdemKey: j.idemKey, Key: j.key,
+			Spec: &spec, Submitted: j.submitted,
+		})
+		if j.worker != "" {
+			recs = append(recs, journalRecord{
+				Kind: recAssigned, Job: j.id, Worker: j.worker,
+				WorkerURL: j.workerURL, RemoteID: j.remoteID,
+				DataDir: j.dataDir, State: j.state,
+			})
+		}
+		if j.terminal {
+			recs = append(recs, journalRecord{Kind: recTerminal, Job: j.id, State: j.state})
+		}
+	}
+	return recs
+}
+
+// maybeCompact rewrites the journal once the appended history sufficiently
+// outgrows the live table, keeping replay cost bounded during long soaks.
+func (c *Coordinator) maybeCompact() {
+	if c.journal == nil {
+		return
+	}
+	c.mu.Lock()
+	need := c.journal.AppendedSinceCompact() > 4*len(c.order)+64
+	var snap []journalRecord
+	if need {
+		snap = c.journalSnapshotLocked()
+	}
+	c.mu.Unlock()
+	if !need {
+		return
+	}
+	if err := c.journal.Compact(snap); err != nil {
+		c.log.Error("journal compaction failed", "err", err)
 	}
 }
 
@@ -181,15 +442,75 @@ func (c *Coordinator) Run(ctx context.Context, interval time.Duration) {
 // the fleet deterministically without a background goroutine.
 func (c *Coordinator) Tick(now time.Time) {
 	c.expireAndReroute(now)
+	c.reconcileRecovered(now)
 	c.syncWorkers()
 	c.dispatchPending()
 	c.stealOnce(now)
 	c.tel.WorkersLive.Set(int64(len(c.reg.Live(now))))
+	c.tel.WorkersSuspect.Set(int64(c.brk.Suspects()))
 	c.publishWorkerHealth(now)
 	c.mu.Lock()
 	c.tel.JobsPending.Set(int64(len(c.pending)))
 	c.pruneLocked()
 	c.mu.Unlock()
+	c.maybeCompact()
+}
+
+// reconcileRecovered settles journal-recovered assignments: a worker that
+// re-heartbeated re-adopts its jobs (syncWorkers folds the live state), and
+// a worker still absent once the recovery grace lapses is treated as dead —
+// its jobs re-route with a resume pointer into the journaled durable store,
+// the same warm-start handoff as TTL expiry.
+func (c *Coordinator) reconcileRecovered(now time.Time) {
+	var orphans []*fleetJob
+	c.mu.Lock()
+	for _, j := range c.order {
+		if !j.recovered || j.terminal {
+			continue
+		}
+		if j.worker == "" {
+			j.recovered = false
+			continue
+		}
+		if _, live := c.reg.Get(j.worker, now); live {
+			j.recovered = false
+			c.log.Info("recovered job re-adopted", "job", j.id, "worker", j.worker)
+			continue
+		}
+		if now.Sub(c.bootedAt) < c.cfg.RecoveryGrace {
+			continue
+		}
+		if j.dataDir != "" && j.remoteID != "" {
+			dir := filepath.Join(j.dataDir, "jobs", j.remoteID, "checkpoints")
+			j.spec.Resume = &service.ResumeSpec{Dir: dir}
+		}
+		c.aff.Drop(j.key)
+		j.worker, j.workerURL, j.remoteID, j.dataDir = "", "", "", ""
+		j.state = "pending"
+		j.reroutes++
+		j.recovered = false
+		c.journalAppend(rerouteRecord(j))
+		orphans = append(orphans, j)
+	}
+	c.mu.Unlock()
+	for _, j := range orphans {
+		c.tel.JobsRerouted.Inc()
+		c.log.Warn("recovered worker never returned, rerouting job",
+			"job", j.id, "resume", j.spec.Resume != nil)
+		if !c.assign(j) {
+			c.enqueuePending(j)
+		}
+	}
+}
+
+// rerouteRecord builds the journal record for a job whose assignment was
+// just cleared (call with c.mu held, after mutating the job).
+func rerouteRecord(j *fleetJob) journalRecord {
+	rec := journalRecord{Kind: recRerouted, Job: j.id}
+	if j.spec.Resume != nil {
+		rec.ResumeDir = j.spec.Resume.Dir
+	}
+	return rec
 }
 
 // publishWorkerHealth refreshes the per-worker liveness gauges on /metrics
@@ -203,6 +524,7 @@ func (c *Coordinator) publishWorkerHealth(now time.Time) {
 			ID:         s.ID,
 			AgeSeconds: max(age.Seconds(), 0),
 			Live:       age <= c.cfg.HeartbeatTTL,
+			Suspect:    c.brk.Suspect(s.ID),
 			QueueDepth: s.Stats.QueueDepth,
 			Running:    s.Stats.Running,
 		})
@@ -227,11 +549,31 @@ func (c *Coordinator) RecordHeartbeat(hb Heartbeat, now time.Time) error {
 // retry-after hint with ErrRateLimited, ErrQuotaExhausted, or ErrSaturated;
 // the HTTP layer maps all three to 429 + Retry-After.
 func (c *Coordinator) Submit(spec service.JobSpec, tenant string) (JobView, time.Duration, error) {
+	return c.SubmitIdem(spec, tenant, "")
+}
+
+// SubmitIdem is Submit with a client-supplied idempotency key: a retried
+// submit carrying a key the coordinator has already accepted (this boot or,
+// via the journal, any previous one) returns the existing job instead of
+// creating a duplicate — the property that makes blind submit retries safe
+// across coordinator crashes.
+func (c *Coordinator) SubmitIdem(spec service.JobSpec, tenant, idemKey string) (JobView, time.Duration, error) {
 	if tenant == "" {
 		tenant = "default"
 	}
 	if err := spec.Validate(""); err != nil {
 		return JobView{}, 0, fmt.Errorf("%w: %v", service.ErrSpecRejected, err)
+	}
+	if idemKey != "" {
+		// Fast-path dedupe before admission so a retry is not charged
+		// against the tenant's rate bucket. The authoritative check runs
+		// again under the lock below (two concurrent retries).
+		c.mu.Lock()
+		j := c.idemJobLocked(idemKey)
+		c.mu.Unlock()
+		if j != nil {
+			return c.view(j), 0, nil
+		}
 	}
 	start := c.now()
 	if after, err := c.adm.Admit(tenant); err != nil {
@@ -257,6 +599,13 @@ func (c *Coordinator) Submit(spec service.JobSpec, tenant string) (JobView, time
 		}
 	}
 	c.mu.Lock()
+	if idemKey != "" {
+		if dup := c.idemJobLocked(idemKey); dup != nil {
+			c.mu.Unlock()
+			c.adm.Release(tenant) // give back the slot this retry charged
+			return c.view(dup), 0, nil
+		}
+	}
 	c.seq++
 	j := &fleetJob{
 		id:        fmt.Sprintf("fj-%06d", c.seq),
@@ -266,10 +615,39 @@ func (c *Coordinator) Submit(spec service.JobSpec, tenant string) (JobView, time
 		key:       key,
 		submitted: start,
 		state:     "pending",
+		idemKey:   idemKey,
 	}
 	c.jobs[j.id] = j
 	c.order = append(c.order, j)
+	if idemKey != "" {
+		c.idem[idemKey] = j.id
+	}
 	c.mu.Unlock()
+	// The accept must be durable before it is acknowledged: a journal that
+	// cannot record the job refuses it (the client retries against a
+	// coordinator that can uphold the no-loss guarantee).
+	if c.journal != nil {
+		specCopy := spec
+		rec := journalRecord{
+			Kind: recAccepted, Job: j.id, Tenant: tenant,
+			Class: j.class.String(), IdemKey: idemKey, Key: key,
+			Spec: &specCopy, Submitted: start,
+		}
+		if err := c.journal.Append(rec); err != nil {
+			c.mu.Lock()
+			delete(c.jobs, j.id)
+			c.order = c.order[:len(c.order)-1]
+			if idemKey != "" {
+				delete(c.idem, idemKey)
+			}
+			c.mu.Unlock()
+			c.adm.Release(tenant)
+			c.tel.JobsRejected.Inc()
+			c.log.Error("journal append failed, refusing job", "err", err)
+			return JobView{}, 0, fmt.Errorf("fleet: journal accept: %w", err)
+		}
+		c.tel.JournalRecords.Inc()
+	}
 	c.tel.JobsSubmitted.Inc()
 
 	if c.assign(j) {
@@ -282,6 +660,12 @@ func (c *Coordinator) Submit(spec service.JobSpec, tenant string) (JobView, time
 	if len(c.pending) >= c.cfg.PendingLimit {
 		delete(c.jobs, j.id)
 		c.order = c.order[:len(c.order)-1]
+		if idemKey != "" {
+			delete(c.idem, idemKey)
+		}
+		// "rejected" tells replay this accept was revoked with a 429 — the
+		// job must not resurrect and its idempotency key must free up.
+		c.journalAppend(journalRecord{Kind: recTerminal, Job: j.id, State: "rejected"})
 		c.mu.Unlock()
 		c.adm.Release(tenant)
 		c.tel.JobsRejected.Inc()
@@ -292,6 +676,15 @@ func (c *Coordinator) Submit(spec service.JobSpec, tenant string) (JobView, time
 	c.mu.Unlock()
 	c.log.Info("job pending", "job", j.id, "tenant", tenant)
 	return c.view(j), 0, nil
+}
+
+// idemJobLocked resolves an idempotency key to its retained job (nil when
+// unknown or already pruned from retention).
+func (c *Coordinator) idemJobLocked(idemKey string) *fleetJob {
+	if id, ok := c.idem[idemKey]; ok {
+		return c.jobs[id]
+	}
+	return nil
 }
 
 // Get returns one job's fleet view, refreshing it from the worker when the
@@ -336,6 +729,7 @@ func (c *Coordinator) Cancel(id string) (JobView, error) {
 			j.state = "cancelled"
 			c.releaseLocked(j)
 			c.dropPendingLocked(j)
+			c.journalAppend(journalRecord{Kind: recTerminal, Job: j.id, State: j.state})
 		}
 	}
 	c.mu.Unlock()
@@ -383,6 +777,7 @@ func (c *Coordinator) Status() Status {
 			AffinityHits: c.tel.AffinityHits.Value(),
 			ParentRoutes: c.tel.ParentRoutes.Value(),
 			Heartbeats:   c.tel.Heartbeats.Value(),
+			Recovered:    c.tel.JobsRecovered.Value(),
 		},
 	}
 }
@@ -398,7 +793,7 @@ func (c *Coordinator) view(j *fleetJob) JobView {
 		ID: j.id, Tenant: j.tenant, Class: j.class.String(),
 		State: j.state, Worker: j.worker, RemoteID: j.remoteID,
 		AffinityHit: j.affinityHit, Reroutes: j.reroutes, Steals: j.steals,
-		SubmittedAt: j.submitted,
+		Recovered: j.recovered, SubmittedAt: j.submitted,
 	}
 	if j.last != nil {
 		lv := *j.last
@@ -430,9 +825,10 @@ func (c *Coordinator) updateFromWorkerLocked(j *fleetJob, v service.JobView) {
 	vv := v
 	j.last = &vv
 	j.state = string(v.State)
-	if v.State.Terminal() {
+	if v.State.Terminal() && !j.terminal {
 		j.terminal = true
 		c.releaseLocked(j)
+		c.journalAppend(journalRecord{Kind: recTerminal, Job: j.id, State: j.state})
 	}
 }
 
@@ -452,6 +848,9 @@ func (c *Coordinator) pruneLocked() {
 	for _, j := range c.order {
 		if drop > 0 && j.terminal {
 			delete(c.jobs, j.id)
+			if j.idemKey != "" {
+				delete(c.idem, j.idemKey)
+			}
 			drop--
 			continue
 		}
@@ -526,6 +925,12 @@ func (c *Coordinator) assign(j *fleetJob) bool {
 			cands = append(cands, hb)
 		}
 	}
+	// Suspect workers (breaker open) sink to the end of the candidate list:
+	// healthy nodes absorb the load, and when only suspects remain each
+	// dispatch doubles as a half-open probe that can close the breaker.
+	sort.SliceStable(cands, func(a, b int) bool {
+		return !c.brk.Suspect(cands[a].ID) && c.brk.Suspect(cands[b].ID)
+	})
 	for _, hb := range cands {
 		rv, busy, err := c.postJob(hb, dispatchSpec(j, hb.ID, pWorker, pRemote))
 		if err != nil {
@@ -535,11 +940,27 @@ func (c *Coordinator) assign(j *fleetJob) bool {
 			continue
 		}
 		c.mu.Lock()
-		j.worker, j.workerURL, j.remoteID = hb.ID, hb.URL, rv.ID
+		if j.terminal {
+			// Cancelled while the dispatch was in flight: the worker copy
+			// is an orphan the fleet no longer tracks — cancel it there
+			// rather than let a cancelled job burn a worker slot.
+			c.mu.Unlock()
+			if _, cerr := c.cancelRemote(hb.URL, rv.ID); cerr != nil {
+				c.tel.ProxyErrors.Inc()
+			}
+			c.log.Info("dispatch raced cancel, revoked on worker",
+				"job", j.id, "worker", hb.ID, "remote", rv.ID)
+			return true
+		}
+		j.worker, j.workerURL, j.remoteID, j.dataDir = hb.ID, hb.URL, rv.ID, hb.DataDir
 		c.updateFromWorkerLocked(j, rv)
 		if hb.ID == affine {
 			j.affinityHit = true
 		}
+		c.journalAppend(journalRecord{
+			Kind: recAssigned, Job: j.id, Worker: hb.ID, WorkerURL: hb.URL,
+			RemoteID: rv.ID, DataDir: hb.DataDir, State: j.state,
+		})
 		c.mu.Unlock()
 		if hb.ID == affine {
 			c.tel.AffinityHits.Inc()
@@ -566,8 +987,29 @@ func (c *Coordinator) expireAndReroute(now time.Time) {
 	byID := make(map[string]Heartbeat, len(dead))
 	for _, hb := range dead {
 		byID[hb.ID] = hb
+		c.brk.Forget(hb.ID)
 		c.log.Warn("worker expired", "worker", hb.ID, "url", hb.URL)
 	}
+	c.rerouteOffWorkers(byID)
+}
+
+// DeregisterWorker handles a worker's graceful goodbye (placerd drain on
+// SIGTERM): the worker is removed from the registry immediately — no TTL
+// wait — and its jobs re-route through the same checkpoint handoff as
+// expiry, warm-starting from whatever the drain persisted.
+func (c *Coordinator) DeregisterWorker(id string) bool {
+	hb, ok := c.reg.Remove(id)
+	if !ok {
+		return false
+	}
+	c.brk.Forget(id)
+	c.log.Info("worker deregistered", "worker", id, "url", hb.URL)
+	c.rerouteOffWorkers(map[string]Heartbeat{id: hb})
+	return true
+}
+
+// rerouteOffWorkers moves every unfinished job off the given (gone) workers.
+func (c *Coordinator) rerouteOffWorkers(byID map[string]Heartbeat) {
 	var orphans []*fleetJob
 	c.mu.Lock()
 	for _, j := range c.order {
@@ -583,9 +1025,11 @@ func (c *Coordinator) expireAndReroute(now time.Time) {
 			j.spec.Resume = &service.ResumeSpec{Dir: dir}
 		}
 		c.aff.Drop(j.key)
-		j.worker, j.workerURL, j.remoteID = "", "", ""
+		j.worker, j.workerURL, j.remoteID, j.dataDir = "", "", "", ""
 		j.state = "pending"
 		j.reroutes++
+		j.recovered = false
+		c.journalAppend(rerouteRecord(j))
 		orphans = append(orphans, j)
 	}
 	c.mu.Unlock()
@@ -607,6 +1051,7 @@ func (c *Coordinator) enqueuePending(j *fleetJob) {
 		j.terminal = true
 		j.state = "failed"
 		c.releaseLocked(j)
+		c.journalAppend(journalRecord{Kind: recTerminal, Job: j.id, State: j.state})
 		c.log.Warn("pending queue full, dropping job", "job", j.id)
 		return
 	}
@@ -623,8 +1068,10 @@ func (c *Coordinator) syncWorkers() {
 		views, err := c.listRemote(hb.URL)
 		if err != nil {
 			c.tel.ProxyErrors.Inc()
+			c.brk.Failure(hb.ID)
 			continue
 		}
+		c.brk.Success(hb.ID)
 		byID := make(map[string]service.JobView, len(views))
 		for _, v := range views {
 			byID[v.ID] = v
@@ -637,12 +1084,15 @@ func (c *Coordinator) syncWorkers() {
 			}
 			v, ok := byID[j.remoteID]
 			if !ok {
-				j.worker, j.workerURL, j.remoteID = "", "", ""
+				j.worker, j.workerURL, j.remoteID, j.dataDir = "", "", "", ""
 				j.state = "pending"
 				j.reroutes++
+				j.recovered = false
+				c.journalAppend(rerouteRecord(j))
 				lost = append(lost, j)
 				continue
 			}
+			j.recovered = false
 			c.updateFromWorkerLocked(j, v)
 		}
 		c.mu.Unlock()
@@ -740,22 +1190,27 @@ func (c *Coordinator) stealTo(j *fleetJob, target Heartbeat) bool {
 	}
 	// The source accepted the conditional cancel: the job now runs nowhere
 	// and must be re-homed (the target, or anyone, or the pending queue).
+	c.mu.Lock()
+	j.worker, j.workerURL, j.remoteID, j.dataDir = "", "", "", ""
+	j.state = "pending"
+	c.journalAppend(rerouteRecord(j))
+	c.mu.Unlock()
 	pWorker, pRemote := c.parentPlacement(j)
 	rv, _, err := c.postJob(target, dispatchSpec(j, target.ID, pWorker, pRemote))
 	if err != nil {
-		c.mu.Lock()
-		j.worker, j.workerURL, j.remoteID = "", "", ""
-		j.state = "pending"
-		c.mu.Unlock()
 		if !c.assign(j) {
 			c.enqueuePending(j)
 		}
 		return true
 	}
 	c.mu.Lock()
-	j.worker, j.workerURL, j.remoteID = target.ID, target.URL, rv.ID
+	j.worker, j.workerURL, j.remoteID, j.dataDir = target.ID, target.URL, rv.ID, target.DataDir
 	c.updateFromWorkerLocked(j, rv)
 	j.steals++
+	c.journalAppend(journalRecord{
+		Kind: recAssigned, Job: j.id, Worker: target.ID, WorkerURL: target.URL,
+		RemoteID: rv.ID, DataDir: target.DataDir, State: j.state,
+	})
 	c.mu.Unlock()
 	c.aff.Set(j.key, target.ID)
 	c.tel.JobsStolen.Inc()
@@ -765,9 +1220,37 @@ func (c *Coordinator) stealTo(j *fleetJob, target Heartbeat) bool {
 
 // --- worker HTTP calls -------------------------------------------------
 
-// postJob submits a spec to a worker. busy=true flags a 429/503 (queue
-// full or draining — try the next candidate, not a proxy error).
+// postJob submits a spec to a worker, with a short jittered retry on
+// retryable failures (the worker may be mid-restart or behind a flaky link)
+// and circuit-breaker accounting on the outcome. busy=true flags a 429/503
+// (queue full or draining — try the next candidate, not a fault).
 func (c *Coordinator) postJob(hb Heartbeat, spec service.JobSpec) (service.JobView, bool, error) {
+	var backoff *Backoff
+	for attempt := 0; ; attempt++ {
+		v, busy, err := c.postJobOnce(hb, spec)
+		if err == nil {
+			c.brk.Success(hb.ID)
+			return v, false, nil
+		}
+		if busy {
+			return v, true, err // pushback is load, not sickness
+		}
+		wasSuspect := c.brk.Suspect(hb.ID)
+		if c.brk.Failure(hb.ID) && !wasSuspect {
+			c.log.Warn("worker circuit breaker opened", "worker", hb.ID, "err", err)
+		}
+		if attempt >= c.cfg.DispatchRetries || !Retryable(err) {
+			return v, false, err
+		}
+		if backoff == nil {
+			backoff = NewBackoff(c.cfg.DispatchBackoff, 0, c.dseed.Add(1))
+		}
+		c.sleep(backoff.Next())
+	}
+}
+
+// postJobOnce is one dispatch attempt.
+func (c *Coordinator) postJobOnce(hb Heartbeat, spec service.JobSpec) (service.JobView, bool, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return service.JobView{}, false, err
@@ -789,7 +1272,8 @@ func (c *Coordinator) postJob(hb Heartbeat, spec service.JobSpec) (service.JobVi
 		return service.JobView{}, true, fmt.Errorf("fleet: worker %s busy (%d)", hb.ID, resp.StatusCode)
 	default:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return service.JobView{}, false, fmt.Errorf("fleet: worker %s rejected job: %d %s", hb.ID, resp.StatusCode, msg)
+		return service.JobView{}, false, fmt.Errorf("fleet: worker %s rejected job: %w",
+			hb.ID, &StatusError{Code: resp.StatusCode, Msg: string(msg)})
 	}
 }
 

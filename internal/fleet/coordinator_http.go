@@ -14,8 +14,13 @@ import (
 // NewHandler wires a coordinator into the fleet JSON API:
 //
 //	POST   /v1/workers/heartbeat       worker registration + liveness report
+//	DELETE /v1/workers/{id}            graceful deregistration: the draining
+//	                                   worker's jobs re-route immediately
 //	POST   /v1/jobs                    submit a JobSpec (X-Tenant header selects
-//	                                   the tenant; 429 + Retry-After on pushback)
+//	                                   the tenant; an X-Idempotency-Key header
+//	                                   makes retries safe — a replayed key
+//	                                   returns the existing job; 429 +
+//	                                   Retry-After on pushback)
 //	GET    /v1/jobs                    list fleet jobs
 //	GET    /v1/jobs/{id}               one job, refreshed from its worker
 //	DELETE /v1/jobs/{id}               cancel a job wherever it is
@@ -42,6 +47,13 @@ func NewHandler(c *Coordinator) http.Handler {
 		}
 		httpJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("DELETE /v1/workers/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !c.DeregisterWorker(r.PathValue("id")) {
+			httpError(w, http.StatusNotFound, "fleet: unknown worker")
+			return
+		}
+		httpJSON(w, http.StatusOK, map[string]string{"status": "deregistered"})
+	})
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec service.JobSpec
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -50,7 +62,7 @@ func NewHandler(c *Coordinator) http.Handler {
 			httpError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
 			return
 		}
-		v, after, err := c.Submit(spec, r.Header.Get("X-Tenant"))
+		v, after, err := c.SubmitIdem(spec, r.Header.Get("X-Tenant"), r.Header.Get("X-Idempotency-Key"))
 		if err != nil {
 			if status := pushbackStatus(err); status != 0 {
 				// Integer seconds, rounded up: every Retry-After parser

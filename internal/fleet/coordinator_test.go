@@ -120,11 +120,19 @@ func durableFleetSpec(iters int) service.JobSpec {
 // defaults.
 func newTestCoordinator(t *testing.T, clock *fakeClock, adm *Admission) *Coordinator {
 	t.Helper()
-	return NewCoordinator(Config{
+	c, err := NewCoordinator(Config{
 		HeartbeatTTL: time.Second,
 		Admission:    adm,
 		Now:          clock.Now,
+		// Dead-worker dispatch attempts should fail fast in tests, not
+		// sleep through retry backoff.
+		DispatchBackoff: time.Millisecond,
+		Sleep:           func(time.Duration) {},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }
 
 // waitFleetState polls the coordinator until the job reaches want.

@@ -1,0 +1,120 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/url"
+	"testing"
+	"time"
+)
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"context cancel", context.Canceled, false},
+		{"deadline", context.DeadlineExceeded, false},
+		{"wrapped cancel", fmt.Errorf("submit: %w", context.Canceled), false},
+		{"status 500", &StatusError{Code: 500}, true},
+		{"status 503", &StatusError{Code: 503}, true},
+		{"status 429", &StatusError{Code: 429}, true},
+		{"status 408", &StatusError{Code: 408}, true},
+		{"status 404", &StatusError{Code: 404}, false},
+		{"status 400", &StatusError{Code: 400}, false},
+		{"wrapped status 404", fmt.Errorf("get: %w", &StatusError{Code: 404}), false},
+		{"net op error", &net.OpError{Op: "dial", Err: errors.New("refused")}, true},
+		{"url error around permanent", &url.Error{Op: "Post", Err: &StatusError{Code: 400}}, false},
+		{"unknown error", errors.New("mystery"), true},
+	}
+	for _, tc := range cases {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestBackoffBoundsAndReset(t *testing.T) {
+	base := 100 * time.Millisecond
+	b := NewBackoff(base, time.Second, 7)
+	prevMax := time.Duration(0)
+	for i := 0; i < 8; i++ {
+		d := b.Next()
+		if d < time.Millisecond || d > time.Second+time.Second/4 {
+			t.Fatalf("attempt %d: delay %s outside [1ms, cap+25%%]", i, d)
+		}
+		if d > prevMax {
+			prevMax = d
+		}
+	}
+	if prevMax < base {
+		t.Fatalf("delays never grew past the base: max %s", prevMax)
+	}
+	b.Reset()
+	d := b.Next()
+	// Post-reset the exponent is back at 0: base ± 25% jitter.
+	if d > base+base/4 {
+		t.Fatalf("post-reset delay %s, want ~base %s", d, base)
+	}
+}
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	a := NewBackoff(50*time.Millisecond, 0, 42)
+	b := NewBackoff(50*time.Millisecond, 0, 42)
+	for i := 0; i < 6; i++ {
+		if da, db := a.Next(), b.Next(); da != db {
+			t.Fatalf("same seed diverged at attempt %d: %s vs %s", i, da, db)
+		}
+	}
+}
+
+func TestBreakerSuspectAndRecovery(t *testing.T) {
+	clock := newFakeClock()
+	b := newBreakerSet(3, 30*time.Second, clock.Now)
+
+	if b.Suspect("w1") {
+		t.Fatal("fresh worker already suspect")
+	}
+	for i := 0; i < 2; i++ {
+		if b.Failure("w1") {
+			t.Fatalf("breaker opened after %d failures, threshold is 3", i+1)
+		}
+	}
+	if !b.Failure("w1") {
+		t.Fatal("third failure should open the breaker")
+	}
+	if !b.Suspect("w1") || b.State("w1") != BreakerSuspect || b.Suspects() != 1 {
+		t.Fatalf("state after open = %s (suspects %d)", b.State("w1"), b.Suspects())
+	}
+
+	// A success snaps it closed immediately.
+	b.Success("w1")
+	if b.Suspect("w1") || b.Suspects() != 0 {
+		t.Fatal("success should close the breaker")
+	}
+
+	// Re-open, then let the reset window decay it (half-open: eligible again).
+	for i := 0; i < 3; i++ {
+		b.Failure("w1")
+	}
+	if !b.Suspect("w1") {
+		t.Fatal("breaker should be open again")
+	}
+	clock.Advance(31 * time.Second)
+	if b.Suspect("w1") {
+		t.Fatal("suspicion should decay after the reset window")
+	}
+
+	// Forget drops all state.
+	for i := 0; i < 3; i++ {
+		b.Failure("w2")
+	}
+	b.Forget("w2")
+	if b.Suspect("w2") || b.State("w2") != BreakerLive {
+		t.Fatal("Forget should clear the entry")
+	}
+}

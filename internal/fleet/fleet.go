@@ -54,6 +54,9 @@ type Counters struct {
 	AffinityHits int64 `json:"affinity_hits"`
 	ParentRoutes int64 `json:"parent_routes"`
 	Heartbeats   int64 `json:"heartbeats"`
+	// Recovered counts jobs reconstructed from the journal across
+	// coordinator restarts (0 on a journal-less coordinator).
+	Recovered int64 `json:"recovered,omitempty"`
 }
 
 // Status is the GET /v1/fleet document: live workers plus routing counters.

@@ -21,6 +21,10 @@ type WorkerOverview struct {
 	ID   string `json:"id"`
 	URL  string `json:"url"`
 	Live bool   `json:"live"`
+	// Breaker is the worker's circuit-breaker state: "suspect" when recent
+	// coordinator→worker calls keep failing (the worker is deprioritized for
+	// dispatch), empty/"live" otherwise.
+	Breaker string `json:"breaker,omitempty"`
 	// HeartbeatAgeSeconds is how stale the worker's last report is; past the
 	// registry TTL the worker is no longer live and its jobs get re-routed.
 	HeartbeatAgeSeconds float64 `json:"heartbeat_age_seconds"`
@@ -106,6 +110,7 @@ func (c *Coordinator) Overview() Overview {
 			AffinityHits: c.tel.AffinityHits.Value(),
 			ParentRoutes: c.tel.ParentRoutes.Value(),
 			Heartbeats:   c.tel.Heartbeats.Value(),
+			Recovered:    c.tel.JobsRecovered.Value(),
 		},
 	}
 	for _, ws := range c.reg.Snapshot() {
@@ -113,10 +118,15 @@ func (c *Coordinator) Overview() Overview {
 		if age < 0 {
 			age = 0
 		}
+		breaker := ""
+		if c.brk.Suspect(ws.ID) {
+			breaker = BreakerSuspect
+		}
 		ov.Workers = append(ov.Workers, WorkerOverview{
 			ID:                  ws.ID,
 			URL:                 ws.URL,
 			Live:                now.Sub(ws.LastSeen) <= c.cfg.HeartbeatTTL,
+			Breaker:             breaker,
 			HeartbeatAgeSeconds: age,
 			QueueDepth:          ws.Stats.QueueDepth,
 			QueueCap:            ws.Stats.QueueCap,

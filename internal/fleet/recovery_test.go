@@ -1,0 +1,467 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// newJournalCoordinator builds a journaled coordinator on the shared fake
+// clock; both "boots" of a crash test call this with the same path.
+func newJournalCoordinator(t *testing.T, clock *fakeClock, path string) *Coordinator {
+	t.Helper()
+	c, err := NewCoordinator(Config{
+		HeartbeatTTL:    time.Second,
+		JournalPath:     path,
+		Now:             clock.Now,
+		DispatchBackoff: time.Millisecond,
+		Sleep:           func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCoordinatorCrashRecoveryZeroLoss is the tentpole acceptance test: a
+// journaled coordinator is killed (abandoned, kill -9 style: no Close, no
+// drain) together with the worker running a long job. A second coordinator
+// booted on the same journal replays everything: the finished job stays in
+// history, the orphaned assignment re-routes to a survivor with a resume
+// pointer into the dead worker's checkpoints once the recovery grace lapses,
+// the rerun finishes with the HPWL of an uninterrupted run (bit-identical),
+// and a submit retried across the crash under its idempotency key returns
+// the original job instead of a duplicate.
+func TestCoordinatorCrashRecoveryZeroLoss(t *testing.T) {
+	const iters = 300
+	root := t.TempDir()
+	journal := filepath.Join(root, "journal")
+
+	// Reference HPWL: the same long spec run to completion, uninterrupted.
+	ref := service.NewManager(service.Config{Workers: 1, QueueDepth: 4})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		ref.Shutdown(ctx) //nolint:errcheck
+	}()
+	rv, err := ref.Submit(durableFleetSpec(iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refDone service.JobView
+	for {
+		refDone, err = ref.Get(rv.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refDone.State.Terminal() {
+			break
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+	if refDone.State != service.StateDone || refDone.Result == nil {
+		t.Fatalf("reference run ended %s", refDone.State)
+	}
+
+	// Boot 1: two durable workers on a shared resume root.
+	clock := newFakeClock()
+	c1 := newJournalCoordinator(t, clock, journal)
+	workers := map[string]*testWorker{}
+	for _, id := range []string{"wA", "wB"} {
+		w := startWorker(t, id, service.Config{
+			DataDir: filepath.Join(root, id), CheckpointEvery: 5, ResumeRoot: root,
+		})
+		workers[id] = w
+		if err := c1.RecordHeartbeat(w.heartbeat(), clock.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A short job completes before the crash (terminal history in the journal),
+	// submitted under an idempotency key so the post-crash retry can be tested.
+	doneV, _, err := c1.SubmitIdem(fastSpec(50), "t1", "crash-idem-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFleetState(t, c1, clock, doneV.ID, "done")
+
+	// The long job runs past a checkpoint boundary on whichever worker
+	// rendezvous picked.
+	longV, _, err := c1.Submit(durableFleetSpec(iters), "t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := workers[longV.Worker]
+	if victim == nil {
+		t.Fatalf("long job assigned to unknown worker %q", longV.Worker)
+	}
+	var survivor *testWorker
+	for id, w := range workers {
+		if id != victim.id {
+			survivor = w
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		jv, err := victim.mgr.Get(longV.RemoteID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jv.Progress != nil && jv.Progress.Iteration >= 20 {
+			break
+		}
+		if jv.State.Terminal() {
+			t.Fatalf("long job finished before the crash: %+v", jv)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("long job never reached iteration 20")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// kill -9 both the coordinator (abandoned, journal handle still open —
+	// exactly what a dead process leaves behind) and the victim worker.
+	victim.kill(t)
+
+	// Boot 2: replay the journal.
+	c2 := newJournalCoordinator(t, clock, journal)
+	defer c2.Close()
+	if got := c2.Telemetry().JobsRecovered.Value(); got != 1 {
+		t.Errorf("JobsRecovered = %d, want 1 (only the long job was live)", got)
+	}
+
+	// Terminal history survived with its state.
+	gotDone, err := c2.Get(doneV.ID)
+	if err != nil {
+		t.Fatalf("finished job lost across crash: %v", err)
+	}
+	if gotDone.State != "done" {
+		t.Errorf("finished job state after replay = %s, want done", gotDone.State)
+	}
+
+	// The long job is back, flagged recovered, still naming the dead worker.
+	gotLong, err := c2.Get(longV.ID)
+	if err != nil {
+		t.Fatalf("running job lost across crash: %v", err)
+	}
+	if !gotLong.Recovered || gotLong.Worker != victim.id {
+		t.Fatalf("replayed long job = %+v, want recovered on %s", gotLong, victim.id)
+	}
+
+	// A submit retried across the crash with the same idempotency key must
+	// return the original job, not create a duplicate.
+	retryV, _, err := c2.SubmitIdem(fastSpec(50), "t1", "crash-idem-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retryV.ID != doneV.ID {
+		t.Errorf("idempotent retry created %s, want original %s", retryV.ID, doneV.ID)
+	}
+	if n := len(c2.List()); n != 2 {
+		t.Errorf("job table has %d jobs after idempotent retry, want 2", n)
+	}
+
+	// Within the recovery grace the coordinator waits for the dead worker.
+	if err := c2.RecordHeartbeat(survivor.heartbeat(), clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	c2.Tick(clock.Now())
+	if v, _ := c2.Get(longV.ID); v.Worker != victim.id {
+		t.Fatalf("job rerouted before the recovery grace lapsed: %+v", v)
+	}
+
+	// Grace lapses (default 2×TTL): the orphan re-routes to the survivor
+	// with a resume pointer into the dead worker's durable checkpoints.
+	clock.Advance(2500 * time.Millisecond)
+	if err := c2.RecordHeartbeat(survivor.heartbeat(), clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	c2.Tick(clock.Now())
+	moved, err := c2.Get(longV.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Worker != survivor.id || moved.Reroutes != 1 {
+		t.Fatalf("after grace job is on %q (reroutes %d), want survivor %s", moved.Worker, moved.Reroutes, survivor.id)
+	}
+	if got := c2.Telemetry().JobsRerouted.Value(); got != 1 {
+		t.Errorf("JobsRerouted = %d, want 1", got)
+	}
+
+	// The warm-started rerun completes bit-identically to the reference.
+	final := waitFleetState(t, c2, clock, longV.ID, "done")
+	if final.Job == nil || final.Job.Result == nil {
+		t.Fatal("recovered job has no result")
+	}
+	if final.Job.Result.GPIters != iters {
+		t.Errorf("recovered job ran %d GP iterations, want %d", final.Job.Result.GPIters, iters)
+	}
+	if final.Job.Result.DPWL != refDone.Result.DPWL {
+		t.Errorf("recovered HPWL = %v, want bit-identical %v (diff %g)",
+			final.Job.Result.DPWL, refDone.Result.DPWL, final.Job.Result.DPWL-refDone.Result.DPWL)
+	}
+}
+
+// TestSubmitIdempotencyKeyDedupe: within one boot, a retried key returns the
+// same job without charging admission twice, and distinct keys create
+// distinct jobs.
+func TestSubmitIdempotencyKeyDedupe(t *testing.T) {
+	clock := newFakeClock()
+	adm, err := NewAdmission(TenantConfig{}, []TenantConfig{{Name: "ci", MaxInFlight: 2}}, clock.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newTestCoordinator(t, clock, adm)
+	w := startWorker(t, "w1", service.Config{})
+	if err := c.RecordHeartbeat(w.heartbeat(), clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+
+	v1, _, err := c.SubmitIdem(slowSpec(1), "ci", "key-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quota is 2 and one slot is held: if the retry double-charged, the next
+	// distinct submit would be rejected.
+	v2, _, err := c.SubmitIdem(slowSpec(1), "ci", "key-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.ID != v1.ID {
+		t.Fatalf("retried key got job %s, want %s", v2.ID, v1.ID)
+	}
+	v3, _, err := c.SubmitIdem(slowSpec(2), "ci", "key-b")
+	if err != nil {
+		t.Fatalf("distinct key rejected (retry double-charged admission?): %v", err)
+	}
+	if v3.ID == v1.ID {
+		t.Fatal("distinct keys shared a job")
+	}
+	if n := len(c.List()); n != 2 {
+		t.Fatalf("job table = %d jobs, want 2", n)
+	}
+	for _, id := range []string{v1.ID, v3.ID} {
+		if _, err := c.Cancel(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// fakeWorker is a minimal hand-rolled worker API for race tests: POST /jobs
+// blocks until released, DELETE records the cancel, GET /jobs returns empty.
+type fakeWorker struct {
+	srv      *httptest.Server
+	posted   chan struct{} // closed-ish signal: one token per POST arrival
+	release  chan struct{} // each token lets one blocked POST respond
+	posts    atomic.Int64
+	cancels  atomic.Int64
+	remoteID string
+}
+
+func newFakeWorker(t *testing.T, remoteID string) *fakeWorker {
+	t.Helper()
+	fw := &fakeWorker{
+		posted:   make(chan struct{}, 16),
+		release:  make(chan struct{}, 16),
+		remoteID: remoteID,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		fw.posts.Add(1)
+		fw.posted <- struct{}{}
+		<-fw.release
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(service.JobView{ID: fw.remoteID, State: service.StateQueued}) //nolint:errcheck
+	})
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		fw.cancels.Add(1)
+		json.NewEncoder(w).Encode(service.JobView{ID: r.PathValue("id"), State: service.StateCancelled}) //nolint:errcheck
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"jobs":[]}`)
+	})
+	fw.srv = httptest.NewServer(mux)
+	t.Cleanup(fw.srv.Close)
+	return fw
+}
+
+func (fw *fakeWorker) heartbeat() Heartbeat {
+	return Heartbeat{ID: "fake", URL: fw.srv.URL, Stats: service.ManagerStats{PlaceWorkers: 1, QueueCap: 8}}
+}
+
+// TestCancelVsDispatchRace: a cancel that lands while the dispatch POST is
+// in flight must not leave the job running on the worker. The coordinator
+// notices the job went terminal while it was posting and revokes the
+// assignment on the worker; the job's final state is cancelled.
+func TestCancelVsDispatchRace(t *testing.T) {
+	clock := newFakeClock()
+	c := newTestCoordinator(t, clock, nil)
+	fw := newFakeWorker(t, "rw-1")
+	if err := c.RecordHeartbeat(fw.heartbeat(), clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Submit(slowSpec(1), "t1") //nolint:errcheck // outcome checked via Get below
+	}()
+
+	// Wait until the dispatch POST is parked inside the fake worker, then
+	// cancel through the coordinator while the assignment is still in flight.
+	select {
+	case <-fw.posted:
+	case <-time.After(10 * time.Second):
+		t.Fatal("dispatch never reached the worker")
+	}
+	jobs := c.List()
+	if len(jobs) != 1 {
+		t.Fatalf("job table = %d jobs mid-dispatch, want 1", len(jobs))
+	}
+	id := jobs[0].ID
+	if _, err := c.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the parked POST complete: the worker acks the job AFTER it was
+	// cancelled. The coordinator must revoke it.
+	fw.release <- struct{}{}
+	<-done
+
+	deadline := time.Now().Add(10 * time.Second)
+	for fw.cancels.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never revoked the raced dispatch on the worker")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	v, err := c.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != "cancelled" {
+		t.Fatalf("raced job state = %s, want cancelled", v.State)
+	}
+	if got := fw.posts.Load(); got != 1 {
+		t.Fatalf("worker saw %d dispatches, want exactly 1", got)
+	}
+}
+
+// TestPendingOverflowRetryAfter: with no live workers and the pending queue
+// full, the HTTP API answers 429 with an integer Retry-After, and the
+// overflow submit leaves no residue (its idempotency key is reusable once
+// capacity exists).
+func TestPendingOverflowRetryAfter(t *testing.T) {
+	clock := newFakeClock()
+	c, err := NewCoordinator(Config{
+		HeartbeatTTL: time.Second,
+		PendingLimit: 1,
+		Now:          clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := httptest.NewServer(NewHandler(c))
+	defer api.Close()
+
+	post := func(key string) *http.Response {
+		t.Helper()
+		body, _ := json.Marshal(fastSpec(1))
+		req, err := http.NewRequest(http.MethodPost, api.URL+"/v1/jobs", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set("X-Idempotency-Key", key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	r1 := post("")
+	if r1.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d, want 202 (pending)", r1.StatusCode)
+	}
+	r1.Body.Close()
+
+	r2 := post("ovf-key")
+	if r2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit = %d, want 429", r2.StatusCode)
+	}
+	secs, err := strconv.Atoi(r2.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want integer seconds >= 1", r2.Header.Get("Retry-After"))
+	}
+	r2.Body.Close()
+	if n := len(c.List()); n != 1 {
+		t.Fatalf("job table = %d after overflow 429, want 1 (no residue)", n)
+	}
+
+	// Capacity appears; the SAME key must now be accepted as a fresh job —
+	// the revoked accept did not poison it.
+	w := startWorker(t, "w1", service.Config{})
+	if err := c.RecordHeartbeat(w.heartbeat(), clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	c.Tick(clock.Now())
+	r3 := post("ovf-key")
+	if r3.StatusCode != http.StatusAccepted {
+		t.Fatalf("retry after capacity = %d, want 202", r3.StatusCode)
+	}
+	r3.Body.Close()
+}
+
+// TestDispatchRetriesTransientFailure: a worker that fails its first POST
+// with a 500 and accepts the retry still gets the job — one submit, one
+// assignment, breaker closed again on success.
+func TestDispatchRetriesTransientFailure(t *testing.T) {
+	clock := newFakeClock()
+	c := newTestCoordinator(t, clock, nil)
+	var posts atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		if posts.Add(1) == 1 {
+			http.Error(w, "mid-restart", http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(service.JobView{ID: "rw-1", State: service.StateQueued}) //nolint:errcheck
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"jobs":[]}`)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	hb := Heartbeat{ID: "flaky", URL: srv.URL, Stats: service.ManagerStats{PlaceWorkers: 1, QueueCap: 8}}
+	if err := c.RecordHeartbeat(hb, clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+
+	v, _, err := c.Submit(slowSpec(1), "t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Worker != "flaky" {
+		t.Fatalf("job not assigned through the transient failure: %+v", v)
+	}
+	if got := posts.Load(); got != 2 {
+		t.Fatalf("worker saw %d POSTs, want 2 (fail + retry)", got)
+	}
+	if st := c.brk.State("flaky"); st != BreakerLive {
+		t.Fatalf("breaker state after recovery = %s, want live", st)
+	}
+}

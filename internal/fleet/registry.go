@@ -65,6 +65,20 @@ func (r *Registry) Get(id string, now time.Time) (Heartbeat, bool) {
 	return w.hb, true
 }
 
+// Remove deletes a worker by ID regardless of TTL (the graceful-drain
+// deregistration path), returning its final heartbeat so the coordinator can
+// hand its checkpoints off.
+func (r *Registry) Remove(id string) (Heartbeat, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[id]
+	if !ok {
+		return Heartbeat{}, false
+	}
+	delete(r.workers, id)
+	return w.hb, true
+}
+
 // Expire removes every worker whose last heartbeat is older than the TTL
 // and returns their final heartbeats (the coordinator re-routes their jobs,
 // using the remembered DataDir for checkpoint handoff).

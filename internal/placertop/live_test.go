@@ -44,7 +44,10 @@ func placeSpec(seed int64) service.JobSpec {
 func TestCollectorAgainstLiveFleet(t *testing.T) {
 	mgrA, srvA := startFleetWorker(t, "wA")
 	mgrB, srvB := startFleetWorker(t, "wB")
-	c := fleet.NewCoordinator(fleet.Config{HeartbeatTTL: 10 * time.Second})
+	c, err := fleet.NewCoordinator(fleet.Config{HeartbeatTTL: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for id, pair := range map[string]struct {
 		mgr *service.Manager
 		srv *httptest.Server

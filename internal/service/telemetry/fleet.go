@@ -14,6 +14,9 @@ type WorkerHealth struct {
 	ID         string
 	AgeSeconds float64
 	Live       bool
+	// Suspect flags an open circuit breaker: the worker heartbeats but its
+	// dispatches keep failing, so it is tried last.
+	Suspect    bool
 	QueueDepth int
 	Running    int
 }
@@ -33,9 +36,15 @@ type FleetCollector struct {
 	ParentRoutes  Counter // ECO children routed by their parent's placement location
 	ProxyErrors   Counter // failed coordinator -> worker HTTP calls
 
+	// Crash-safety: the coordinator job journal and its boot-time replay.
+	JournalRecords Counter // records appended to the job journal
+	JournalReplays Counter // records replayed from the journal at boot
+	JobsRecovered  Counter // non-terminal jobs reconstructed by replay
+
 	// Worker fleet state.
-	Heartbeats  Counter // heartbeat reports received
-	WorkersLive Gauge   // workers currently within their heartbeat TTL
+	Heartbeats     Counter // heartbeat reports received
+	WorkersLive    Gauge   // workers currently within their heartbeat TTL
+	WorkersSuspect Gauge   // workers with an open circuit breaker
 
 	// Coordinator-side pending queue (jobs admitted but waiting for fleet
 	// capacity).
@@ -89,7 +98,11 @@ func (c *FleetCollector) WritePrometheus(w io.Writer) {
 	counter("placercoord_parent_routes_total", "ECO children routed to the worker holding the parent placement.", c.ParentRoutes.Value())
 	counter("placercoord_proxy_errors_total", "Failed coordinator-to-worker HTTP calls.", c.ProxyErrors.Value())
 	counter("placercoord_heartbeats_total", "Worker heartbeat reports received.", c.Heartbeats.Value())
+	counter("placercoord_journal_records_total", "Records appended to the crash-safety job journal.", c.JournalRecords.Value())
+	counter("placercoord_journal_replays_total", "Journal records replayed at coordinator boot.", c.JournalReplays.Value())
+	counter("placercoord_journal_recovered_jobs_total", "Non-terminal jobs reconstructed from the journal at boot.", c.JobsRecovered.Value())
 	gauge("placercoord_workers_live", "Workers currently within their heartbeat TTL.", c.WorkersLive.Value())
+	gauge("placercoord_workers_suspect", "Workers whose circuit breaker is open (dispatches failing).", c.WorkersSuspect.Value())
 	gauge("placercoord_jobs_pending", "Admitted jobs waiting for fleet capacity.", c.JobsPending.Value())
 
 	c.workersMu.Lock()
@@ -109,6 +122,14 @@ func (c *FleetCollector) WritePrometheus(w io.Writer) {
 			"Whether each worker is within its heartbeat TTL (1 = live).", "gauge",
 			func(wh WorkerHealth) string {
 				if wh.Live {
+					return "1"
+				}
+				return "0"
+			})
+		labeled("placercoord_worker_breaker_state",
+			"Each worker's circuit-breaker state (0 = live, 1 = suspect).", "gauge",
+			func(wh WorkerHealth) string {
+				if wh.Suspect {
 					return "1"
 				}
 				return "0"

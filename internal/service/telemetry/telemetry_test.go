@@ -242,3 +242,39 @@ func TestConcurrentUpdates(t *testing.T) {
 		t.Errorf("histogram sum = %g, want %g", got, float64(workers*per)*0.25)
 	}
 }
+
+// TestFleetCollectorExposition pins the coordinator metric names — the
+// journal/recovery counters and the breaker gauges are part of the scrape
+// contract the failure-model docs point dashboards at.
+func TestFleetCollectorExposition(t *testing.T) {
+	c := NewFleetCollector()
+	c.JournalRecords.Add(5)
+	c.JournalReplays.Add(3)
+	c.JobsRecovered.Add(2)
+	c.WorkersSuspect.Set(1)
+	c.SetWorkerHealth([]WorkerHealth{
+		{ID: "w1", AgeSeconds: 0.5, Live: true, Suspect: true, QueueDepth: 2, Running: 1},
+		{ID: "w0", AgeSeconds: 1.5, Live: true},
+	})
+
+	var sb strings.Builder
+	c.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"placercoord_journal_records_total 5",
+		"placercoord_journal_replays_total 3",
+		"placercoord_journal_recovered_jobs_total 2",
+		"placercoord_workers_suspect 1",
+		`placercoord_worker_breaker_state{worker="w0"} 0`,
+		`placercoord_worker_breaker_state{worker="w1"} 1`,
+		`placercoord_worker_queue_depth{worker="w1"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet exposition missing %q", want)
+		}
+	}
+	// SetWorkerHealth sorts by ID for stable exposition order.
+	if strings.Index(out, `worker="w0"`) > strings.Index(out, `worker="w1"`) {
+		t.Error("worker series not sorted by ID")
+	}
+}
