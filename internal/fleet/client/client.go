@@ -143,7 +143,7 @@ func (c *Client) SubmitRetry(ctx context.Context, spec service.JobSpec, idemKey 
 			if serr := sleepCtx(ctx, ra.After); serr != nil {
 				return fleet.JobView{}, rejected, retries, serr
 			}
-		case fleet.Retryable(err) && retries < budget:
+		case fleet.RetryableCtx(ctx, err) && retries < budget:
 			retries++
 			if serr := sleepCtx(ctx, backoff.Next()); serr != nil {
 				return fleet.JobView{}, rejected, retries, serr
@@ -216,7 +216,7 @@ func (c *Client) WaitTerminal(ctx context.Context, id string) (fleet.JobView, er
 	defer t.Stop()
 	for {
 		v, err := c.Get(ctx, id)
-		if err != nil && !fleet.Retryable(err) {
+		if err != nil && !fleet.RetryableCtx(ctx, err) {
 			return fleet.JobView{}, err
 		}
 		if err == nil && service.State(v.State).Terminal() {

@@ -218,11 +218,13 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		c.journal = jr
 		c.recoverFromJournal(recs)
 		// Compact immediately: the replayed history collapses to one
-		// snapshot of the retained table.
+		// snapshot of the retained table. Held under c.mu like maybeCompact
+		// (no concurrency exists yet at boot, but the invariant is uniform:
+		// snapshot and swap are never separated by an append window).
 		c.mu.Lock()
-		snap := c.journalSnapshotLocked()
+		err = jr.Compact(c.journalSnapshotLocked())
 		c.mu.Unlock()
-		if err := jr.Compact(snap); err != nil {
+		if err != nil {
 			return nil, fmt.Errorf("fleet: compact journal: %w", err)
 		}
 	}
@@ -318,12 +320,7 @@ func (c *Coordinator) recoverFromJournal(recs []journalRecord) {
 					delete(c.idem, j.idemKey)
 				}
 				delete(c.jobs, j.id)
-				for i, o := range c.order {
-					if o == j {
-						c.order = append(c.order[:i], c.order[i+1:]...)
-						break
-					}
-				}
+				c.removeFromOrderLocked(j)
 				continue
 			}
 			j.terminal = true
@@ -395,21 +392,27 @@ func (c *Coordinator) journalSnapshotLocked() []journalRecord {
 
 // maybeCompact rewrites the journal once the appended history sufficiently
 // outgrows the live table, keeping replay cost bounded during long soaks.
+//
+// The snapshot and the file swap run under one critical section: a record
+// fsynced into the old file after the snapshot was taken would be silently
+// discarded by the rename, losing an acked transition. Holding c.mu across
+// Compact closes that window — every append either runs under c.mu itself
+// (serialized after the swap, landing in the new file) or is SubmitIdem's
+// accepted record, whose job was inserted into the table under c.mu before
+// the append: the snapshot already carries it, and if its append races into
+// the new file anyway, the duplicate accepted record is deduped at replay.
+// Compaction is rare (history > 4× live table), so the fsync held under the
+// lock stays off the hot path.
 func (c *Coordinator) maybeCompact() {
 	if c.journal == nil {
 		return
 	}
 	c.mu.Lock()
-	need := c.journal.AppendedSinceCompact() > 4*len(c.order)+64
-	var snap []journalRecord
-	if need {
-		snap = c.journalSnapshotLocked()
-	}
-	c.mu.Unlock()
-	if !need {
+	defer c.mu.Unlock()
+	if c.journal.AppendedSinceCompact() <= 4*len(c.order)+64 {
 		return
 	}
-	if err := c.journal.Compact(snap); err != nil {
+	if err := c.journal.Compact(c.journalSnapshotLocked()); err != nil {
 		c.log.Error("journal compaction failed", "err", err)
 	}
 }
@@ -636,10 +639,15 @@ func (c *Coordinator) SubmitIdem(spec service.JobSpec, tenant, idemKey string) (
 		if err := c.journal.Append(rec); err != nil {
 			c.mu.Lock()
 			delete(c.jobs, j.id)
-			c.order = c.order[:len(c.order)-1]
+			c.removeFromOrderLocked(j)
 			if idemKey != "" {
 				delete(c.idem, idemKey)
 			}
+			// Best-effort revocation: if a compaction snapshotted the job
+			// between the insert and this failed append, only a surviving
+			// "rejected" record keeps it from resurrecting at replay. With
+			// the journal truly dead this append fails too, harmlessly.
+			c.journalAppend(journalRecord{Kind: recTerminal, Job: j.id, State: "rejected"})
 			c.mu.Unlock()
 			c.adm.Release(tenant)
 			c.tel.JobsRejected.Inc()
@@ -659,7 +667,7 @@ func (c *Coordinator) SubmitIdem(spec service.JobSpec, tenant, idemKey string) (
 	c.mu.Lock()
 	if len(c.pending) >= c.cfg.PendingLimit {
 		delete(c.jobs, j.id)
-		c.order = c.order[:len(c.order)-1]
+		c.removeFromOrderLocked(j)
 		if idemKey != "" {
 			delete(c.idem, idemKey)
 		}
@@ -676,6 +684,20 @@ func (c *Coordinator) SubmitIdem(spec service.JobSpec, tenant, idemKey string) (
 	c.mu.Unlock()
 	c.log.Info("job pending", "job", j.id, "tenant", tenant)
 	return c.view(j), 0, nil
+}
+
+// removeFromOrderLocked drops exactly j from the submission-order slice
+// (call with c.mu held). Removal is by identity, never by truncating the
+// tail: the rollback paths release c.mu between inserting a job and
+// deciding to revoke it, so a concurrent Submit may have appended other
+// jobs behind it in the meantime.
+func (c *Coordinator) removeFromOrderLocked(j *fleetJob) {
+	for i, o := range c.order {
+		if o == j {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			return
+		}
+	}
 }
 
 // idemJobLocked resolves an idempotency key to its retained job (nil when

@@ -5,8 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"net"
-	"net/url"
 	"sync"
 	"time"
 )
@@ -41,37 +39,39 @@ func RetryableStatus(code int) bool {
 	}
 }
 
-// Retryable classifies an error from a fleet HTTP call. Transport-level
-// failures (refused connections, resets, timeouts) are retryable: the peer
-// may be mid-restart. Context cancellation is not — the caller gave up.
-// StatusError delegates to RetryableStatus.
-func Retryable(err error) bool {
+// Retryable classifies an error from a fleet HTTP call when no request
+// context is available. Transport-level failures — refused connections,
+// resets, and timeouts, including http.Client's per-request timeout (which
+// since Go 1.16 also matches errors.Is(err, context.DeadlineExceeded)) —
+// are retryable: the peer may be slow or mid-restart. Explicit cancellation
+// is not — the caller gave up. StatusError delegates to RetryableStatus.
+// Callers that hold the request context should prefer RetryableCtx, which
+// additionally tells the caller's own expired deadline from a wedged peer.
+func Retryable(err error) bool { return retryable(nil, err) }
+
+// RetryableCtx is Retryable informed by the caller's own context: once ctx
+// is done nothing is retryable (the deadline or cancel belongs to the
+// caller, not the peer), while a timeout with ctx still live is the
+// transport giving up on a slow peer — exactly what retries are for.
+func RetryableCtx(ctx context.Context, err error) bool { return retryable(ctx, err) }
+
+func retryable(ctx context.Context, err error) bool {
 	if err == nil {
 		return false
 	}
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	if ctx != nil && ctx.Err() != nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
 		return false
 	}
 	var se *StatusError
 	if errors.As(err, &se) {
 		return RetryableStatus(se.Code)
 	}
-	var ue *url.Error
-	if errors.As(err, &ue) {
-		// url.Error wraps every transport failure from http.Client.Do;
-		// unwrap so the context checks above still win.
-		return Retryable(ue.Err)
-	}
-	var ne net.Error
-	if errors.As(err, &ne) {
-		return true
-	}
-	var oe *net.OpError
-	if errors.As(err, &oe) {
-		return true
-	}
-	// Unrecognized errors from the transport layer (EOF mid-body, closed
-	// connections) are treated as transient; callers bound the retries.
+	// Everything else out of the transport — per-request timeouts, refused
+	// connections, resets, EOF mid-body, closed connections — is treated as
+	// transient; callers bound the retries.
 	return true
 }
 

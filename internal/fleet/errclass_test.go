@@ -18,7 +18,12 @@ func TestRetryableClassification(t *testing.T) {
 	}{
 		{"nil", nil, false},
 		{"context cancel", context.Canceled, false},
-		{"deadline", context.DeadlineExceeded, false},
+		// Without a caller context, a deadline error is indistinguishable
+		// from http.Client's per-request timeout (which matches
+		// errors.Is(err, context.DeadlineExceeded) since Go 1.16): a slow
+		// peer, retryable. RetryableCtx covers the caller-gave-up case.
+		{"deadline", context.DeadlineExceeded, true},
+		{"client timeout", &url.Error{Op: "Post", Err: fmt.Errorf("net/http: request canceled (%w)", context.DeadlineExceeded)}, true},
 		{"wrapped cancel", fmt.Errorf("submit: %w", context.Canceled), false},
 		{"status 500", &StatusError{Code: 500}, true},
 		{"status 503", &StatusError{Code: 503}, true},
@@ -35,6 +40,29 @@ func TestRetryableClassification(t *testing.T) {
 		if got := Retryable(tc.err); got != tc.want {
 			t.Errorf("Retryable(%s) = %v, want %v", tc.name, got, tc.want)
 		}
+	}
+}
+
+// TestRetryableCtx: the caller's own context is the arbiter for timeout
+// errors — a per-request timeout with the ctx still live is a slow peer
+// (retry), the same error once the ctx is done means the caller gave up.
+func TestRetryableCtx(t *testing.T) {
+	timeout := &url.Error{Op: "Post", Err: fmt.Errorf("net/http: request canceled (%w)", context.DeadlineExceeded)}
+	if !RetryableCtx(context.Background(), timeout) {
+		t.Error("client timeout with live ctx must be retryable")
+	}
+	expired, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel()
+	if RetryableCtx(expired, timeout) {
+		t.Error("timeout with the caller's deadline already expired must not be retryable")
+	}
+	cancelled, stop := context.WithCancel(context.Background())
+	stop()
+	if RetryableCtx(cancelled, &StatusError{Code: 500}) {
+		t.Error("once the caller cancelled, even a retryable status is not worth retrying")
+	}
+	if !RetryableCtx(context.Background(), &StatusError{Code: 500}) {
+		t.Error("status 500 with live ctx must stay retryable")
 	}
 }
 

@@ -38,6 +38,11 @@ var (
 	ErrJournalVersion = errors.New("fleet: unsupported journal version")
 )
 
+// errJournalBroken marks a journal whose handle was lost (the reopen after a
+// compaction rename failed): appends must fail loudly rather than fsync into
+// the unlinked pre-compaction inode.
+var errJournalBroken = errors.New("fleet: journal broken (reopen after compaction failed)")
+
 var journalCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // Journal record kinds, in the order a job's life emits them.
@@ -180,6 +185,9 @@ func (j *Journal) Append(rec journalRecord) error {
 	buf = append(buf, payload...)
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.f == nil {
+		return errJournalBroken
+	}
 	if _, err := j.f.Write(buf); err != nil {
 		return err
 	}
@@ -246,6 +254,14 @@ func (j *Journal) Compact(recs []journalRecord) error {
 	old := j.f
 	nf, err := os.OpenFile(j.path, os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
+		// The rename already installed the snapshot, but without a handle on
+		// it the only open descriptor points at the unlinked pre-compaction
+		// inode: a write through it would fsync into a deleted file and every
+		// later "durable" transition would be a lie. Mark the journal broken
+		// so Append fails loudly and the coordinator's refuse-on-append-
+		// failure path engages instead of acking non-durable writes.
+		old.Close()
+		j.f = nil
 		return err
 	}
 	old.Close()
@@ -258,5 +274,8 @@ func (j *Journal) Compact(recs []journalRecord) error {
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
 	return j.f.Close()
 }

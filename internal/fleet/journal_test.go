@@ -207,6 +207,28 @@ func TestJournalCompact(t *testing.T) {
 	}
 }
 
+// TestJournalBrokenAppendsFail: a journal whose handle was lost (the reopen
+// after a compaction rename failed) must fail appends loudly instead of
+// fsyncing into the unlinked pre-compaction inode, and stay safe to Close.
+func TestJournalBrokenAppendsFail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	j, _, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the failed-reopen outcome: the handle is gone for good.
+	j.mu.Lock()
+	j.f.Close()
+	j.f = nil
+	j.mu.Unlock()
+	if err := j.Append(testRecord("fj-000001", 1)); !errors.Is(err, errJournalBroken) {
+		t.Fatalf("append on broken journal = %v, want errJournalBroken", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("closing a broken journal = %v, want nil", err)
+	}
+}
+
 // TestFleetServiceSpecStateRoundTrip guards the service.State type alias
 // assumptions the journal replay makes ("pending" is not a service state).
 func TestJournalReplayAssignsDefaultQueuedState(t *testing.T) {

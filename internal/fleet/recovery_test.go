@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -209,6 +210,143 @@ func TestCoordinatorCrashRecoveryZeroLoss(t *testing.T) {
 	if final.Job.Result.DPWL != refDone.Result.DPWL {
 		t.Errorf("recovered HPWL = %v, want bit-identical %v (diff %g)",
 			final.Job.Result.DPWL, refDone.Result.DPWL, final.Job.Result.DPWL-refDone.Result.DPWL)
+	}
+}
+
+// TestCompactionConcurrentSubmitNoLoss: compaction racing live submits must
+// never discard a durable record — a submit acked while the snapshot/rename
+// swap is in flight has to survive a crash. Tight Retention plus heavy
+// cancel churn forces multiple compactions mid-load; afterwards a second
+// boot on the same journal must still hold every live acked job and its
+// idempotency key.
+func TestCompactionConcurrentSubmitNoLoss(t *testing.T) {
+	clock := newFakeClock()
+	path := filepath.Join(t.TempDir(), "journal")
+	c1, err := NewCoordinator(Config{
+		HeartbeatTTL: time.Second,
+		PendingLimit: 1024,
+		Retention:    1,
+		JournalPath:  path,
+		Now:          clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var ticker sync.WaitGroup
+	ticker.Add(1)
+	go func() {
+		defer ticker.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c1.Tick(clock.Now()) // prunes terminals and drives maybeCompact
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+
+	const submitters, perSubmitter = 4, 50
+	var live [submitters][]string // acked jobs left pending (never cancelled)
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				key := fmt.Sprintf("cc-%d-%d", g, i)
+				v, _, err := c1.SubmitIdem(fastSpec(int64(g*1000+i)), "t1", key)
+				if err != nil {
+					t.Errorf("submit %s: %v", key, err)
+					return
+				}
+				if i%10 == 0 {
+					live[g] = append(live[g], v.ID)
+				} else if _, err := c1.Cancel(v.ID); err != nil {
+					t.Errorf("cancel %s: %v", v.ID, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	ticker.Wait()
+
+	if since, total := c1.journal.AppendedSinceCompact(), int(c1.Telemetry().JournalRecords.Value()); since >= total {
+		t.Fatalf("compaction never fired under load (appended since compact %d, total %d): test exercised nothing", since, total)
+	}
+
+	// kill -9: c1 is abandoned without Close; boot 2 replays the journal.
+	c2 := newJournalCoordinator(t, clock, path)
+	defer c2.Close()
+	for g := range live {
+		for _, id := range live[g] {
+			v, err := c2.Get(id)
+			if err != nil {
+				t.Fatalf("acked job %s lost across compaction + crash: %v", id, err)
+			}
+			if v.State != "pending" {
+				t.Errorf("job %s replayed as %q, want pending", id, v.State)
+			}
+		}
+	}
+	// The surviving jobs' idempotency keys still dedupe after replay.
+	retry, _, err := c2.SubmitIdem(fastSpec(0), "t1", "cc-0-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retry.ID != live[0][0] {
+		t.Errorf("post-crash idempotent retry created %s, want original %s", retry.ID, live[0][0])
+	}
+}
+
+// TestJournalFailureRollbackConcurrent: when the journal cannot make an
+// accept durable, the submit must be refused and rolled back completely.
+// Under concurrent submits the rollback must remove the refused job itself
+// (by identity), not whatever happens to sit at the tail of the submission
+// order — truncation there leaks unreachable jobs and dangling order
+// entries that replay and list views keep resurrecting.
+func TestJournalFailureRollbackConcurrent(t *testing.T) {
+	clock := newFakeClock()
+	path := filepath.Join(t.TempDir(), "journal")
+	c, err := NewCoordinator(Config{HeartbeatTTL: time.Second, JournalPath: path, Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Break the journal the way a failed post-compaction reopen does.
+	c.journal.mu.Lock()
+	c.journal.f.Close()
+	c.journal.f = nil
+	c.journal.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				v, _, err := c.SubmitIdem(fastSpec(int64(g*100+i)), "t1", fmt.Sprintf("jf-%d-%d", g, i))
+				if err == nil {
+					t.Errorf("submit %s acked without a durable record", v.ID)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if n := len(c.List()); n != 0 {
+		t.Fatalf("job table holds %d jobs after refused submits, want 0", n)
+	}
+	c.mu.Lock()
+	jobs, order, idem := len(c.jobs), len(c.order), len(c.idem)
+	c.mu.Unlock()
+	if jobs != 0 || order != 0 || idem != 0 {
+		t.Fatalf("rollback residue: jobs=%d order=%d idem=%d, want all 0", jobs, order, idem)
 	}
 }
 
